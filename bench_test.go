@@ -1,0 +1,214 @@
+package fluke_test
+
+// One benchmark per table/figure of the paper's evaluation, built on the
+// same experiment drivers cmd/flukebench uses. Wall-clock numbers measure
+// the simulator; the paper-comparable results are the *virtual*-time
+// metrics attached with b.ReportMetric (µs/op of simulated time, latency
+// in simulated µs, bytes of kernel memory).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/sys"
+	"repro/internal/workload"
+)
+
+// BenchmarkTable1Inventory regenerates the API inventory (Table 1).
+func BenchmarkTable1Inventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := experiments.Table1Counts()
+		if c[sys.Short] != 68 {
+			b.Fatal("inventory drifted")
+		}
+	}
+}
+
+// BenchmarkTable3RestartCosts regenerates the IPC restart-cost table; the
+// virtual remedy costs are attached as metrics.
+func BenchmarkTable3RestartCosts(b *testing.B) {
+	var rows []experiments.Table3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].RemedyUS, "client-soft-us")
+	b.ReportMetric(rows[1].RemedyUS, "client-hard-us")
+	b.ReportMetric(rows[2].RemedyUS, "server-soft-us")
+	b.ReportMetric(rows[3].RemedyUS, "server-hard-us")
+}
+
+// benchWorkload runs one workload/configuration cell of Table 5.
+func benchWorkload(b *testing.B, mk func(*core.Kernel) (*workload.Workload, error)) {
+	var virtual uint64
+	for i := 0; i < b.N; i++ {
+		k := core.New(benchCfg)
+		w, err := mk(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cyc, err := w.Run(1 << 62)
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtual += cyc
+	}
+	b.ReportMetric(float64(virtual)/float64(b.N)/200, "virtual-us/op")
+}
+
+var benchCfg core.Config
+
+// BenchmarkTable5 regenerates the application-performance table: one
+// sub-benchmark per workload per kernel configuration.
+func BenchmarkTable5(b *testing.B) {
+	sc := experiments.FastTable5Scale()
+	workloads := map[string]func(*core.Kernel) (*workload.Workload, error){
+		"memtest": func(k *core.Kernel) (*workload.Workload, error) {
+			return workload.NewMemtest(k, sc.MemtestBytes)
+		},
+		"flukeperf": func(k *core.Kernel) (*workload.Workload, error) {
+			return workload.NewFlukeperf(k, sc.Flukeperf)
+		},
+		"gcc": func(k *core.Kernel) (*workload.Workload, error) {
+			return workload.NewGCC(k, sc.GCC)
+		},
+	}
+	for _, name := range []string{"memtest", "flukeperf", "gcc"} {
+		for _, cfg := range core.Configurations() {
+			cfg := cfg
+			b.Run(fmt.Sprintf("%s/%s", name, cfg.Name()), func(b *testing.B) {
+				benchCfg = cfg
+				benchWorkload(b, workloads[name])
+			})
+		}
+	}
+}
+
+// BenchmarkTable6PreemptionLatency regenerates the preemption-latency
+// table: one sub-benchmark per configuration, reporting simulated
+// latencies as metrics.
+func BenchmarkTable6PreemptionLatency(b *testing.B) {
+	sc := experiments.FastTable5Scale().Flukeperf
+	for _, cfg := range core.Configurations() {
+		cfg := cfg
+		b.Run(cfg.Name(), func(b *testing.B) {
+			var avg, max float64
+			for i := 0; i < b.N; i++ {
+				k := core.New(cfg)
+				w, err := workload.NewFlukeperf(k, sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := workload.InstallProbe(k, 0, 0)
+				if _, err := w.Run(1 << 62); err != nil {
+					b.Fatal(err)
+				}
+				p.Stop()
+				avg = p.Lat.Avg()
+				max = p.Lat.Max()
+			}
+			b.ReportMetric(avg, "latency-avg-us")
+			b.ReportMetric(max, "latency-max-us")
+		})
+	}
+}
+
+// BenchmarkTable7MemoryUse regenerates the per-thread memory-overhead
+// table, attaching the measured sizes as metrics.
+func BenchmarkTable7MemoryUse(b *testing.B) {
+	var rows []experiments.Table7Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table7()
+	}
+	for _, r := range rows {
+		if r.Published {
+			continue
+		}
+		b.ReportMetric(float64(r.Total), fmt.Sprintf("%s-%d-bytes", r.Model, r.Stack))
+	}
+}
+
+// BenchmarkNullSyscall regenerates the §5.5 architectural-bias
+// microbenchmark (Figure 1's axes made quantitative): the interrupt model
+// pays ~6 extra cycles per kernel entry/exit.
+func BenchmarkNullSyscall(b *testing.B) {
+	for _, model := range []core.ExecModel{core.ModelProcess, core.ModelInterrupt} {
+		model := model
+		b.Run(model.String(), func(b *testing.B) {
+			var per float64
+			for i := 0; i < b.N; i++ {
+				k := core.New(core.Config{Model: model})
+				s := k.NewSpace()
+				pb := prog.New(0x0001_0000)
+				pb.Movi(6, 0).Label("loop").
+					Null().
+					Addi(6, 6, 1).Movi(5, 2000).Blt(6, 5, "loop").
+					Halt()
+				if _, err := k.SpawnProgram(s, 0x0001_0000, pb.MustAssemble(), 8); err != nil {
+					b.Fatal(err)
+				}
+				k.Run()
+				per = float64(k.Stats.KernelCycles) / 2000
+			}
+			b.ReportMetric(per, "kernel-cycles/call")
+		})
+	}
+}
+
+// BenchmarkIPCRoundTrip measures the simulator's full RPC path (connect,
+// 8-word request, turnaround, 8-word reply, disconnect) — wall-clock
+// cost per simulated RPC.
+func BenchmarkIPCRoundTrip(b *testing.B) {
+	for _, cfg := range core.Configurations() {
+		cfg := cfg
+		b.Run(cfg.Name(), func(b *testing.B) {
+			k := core.New(cfg)
+			w, err := workload.NewFlukeperf(k, workload.FlukeperfScale{
+				Nulls: 1, MutexPairs: 1, PingPong: 1, RPCs: b.N,
+				BigTransfers: 0, BigWords: 256, Searches: 0,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := w.Run(1 << 62); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkInterpreter measures raw simulated-CPU throughput
+// (instructions of guest code per wall second).
+func BenchmarkInterpreter(b *testing.B) {
+	k := core.New(core.Config{Model: core.ModelInterrupt})
+	s := k.NewSpace()
+	data := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(0x10000, true)}
+	k.BindFresh(s, data)
+	if _, err := k.MapInto(s, data, 0x0004_0000, 0, 0x10000, mmu.PermRW); err != nil {
+		b.Fatal(err)
+	}
+	pb := prog.New(0x0001_0000)
+	pb.Movi(6, 0).Movi(5, uint32(b.N)).
+		Label("loop").
+		Addi(6, 6, 1).
+		Blt(6, 5, "loop").
+		Halt()
+	th, err := k.SpawnProgram(s, 0x0001_0000, pb.MustAssemble(), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	k.Run()
+	if !th.Exited {
+		b.Fatal("loop did not finish")
+	}
+}

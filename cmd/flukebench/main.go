@@ -1,0 +1,121 @@
+// Command flukebench regenerates the measured tables and figures of the
+// paper's evaluation: IPC restart costs (Table 3), application performance
+// across the five kernel configurations (Table 5), preemption latency
+// (Table 6), per-thread memory overhead (Table 7), and the §5.5
+// null-syscall architectural-bias microbenchmark.
+//
+// By default it runs everything at full scale (the paper's 16 MB memtest
+// and multi-megabyte IPC transfers); -fast selects scaled-down workloads
+// that finish in a few seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "run scaled-down workloads")
+	t3 := flag.Bool("table3", false, "run only Table 3")
+	t5 := flag.Bool("table5", false, "run only Table 5")
+	t6 := flag.Bool("table6", false, "run only Table 6")
+	t7 := flag.Bool("table7", false, "run only Table 7")
+	nullsys := flag.Bool("nullsys", false, "run only the null-syscall microbenchmark")
+	ablate := flag.Bool("ablate", false, "run only the preemption-parameter ablations")
+	driver := flag.Bool("driver", false, "run only the driver-latency extension experiment")
+	flag.Parse()
+
+	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *ablate || *driver
+	show := func(sel bool) bool { return sel || !any }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "flukebench:", err)
+		os.Exit(1)
+	}
+	timed := func(name string, fn func()) {
+		start := time.Now()
+		fn()
+		fmt.Printf("(%s regenerated in %.1fs host time)\n\n", name, time.Since(start).Seconds())
+	}
+
+	if show(*t3) {
+		timed("Table 3", func() {
+			rows, err := experiments.Table3()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.Table3Render(rows))
+		})
+	}
+	if show(*t5) {
+		timed("Table 5", func() {
+			sc := experiments.FullTable5Scale()
+			if *fast {
+				sc = experiments.FastTable5Scale()
+			}
+			rows, err := experiments.Table5(sc)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.Table5Render(rows))
+		})
+	}
+	if show(*t6) {
+		timed("Table 6", func() {
+			sc := workload.DefaultFlukeperfScale()
+			if *fast {
+				sc = experiments.FastTable5Scale().Flukeperf
+			}
+			rows, err := experiments.Table6(sc)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.Table6Render(rows))
+		})
+	}
+	if show(*t7) {
+		timed("Table 7", func() {
+			fmt.Println(experiments.Table7Render(experiments.Table7()))
+		})
+	}
+	if show(*nullsys) {
+		timed("null-syscall microbenchmark", func() {
+			p, i, delta, err := experiments.NullSyscall(20000)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.NullSyscallRender(p, i, delta))
+		})
+	}
+	if *ablate {
+		timed("ablations", func() {
+			rows, err := experiments.DefaultAblation()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.AblationRender(rows))
+			cr, err := experiments.ContinuationRecognition()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.ContRecRender(cr))
+		})
+	}
+	if *driver {
+		timed("driver latency", func() {
+			sc := workload.DefaultFlukeperfScale()
+			if *fast {
+				sc = experiments.FastTable5Scale().Flukeperf
+			}
+			rows, err := experiments.DriverLatency(sc, 50)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.DriverLatencyRender(rows))
+		})
+	}
+}

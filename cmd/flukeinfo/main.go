@@ -1,0 +1,44 @@
+// Command flukeinfo prints the static artifacts of the paper: the syscall
+// inventory (Table 1), the primitive object types (Table 2), the kernel
+// configuration matrix (Table 4), and the API/execution-model continuum
+// (Figure 1). With -syscalls it dumps the full 107-entry syscall table.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/sys"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print only Table 1")
+	table2 := flag.Bool("table2", false, "print only Table 2")
+	table4 := flag.Bool("table4", false, "print only Table 4")
+	figure1 := flag.Bool("figure1", false, "print only Figure 1")
+	syscalls := flag.Bool("syscalls", false, "dump the full syscall table")
+	flag.Parse()
+
+	any := *table1 || *table2 || *table4 || *figure1 || *syscalls
+	show := func(sel bool) bool { return sel || !any }
+
+	if show(*table1) {
+		fmt.Println(experiments.Table1())
+	}
+	if show(*table2) {
+		fmt.Println(experiments.Table2())
+	}
+	if show(*table4) {
+		fmt.Println(experiments.Table4())
+	}
+	if show(*figure1) {
+		fmt.Println(experiments.Figure1())
+	}
+	if *syscalls {
+		fmt.Println("The complete Fluke system call API:")
+		for _, in := range sys.All() {
+			fmt.Printf("  %3d  %-40s %s\n", in.Num, in.Name, in.Cat)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Command flukerun runs one of the paper's workloads (flukeperf, memtest,
+// gcc) on a chosen kernel configuration and reports timing and kernel
+// statistics — the raw material behind Tables 5 and 6.
+//
+// Usage:
+//
+//	flukerun -workload flukeperf -model interrupt -preempt pp
+//	flukerun -workload memtest -mb 16 -model process -preempt fp -probe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mmu"
+	"repro/internal/sys"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "flukeperf", "workload: flukeperf | memtest | gcc | diskbench")
+	model := flag.String("model", "process", "execution model: process | interrupt")
+	preempt := flag.String("preempt", "np", "preemption: np | pp | fp")
+	mb := flag.Uint("mb", 16, "memtest working set in MB")
+	probe := flag.Bool("probe", false, "install the 1 ms high-priority latency probe")
+	fastFlag := flag.Bool("fast", false, "scaled-down workload")
+	traceLines := flag.Bool("trace", false, "trace every syscall completion as it happens")
+	traceBuf := flag.Int("tracebuf", 0, "dump the last N typed kernel trace events after the run")
+	topN := flag.Int("top", 10, "show the N most frequent syscalls")
+	flag.Parse()
+
+	cfg := core.Config{}
+	switch *model {
+	case "process":
+		cfg.Model = core.ModelProcess
+	case "interrupt":
+		cfg.Model = core.ModelInterrupt
+	default:
+		fail(fmt.Errorf("unknown model %q", *model))
+	}
+	switch *preempt {
+	case "np":
+		cfg.Preempt = core.PreemptNone
+	case "pp":
+		cfg.Preempt = core.PreemptPartial
+	case "fp":
+		cfg.Preempt = core.PreemptFull
+	default:
+		fail(fmt.Errorf("unknown preemption %q", *preempt))
+	}
+	if err := cfg.Validate(); err != nil {
+		fail(err)
+	}
+	if *traceLines {
+		cfg.TraceSyscalls = func(line string) { fmt.Println(line) }
+	}
+
+	k := core.New(cfg)
+	var ring *trace.Ring
+	if *traceBuf > 0 {
+		ring = trace.NewRing(*traceBuf)
+		k.Tracer = ring
+	}
+	var (
+		w   *workload.Workload
+		err error
+	)
+	switch *wl {
+	case "flukeperf":
+		sc := workload.DefaultFlukeperfScale()
+		if *fastFlag {
+			sc = workload.SmallFlukeperfScale()
+		}
+		w, err = workload.NewFlukeperf(k, sc)
+	case "memtest":
+		w, err = workload.NewMemtest(k, uint32(*mb)<<20)
+	case "gcc":
+		sc := workload.DefaultGCCScale()
+		if *fastFlag {
+			sc = workload.SmallGCCScale()
+		}
+		w, err = workload.NewGCC(k, sc)
+	case "diskbench":
+		sc := workload.DefaultDiskbenchScale()
+		if *fastFlag {
+			sc = workload.SmallDiskbenchScale()
+		}
+		w, err = workload.NewDiskbench(k, sc)
+	default:
+		err = fmt.Errorf("unknown workload %q", *wl)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	var p *workload.Probe
+	if *probe {
+		p = workload.InstallProbe(k, 0, 0)
+	}
+	cycles, err := w.Run(1 << 62)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("workload %s on %s: %.2f virtual ms (%d cycles)\n",
+		w.Name, cfg.Name(), float64(cycles)/200_000, cycles)
+	s := &k.Stats
+	fmt.Printf("  syscalls        %12d\n", s.Syscalls)
+	fmt.Printf("  restarts        %12d\n", s.Restarts)
+	fmt.Printf("  context switches%12d\n", s.ContextSwitches)
+	fmt.Printf("  user cycles     %12d\n", s.UserCycles)
+	fmt.Printf("  kernel cycles   %12d\n", s.KernelCycles)
+	fmt.Printf("  idle cycles     %12d\n", s.IdleCycles)
+	fmt.Printf("  preemptions: user %d, ipc-point %d, in-kernel %d\n",
+		s.PreemptsUser, s.PreemptsPoint, s.PreemptsKernel)
+	for _, cl := range []mmu.FaultClass{mmu.FaultSoft, mmu.FaultHard} {
+		for _, side := range []core.FaultSide{core.FaultSame, core.FaultCross} {
+			key := core.FaultKey{Class: cl, Side: side}
+			if n := s.FaultCount[key]; n > 0 {
+				sideName := "client-side"
+				if side == core.FaultCross {
+					sideName = "server-side"
+				}
+				fmt.Printf("  %s %s faults: %d (avg remedy %.1f µs, avg rollback %.2f µs)\n",
+					sideName, cl, n,
+					float64(s.FaultRemedy[key])/float64(n)/200,
+					float64(s.FaultRollback[key])/float64(n)/200)
+			}
+		}
+	}
+	if p != nil {
+		fmt.Printf("  probe: avg %.2f µs, max %.1f µs, runs %d, missed %d\n",
+			p.Lat.Avg(), p.Lat.Max(), p.Runs, p.Misses)
+		p.Stop()
+	}
+
+	type nc struct {
+		n int
+		c uint64
+	}
+	var tops []nc
+	for n, c := range s.SyscallsByNum {
+		if c > 0 {
+			tops = append(tops, nc{n, c})
+		}
+	}
+	sort.Slice(tops, func(i, j int) bool { return tops[i].c > tops[j].c })
+	if len(tops) > *topN {
+		tops = tops[:*topN]
+	}
+	fmt.Println("  top syscalls:")
+	for _, t := range tops {
+		fmt.Printf("    %-40s %10d\n", sys.Name(t.n), t.c)
+	}
+	if ring != nil {
+		fmt.Println("kernel trace (most recent events):")
+		fmt.Print(ring.Dump())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "flukerun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,23 @@
+// Package fluke is the root of a full reproduction of "Interface and
+// Execution Models in the Fluke Kernel" (Ford, Hibler, Lepreau, McGrath,
+// Tullmann; OSDI 1999) as a deterministic full-system simulation in Go.
+//
+// The pieces live under internal/ (see DESIGN.md for the system
+// inventory):
+//
+//   - internal/cpu, internal/mem, internal/mmu, internal/clock — the
+//     simulated hardware substrate;
+//   - internal/core — the Fluke kernel: the 107-entrypoint atomic system
+//     call API running under either the interrupt or the process
+//     execution model, with none/partial/full kernel preemption;
+//   - internal/ipc — the connection-oriented reliable IPC engine;
+//   - internal/pager, internal/checkpoint — the user-mode memory manager
+//     and the user-level checkpoint/migration service the atomic API
+//     enables;
+//   - internal/workload, internal/experiments — the paper's three
+//     evaluation applications and the harness regenerating every table
+//     and figure.
+//
+// The benchmarks in bench_test.go regenerate the paper's tables under
+// "go test -bench"; cmd/flukebench prints them in paper format.
+package fluke

@@ -1,0 +1,80 @@
+// Driver: the paper's §5.6/§5.2 arrangement live — a user-mode device
+// driver thread serving disk reads over IPC, programming a memory-mapped
+// virtual block device and fielding its completion interrupts with
+// irq_wait. A client reads the "boot sector" through it, and the example
+// then shows how kernel preemptibility decides interrupt-handling latency.
+//
+//	go run ./examples/driver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/experiments"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/sys"
+	"repro/internal/workload"
+)
+
+const (
+	codeBase = 0x0001_0000
+	dataBase = 0x0004_0000
+)
+
+func main() {
+	k := core.New(core.Config{Model: core.ModelInterrupt, Preempt: core.PreemptPartial})
+	dr, err := dev.Attach(k, 64 /*sectors*/, 5 /*IRQ line*/, 0, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	boot := make([]byte, dev.SectorSize)
+	copy(boot, []byte("FLUKE boot sector: the registers are the continuation."))
+	if err := dr.Device.LoadMedium(0, boot); err != nil {
+		log.Fatal(err)
+	}
+
+	// Client space + program: read sector 0 through the driver.
+	cs := k.NewSpace()
+	data := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(4*mem.PageSize, true)}
+	k.BindFresh(cs, data)
+	if _, err := k.MapInto(cs, data, dataBase, 0, 4*mem.PageSize, mmu.PermRW); err != nil {
+		log.Fatal(err)
+	}
+	refVA := dr.ClientRef(k, cs)
+	b := prog.New(codeBase)
+	b.Movi(4, dataBase+0x100).Movi(5, 0).St(4, 0, 5).
+		IPCClientConnectSendOverReceive(dataBase+0x100, 1, refVA, dataBase+0x1000, dev.SectorSize/4).
+		IPCClientDisconnect().
+		Halt()
+	client, err := k.SpawnProgram(cs, codeBase, b.MustAssemble(), 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k.RunFor(1_000_000_000)
+	if !client.Exited {
+		log.Fatalf("client stuck (driver %v)", dr.Thread.State)
+	}
+	out, err := k.ReadMem(cs, dataBase+0x1000, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client read sector 0 via the user-mode driver:\n  %q\n", out[:55])
+	fmt.Printf("device stats: %d read(s); driver is an ordinary thread at priority 16\n\n", dr.Device.Reads)
+
+	fmt.Println("now the same service while flukeperf hammers the kernel, per configuration:")
+	rows, err := experiments.DriverLatency(workload.FlukeperfScale{
+		Nulls: 5_000, MutexPairs: 5_000, PingPong: 1_000, RPCs: 1_000,
+		BigTransfers: 2, BigWords: 1 << 20 / 4, Searches: 2,
+	}, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.DriverLatencyRender(rows))
+	fmt.Println("preemption latency has become interrupt-handling latency (§5.2).")
+}

@@ -1,0 +1,81 @@
+// Migration: move a running process between two kernel instances built
+// with different execution models — from a fully-preemptible process-model
+// kernel to an interrupt-model kernel — mid-computation. Because the
+// atomic API keeps every continuation in the explicit user register
+// state, there is no kernel-stack state to translate between models.
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/sys"
+)
+
+const (
+	codeBase = 0x0001_0000
+	dataBase = 0x0004_0000
+	sumVA    = dataBase + 0x100
+	n        = 50_000
+)
+
+func main() {
+	// Source kernel: process model, fully preemptible.
+	k1 := core.New(core.Config{Model: core.ModelProcess, Preempt: core.PreemptFull})
+	s1 := k1.NewSpace()
+	data := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(0x10000, true)}
+	k1.BindFresh(s1, data)
+	if _, err := k1.MapInto(s1, data, dataBase, 0, 0x10000, mmu.PermRW); err != nil {
+		log.Fatal(err)
+	}
+
+	// The guest sums 1..n, yielding periodically.
+	b := prog.New(codeBase)
+	b.Movi(6, 0).Movi(3, 0).
+		Label("loop").
+		Addi(6, 6, 1).
+		Add(3, 3, 6).
+		Movi(4, sumVA).St(4, 0, 3).
+		Movi(5, n).Blt(6, 5, "loop").
+		Halt()
+	th, err := k1.SpawnProgram(s1, codeBase, b.MustAssemble(), 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = th
+
+	// Run roughly half-way on the source kernel.
+	k1.RunFor(150_000)
+	half, _ := k1.ReadMem(s1, sumVA, 4)
+	fmt.Printf("source kernel  (%s): partial sum after 0.75 ms = %d\n",
+		k1.Config().Name(), le32(half))
+
+	// Migrate to an interrupt-model kernel.
+	k2 := core.New(core.Config{Model: core.ModelInterrupt, Preempt: core.PreemptPartial})
+	s2, threads, err := checkpoint.Migrate(k1, s1, k2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("migrated %d thread(s) to %s; source space dead: %v\n",
+		len(threads), k2.Config().Name(), s1.Dead)
+
+	k2.Run()
+	out, _ := k2.ReadMem(s2, sumVA, 4)
+	want := uint32(n) * (n + 1) / 2
+	fmt.Printf("target kernel  (%s): final sum = %d (want %d)\n",
+		k2.Config().Name(), le32(out), want)
+	if le32(out) == want {
+		fmt.Println("computation finished correctly on the other execution model")
+	}
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,381 @@
+// Package checkpoint implements user-level checkpointing, restore, and
+// migration — the services the paper's atomic API exists to enable (§1,
+// §4.1, and the companion work cited as [31], "User-level Checkpointing
+// Through Exportable Kernel State").
+//
+// The checkpointer plays the role of an ordinary user-mode manager. It
+// relies on exactly the two API guarantees the paper names:
+//
+//   - promptness: every thread's state can be captured without waiting on
+//     any other user-mode activity, no matter what the thread is doing —
+//     including sleeping inside a "long" system call or mid-way through a
+//     multi-stage IPC;
+//   - correctness: a thread destroyed and re-created from its captured
+//     state "behaves indistinguishably from the original". No kernel
+//     stack needs saving because there is nothing on it worth saving: a
+//     blocked thread's user PC names the syscall entrypoint that
+//     transparently resumes its operation (mutex_lock re-waits,
+//     thread_sleep re-arms from the rolled-forward deadline in R2/R3, an
+//     interrupted IPC continues from its rolled-forward buffer registers).
+//
+// Because wait-queue membership is never part of a thread's exported
+// state, restore does not reconstruct wait queues at all: a thread that
+// was blocked simply restarts its interrupted system call and re-blocks
+// by itself. This is the paper's continuation-in-the-registers design
+// doing its job.
+package checkpoint
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/sys"
+)
+
+// ThreadRecord captures one thread.
+type ThreadRecord struct {
+	OldID    uint32
+	HandleVA uint32
+	State    [core.ThreadStateWords]uint32
+	// Both IPC connection halves, for intra-image relinking (peer IDs
+	// are pre-capture thread IDs).
+	CliPhase  obj.IPCPhase
+	CliPeerID uint32
+	SrvPhase  obj.IPCPhase
+	SrvPeerID uint32
+}
+
+// ObjectRecord captures one handle-table entry (non-thread, non-space).
+type ObjectRecord struct {
+	VA   uint32
+	Type sys.ObjType
+	Name string
+
+	// Type-specific state.
+	MutexLocked   bool
+	MutexHolderID uint32
+	RegionIdx     int    // Regions index for region objects (-1 otherwise)
+	MappingIdx    int    // Mappings index for mapping objects (-1 otherwise)
+	RefTargetVA   uint32 // handle VA of the referenced object (same space)
+	RefValid      bool
+	PortsetPorts  []uint32 // handle VAs of member ports
+}
+
+// RegionRecord captures an exportable memory region and its present
+// pages.
+type RegionRecord struct {
+	Size        uint32
+	DemandZero  bool
+	PagerPortVA uint32 // handle VA of the pager port within the image, 0 if none
+	Pages       map[uint32][]byte
+}
+
+// MappingRecord captures one installed mapping.
+type MappingRecord struct {
+	Base      uint32
+	Size      uint32
+	RegionIdx int
+	RegionOff uint32
+	Perm      mmu.Perm
+}
+
+// Image is a complete space checkpoint.
+type Image struct {
+	Threads  []ThreadRecord
+	Objects  []ObjectRecord
+	Regions  []RegionRecord
+	Mappings []MappingRecord
+}
+
+// Capture checkpoints space s: stops every thread (promptly — settling
+// any thread the full-preemption configuration parked mid-kernel), then
+// records threads, handle table, mappings, and memory. Threads are left
+// stopped; call ResumeAll or discard the space.
+func Capture(k *core.Kernel, s *obj.Space) (*Image, error) {
+	// Remember which threads were suspended *before* the checkpointer
+	// froze the space: those stay stopped on restore; the rest run.
+	preStopped := map[*obj.Thread]bool{}
+	for _, t := range s.Threads {
+		preStopped[t] = t.Stopped
+		k.Settle(t)
+		t.Stopped = true
+	}
+	img := &Image{}
+
+	// Regions reachable from the space's mappings (deduplicated).
+	regIdx := map[*mmu.Region]int{}
+	regionOf := func(r *mmu.Region) int {
+		if i, ok := regIdx[r]; ok {
+			return i
+		}
+		rec := RegionRecord{Size: r.Size, DemandZero: r.DemandZero, Pages: map[uint32][]byte{}}
+		for off := uint32(0); off < r.Size; off += mem.PageSize {
+			if f := r.FrameAt(off); f != nil {
+				rec.Pages[off] = append([]byte(nil), f.Data...)
+			}
+		}
+		if p, ok := r.Pager.(*obj.Port); ok && p != nil && p.Owner == s {
+			rec.PagerPortVA = p.VA
+		}
+		regIdx[r] = len(img.Regions)
+		img.Regions = append(img.Regions, rec)
+		return regIdx[r]
+	}
+
+	mapIdx := map[*mmu.Mapping]int{}
+	for _, m := range s.AS.Mappings() {
+		if m.Base == core.KObjBase {
+			continue // the reserved kernel-handle window is rebuilt by NewSpace
+		}
+		mapIdx[m] = len(img.Mappings)
+		img.Mappings = append(img.Mappings, MappingRecord{
+			Base: m.Base, Size: m.Size,
+			RegionIdx: regionOf(m.Region), RegionOff: m.RegionOff, Perm: m.Perm,
+		})
+	}
+
+	for va, o := range s.Objects {
+		h := o.Hdr()
+		if h.Dead {
+			continue
+		}
+		switch x := o.(type) {
+		case *obj.Space:
+			continue // the self handle is rebuilt
+		case *obj.Thread:
+			st := core.EncodeThreadState(x)
+			if !preStopped[x] {
+				st[core.TSCtl] &^= 1 // stopped only by the capture itself
+			}
+			tr := ThreadRecord{
+				OldID: x.ID, HandleVA: va, State: st,
+				CliPhase: x.IPCClient.Phase, SrvPhase: x.IPCServer.Phase,
+			}
+			if x.IPCClient.Peer != nil {
+				tr.CliPeerID = x.IPCClient.Peer.ID
+			}
+			if x.IPCServer.Peer != nil {
+				tr.SrvPeerID = x.IPCServer.Peer.ID
+			}
+			img.Threads = append(img.Threads, tr)
+		default:
+			rec := ObjectRecord{VA: va, Type: h.Type, Name: h.Name, RegionIdx: -1, MappingIdx: -1}
+			switch x := o.(type) {
+			case *obj.Mutex:
+				rec.MutexLocked = x.Locked
+				if x.Holder != nil {
+					rec.MutexHolderID = x.Holder.ID
+				}
+			case *obj.Region:
+				rec.RegionIdx = regionOf(x.R)
+			case *obj.Mapping:
+				if i, ok := mapIdx[x.M]; ok {
+					rec.MappingIdx = i
+				}
+			case *obj.Ref:
+				if x.Target != nil && x.Target.Hdr().Owner == s {
+					rec.RefTargetVA = x.Target.Hdr().VA
+					rec.RefValid = true
+				}
+			case *obj.Portset:
+				for _, p := range x.Ports {
+					if p.Owner == s {
+						rec.PortsetPorts = append(rec.PortsetPorts, p.VA)
+					}
+				}
+			}
+			img.Objects = append(img.Objects, rec)
+		}
+		_ = h
+	}
+	return img, nil
+}
+
+// Restore materializes an image as a new space on kernel k2 (which may be
+// a different kernel instance — that is migration). Restored threads are
+// stopped; start them with StartAll.
+func Restore(k2 *core.Kernel, img *Image) (*obj.Space, []*obj.Thread, error) {
+	s := k2.NewSpace()
+
+	// Regions and their contents.
+	regions := make([]*mmu.Region, len(img.Regions))
+	for i, rr := range img.Regions {
+		r := mmu.NewRegion(rr.Size, rr.DemandZero)
+		for off, data := range rr.Pages {
+			f, err := k2.Alloc.Alloc()
+			if err != nil {
+				return nil, nil, err
+			}
+			copy(f.Data, data)
+			r.Populate(off, f)
+		}
+		regions[i] = r
+	}
+
+	// Mappings.
+	mappings := make([]*mmu.Mapping, len(img.Mappings))
+	for i, mr := range img.Mappings {
+		m := &mmu.Mapping{
+			Region: regions[mr.RegionIdx], RegionOff: mr.RegionOff,
+			Base: mr.Base, Size: mr.Size, Perm: mr.Perm,
+		}
+		if err := s.AS.Map(m); err != nil {
+			return nil, nil, fmt.Errorf("checkpoint: remap [%#x,+%#x): %w", mr.Base, mr.Size, err)
+		}
+		mappings[i] = m
+	}
+
+	// Objects, first pass: create and bind.
+	created := map[uint32]obj.Obj{}
+	for _, or := range img.Objects {
+		var o obj.Obj
+		switch or.Type {
+		case sys.ObjRegion:
+			o = &obj.Region{Header: obj.Header{Type: or.Type}, R: regions[or.RegionIdx]}
+		case sys.ObjMapping:
+			om := &obj.Mapping{Header: obj.Header{Type: or.Type}, Dst: s}
+			if or.MappingIdx >= 0 {
+				om.M = mappings[or.MappingIdx]
+			}
+			o = om
+		default:
+			var e sys.Errno
+			o, e = obj.New(or.Type)
+			if e != sys.EOK {
+				return nil, nil, fmt.Errorf("checkpoint: recreate %v: %v", or.Type, e)
+			}
+		}
+		o.Hdr().Name = or.Name
+		if e := s.Insert(or.VA, o); e != sys.EOK {
+			return nil, nil, fmt.Errorf("checkpoint: rebind %v at %#x: %v", or.Type, or.VA, e)
+		}
+		created[or.VA] = o
+	}
+
+	// Threads: create, then apply states.
+	idMap := map[uint32]*obj.Thread{}
+	var threads []*obj.Thread
+	for _, tr := range img.Threads {
+		t := k2.NewThread(s, int(tr.State[core.TSPriority]))
+		// Rebind at the original handle VA so handle-bearing code
+		// (thread_wait, interrupts between threads) still works.
+		if t.VA != tr.HandleVA {
+			s.Remove(t.VA)
+			t.VA = 0
+			if e := s.Insert(tr.HandleVA, t); e != sys.EOK {
+				return nil, nil, fmt.Errorf("checkpoint: rebind thread at %#x: %v", tr.HandleVA, e)
+			}
+		}
+		idMap[tr.OldID] = t
+		threads = append(threads, t)
+	}
+	for i, tr := range img.Threads {
+		// Old peer IDs must not alias unrelated threads on the target
+		// kernel; the relink pass below reconnects image-internal
+		// pairs explicitly.
+		st := tr.State
+		st[core.TSIPCPhase] = 0
+		st[core.TSIPCPeer] = 0
+		st[core.TSIPCSrvPhase] = 0
+		st[core.TSIPCSrvPeer] = 0
+		k2.ApplyThreadState(threads[i], st)
+	}
+
+	// Objects, second pass: internal linkage and type-specific state.
+	for _, or := range img.Objects {
+		o := created[or.VA]
+		switch x := o.(type) {
+		case *obj.Mutex:
+			x.Locked = or.MutexLocked
+			if t, ok := idMap[or.MutexHolderID]; ok {
+				x.Holder = t
+			}
+		case *obj.Ref:
+			if or.RefValid {
+				if target, ok := created[or.RefTargetVA]; ok {
+					x.Target = target
+					target.Hdr().Refs++
+				} else if t := s.At(or.RefTargetVA); t != nil {
+					x.Target = t
+					t.Hdr().Refs++
+				}
+			}
+		case *obj.Portset:
+			for _, pva := range or.PortsetPorts {
+				if p, ok := created[pva].(*obj.Port); ok {
+					x.AddPort(p)
+				}
+			}
+		}
+	}
+	// Pager linkage.
+	for i, rr := range img.Regions {
+		if rr.PagerPortVA == 0 {
+			continue
+		}
+		if p, ok := created[rr.PagerPortVA].(*obj.Port); ok {
+			regions[i].Pager = p
+			// Find the region object wrapping regions[i] for the
+			// port's fault linkage.
+			for _, or := range img.Objects {
+				if or.Type == sys.ObjRegion && or.RegionIdx == i {
+					p.FaultRegion = created[or.VA].(*obj.Region)
+				}
+			}
+		}
+	}
+
+	// IPC relink: reconnect pairs captured together; halves whose peer
+	// is outside the image lose their connection (the restarted
+	// operation observes ENOTCONN, a clean, documented outcome).
+	for i, tr := range img.Threads {
+		if tr.CliPhase != obj.IPCIdle {
+			if peer, ok := idMap[tr.CliPeerID]; ok {
+				threads[i].IPCClient.Phase = tr.CliPhase
+				threads[i].IPCClient.Peer = peer
+			}
+		}
+		if tr.SrvPhase != obj.IPCIdle {
+			if peer, ok := idMap[tr.SrvPeerID]; ok {
+				threads[i].IPCServer.Phase = tr.SrvPhase
+				threads[i].IPCServer.Peer = peer
+			}
+		}
+	}
+	return s, threads, nil
+}
+
+// StartAll resumes restored threads. Threads whose captured control word
+// had the stopped bit set stay stopped (they were suspended at capture
+// time and should remain so).
+func StartAll(k2 *core.Kernel, img *Image, threads []*obj.Thread) {
+	for i, t := range threads {
+		if img.Threads[i].State[core.TSCtl]&1 != 0 {
+			continue
+		}
+		k2.StartThread(t)
+	}
+}
+
+// Migrate captures space s from k1, destroys it there, and restores it
+// onto k2, starting its threads — transparent process migration as an
+// ordinary user-level operation (paper §1).
+func Migrate(k1 *core.Kernel, s *obj.Space, k2 *core.Kernel) (*obj.Space, []*obj.Thread, error) {
+	img, err := Capture(k1, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, t := range append([]*obj.Thread(nil), s.Threads...) {
+		k1.DestroyThread(t)
+	}
+	s.Dead = true
+	s2, threads, err := Restore(k2, img)
+	if err != nil {
+		return nil, nil, err
+	}
+	StartAll(k2, img, threads)
+	return s2, threads, nil
+}

@@ -1,0 +1,122 @@
+package core_test
+
+// Chaos test: threads issuing *random* sequences of IPC and sync syscalls
+// — including protocol-violating ones (receives with no connection,
+// replies in the wrong direction, disconnects mid-anything, alerts,
+// interrupts, destroys) — must never panic the kernel or wedge it in a
+// way Shutdown cannot unwind. Errors are expected; crashes are not.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/sys"
+)
+
+// chaosProgram emits a random syscall soup for one thread.
+func chaosProgram(b *prog.Builder, rng *rand.Rand, label string, n int) {
+	const (
+		buf = dataBase + 0x1000
+		mtx = dataBase + 0x10
+	)
+	b.Label(label)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(14) {
+		case 0:
+			b.IPCClientConnectSend(buf, uint32(1+rng.Intn(64)), refVA)
+		case 1:
+			b.IPCClientConnectSendOverReceive(buf, uint32(1+rng.Intn(32)), refVA, buf+0x400, uint32(1+rng.Intn(32)))
+		case 2:
+			b.IPCClientSend(buf, uint32(1+rng.Intn(16)))
+		case 3:
+			b.IPCClientReceive(buf, uint32(1+rng.Intn(16)))
+		case 4:
+			b.IPCClientDisconnect()
+		case 5:
+			b.Syscall(sys.NIPCClientAlert)
+		case 6:
+			b.IPCWaitReceive(buf+0x800, uint32(1+rng.Intn(32)), psVA)
+		case 7:
+			b.IPCReply(buf, uint32(1+rng.Intn(8)))
+		case 8:
+			b.Movi(1, buf).Movi(2, uint32(1+rng.Intn(8))).Syscall(sys.NIPCServerReceive)
+		case 9:
+			b.Syscall(sys.NIPCServerDisconnect)
+		case 10:
+			b.IPCSendOneway(buf, uint32(1+rng.Intn(16)), refVA)
+		case 11:
+			b.MutexTrylock(mtx)
+		case 12:
+			b.SchedYield()
+		case 13:
+			b.ThreadSleepUS(uint32(1 + rng.Intn(100)))
+		}
+	}
+	b.Halt()
+}
+
+func TestIPCChaosNeverPanics(t *testing.T) {
+	seeds := []int64{3, 99, 4242, 80486}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		for _, cfg := range core.Configurations() {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("seed %d %s: kernel panicked: %v", seed, cfg.Name(), r)
+					}
+				}()
+				e := newEnv(t, cfg)
+				bindIPC(t, e.k, e.s, e.s)
+				mo, _ := obj.New(sys.ObjMutex)
+				if err := e.k.Bind(e.s, dataBase+0x10, mo); err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(seed))
+				b := prog.New(codeBase)
+				var labels []string
+				for i := 0; i < 4; i++ {
+					l := fmt.Sprintf("t%d", i)
+					labels = append(labels, l)
+					chaosProgram(b, rng, l, 12+rng.Intn(20))
+				}
+				img := b.MustAssemble()
+				if _, err := e.k.LoadImage(e.s, codeBase, img); err != nil {
+					t.Fatal(err)
+				}
+				var ths []*obj.Thread
+				for _, l := range labels {
+					ths = append(ths, e.spawnAt(b.Addr(l), 8+rng.Intn(4)))
+				}
+				// Random mid-run interference: interrupts and a destroy.
+				e.k.RunFor(200_000)
+				for _, th := range ths {
+					if rng.Intn(2) == 0 && th.State != obj.ThDead {
+						th.Interrupted = true
+						if th.State == obj.ThBlocked {
+							e.k.WakeThread(th)
+						}
+					}
+				}
+				e.k.RunFor(300_000)
+				if victim := ths[rng.Intn(len(ths))]; victim.State != obj.ThDead {
+					e.k.DestroyThread(victim)
+				}
+				// Let it run a while; deadlocks among chaos threads are
+				// legitimate outcomes, so completion is not required.
+				e.k.RunFor(50_000_000)
+				// Shutdown must always unwind cleanly.
+				e.k.Shutdown()
+				if got := len(e.k.Threads()); got != 0 {
+					t.Fatalf("seed %d %s: %d threads survived shutdown", seed, cfg.Name(), got)
+				}
+			}()
+		}
+	}
+}

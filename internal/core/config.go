@@ -1,0 +1,184 @@
+// Package core implements the Fluke kernel: the atomic system-call API of
+// the paper on top of both kernel execution models.
+//
+// A single set of system-call handlers — written in the paper's Figure-4
+// "atomic API" style, where user registers are rolled forward to record
+// partial progress and kernel-internal result codes signal blocking — runs
+// under either execution model:
+//
+//   - the interrupt model, with one kernel stack per (virtual) CPU: a
+//     handler that must wait simply unwinds, and the thread's explicit
+//     user register state is its continuation;
+//   - the process model, with one kernel stack per thread: a handler that
+//     must wait parks in place on the thread's own kernel-stack context
+//     and continues where it slept.
+//
+// The model is chosen by Config.Model, mirroring the paper's compile-time
+// configuration option, and the difference is confined to the entry/exit
+// and context-switch code (paper §3.1).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// ExecModel selects the kernel's internal execution model (paper §3).
+type ExecModel uint8
+
+const (
+	// ModelProcess gives each thread its own kernel stack.
+	ModelProcess ExecModel = iota
+	// ModelInterrupt uses one kernel stack per processor.
+	ModelInterrupt
+)
+
+func (m ExecModel) String() string {
+	switch m {
+	case ModelProcess:
+		return "process"
+	case ModelInterrupt:
+		return "interrupt"
+	}
+	return "model?"
+}
+
+// Preemption selects the kernel preemptibility configuration (paper
+// Table 4).
+type Preemption uint8
+
+const (
+	// PreemptNone: no kernel preemption; the kernel is preemptible only
+	// on return to user mode. Comparable to a uniprocessor Unix system.
+	PreemptNone Preemption = iota
+	// PreemptPartial: a single explicit preemption point on the IPC
+	// data copy path, checked after every 8 KB of data transferred.
+	PreemptPartial
+	// PreemptFull: the kernel is preemptible at any cycle-charge point.
+	// Requires blocking kernel locks, and therefore the process model.
+	PreemptFull
+)
+
+func (p Preemption) String() string {
+	switch p {
+	case PreemptNone:
+		return "NP"
+	case PreemptPartial:
+		return "PP"
+	case PreemptFull:
+		return "FP"
+	}
+	return "preempt?"
+}
+
+// Config describes one kernel build configuration.
+type Config struct {
+	Model   ExecModel
+	Preempt Preemption
+
+	// KernelStackSize is the per-stack size in bytes charged to the
+	// memory accountant: per thread in the process model, per CPU in
+	// the interrupt model. The paper's Table 7 uses 4096 (default,
+	// debug-capable) and 1024 ("production") for the process model.
+	KernelStackSize int
+
+	// PhysFrames bounds simulated physical memory in pages; 0 selects
+	// the 64 MB default.
+	PhysFrames int
+
+	// PreemptPointBytes sets how often the IPC copy path takes its
+	// explicit preemption point in the PP configurations; 0 selects the
+	// paper's 8 KB. Exposed for the preemption-point-spacing ablation.
+	PreemptPointBytes uint32
+
+	// FPChunkCycles sets the preemption-check granularity of
+	// fully-preemptible kernel code; 0 selects the default (2000 cycles
+	// = 10 µs). Exposed for the FP-granularity ablation.
+	FPChunkCycles uint64
+
+	// ContinuationRecognition enables the §2.2 optimization Draves
+	// introduced in Mach and the atomic API makes trivial: when a
+	// waiter's explicit continuation is recognizable (its PC names the
+	// mutex_lock entrypoint), the kernel completes the operation "by
+	// mutating the thread's state without transferring control to the
+	// suspended thread's context" — granting the mutex and writing the
+	// result registers directly, so the thread wakes straight into user
+	// code. Interrupt model only (a process-model waiter resumes inside
+	// its retained kernel stack, which is precisely why Mach's in-kernel
+	// continuations could not expose this to user code).
+	ContinuationRecognition bool
+
+	// Quantum is the round-robin time slice in cycles; 0 selects
+	// sched.DefaultQuantum.
+	Quantum uint64
+
+	// TraceSyscalls, when set, receives one line per syscall completion
+	// (debugging aid).
+	TraceSyscalls func(line string)
+}
+
+// Name returns the paper's label for this configuration, e.g.
+// "Process NP" or "Interrupt PP".
+func (c Config) Name() string {
+	model := "Process"
+	if c.Model == ModelInterrupt {
+		model = "Interrupt"
+	}
+	return model + " " + c.Preempt.String()
+}
+
+// Validate checks model/preemption compatibility: "full kernel
+// preemptibility requires the ability to block within the kernel and is
+// therefore incompatible with the interrupt model" (paper §5.3), giving
+// the paper's five valid configurations.
+func (c Config) Validate() error {
+	if c.Model == ModelInterrupt && c.Preempt == PreemptFull {
+		return fmt.Errorf("core: full preemption is incompatible with the interrupt model")
+	}
+	if c.KernelStackSize < 0 {
+		return fmt.Errorf("core: negative kernel stack size")
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.KernelStackSize == 0 {
+		c.KernelStackSize = DefaultKernelStackSize
+	}
+	if c.Quantum == 0 {
+		c.Quantum = sched.DefaultQuantum
+	}
+	if c.PreemptPointBytes == 0 {
+		c.PreemptPointBytes = PreemptPointBytes
+	}
+	if c.FPChunkCycles == 0 {
+		c.FPChunkCycles = fpChunk
+	}
+	return c
+}
+
+// DefaultKernelStackSize is the default per-thread kernel stack size for
+// the process model (paper Table 7's debug-capable configuration).
+const DefaultKernelStackSize = 4096
+
+// ProductionKernelStackSize is the reduced stack size of the paper's
+// "production" kernel configuration (Table 7).
+const ProductionKernelStackSize = 1024
+
+// InterruptModelTCBOverhead is the extra per-thread bytes beyond the bare
+// TCB that the interrupt model charges (none — the whole point).
+const InterruptModelTCBOverhead = 0
+
+// Configurations returns the paper's five kernel configurations in
+// Table 4/5/6 order: Process NP, Process PP, Process FP, Interrupt NP,
+// Interrupt PP.
+func Configurations() []Config {
+	return []Config{
+		{Model: ModelProcess, Preempt: PreemptNone},
+		{Model: ModelProcess, Preempt: PreemptPartial},
+		{Model: ModelProcess, Preempt: PreemptFull},
+		{Model: ModelInterrupt, Preempt: PreemptNone},
+		{Model: ModelInterrupt, Preempt: PreemptPartial},
+	}
+}

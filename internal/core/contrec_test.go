@@ -1,0 +1,120 @@
+package core_test
+
+// Tests for §2.2 continuation recognition: the kernel completes a blocked
+// mutex_lock by rewriting the waiter's explicit continuation.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+)
+
+// crWorkload runs a *contended* counter program — each thread yields
+// inside its critical section so the other reliably blocks in mutex_lock
+// — and returns (counter, continuations recognized, syscall count).
+func crWorkload(t *testing.T, cfg core.Config, rounds uint32) (uint32, uint64, uint64) {
+	t.Helper()
+	e := newEnv(t, cfg)
+	const (
+		mtx = dataBase + 0x100
+		ctr = dataBase + 0x200
+	)
+	b := prog.New(codeBase)
+	worker := func(entry string) {
+		b.Label(entry).Movi(6, 0).
+			Label(entry+".loop").
+			MutexLock(mtx).
+			SchedYield(). // hold the lock across a reschedule
+			Movi(4, ctr).Ld(5, 4, 0).Addi(5, 5, 1).St(4, 0, 5).
+			MutexUnlock(mtx).
+			Addi(6, 6, 1).Movi(5, rounds).Blt(6, 5, entry+".loop").
+			Halt()
+	}
+	b.MutexCreate(mtx).Jmp("t1")
+	worker("t1")
+	worker("t2")
+	img := b.MustAssemble()
+	if _, err := e.k.LoadImage(e.s, codeBase, img); err != nil {
+		t.Fatal(err)
+	}
+	t1 := e.spawnAt(codeBase, 10)
+	t2 := e.spawnAt(b.Addr("t2"), 10)
+	e.run(t, 2_000_000_000, t1, t2)
+	return e.word(t, ctr), e.k.Stats.ContinuationsRecognized, e.k.Stats.Syscalls
+}
+
+func TestContinuationRecognitionSemantics(t *testing.T) {
+	// Identical results with the optimization on and off.
+	const rounds = 200
+	base, recBase, _ := crWorkload(t, core.Config{Model: core.ModelInterrupt}, rounds)
+	opt, recOpt, _ := crWorkload(t, core.Config{Model: core.ModelInterrupt, ContinuationRecognition: true}, rounds)
+	if base != opt || base != 2*rounds {
+		t.Fatalf("results differ: base=%d opt=%d want=%d", base, opt, 2*rounds)
+	}
+	if recBase != 0 {
+		t.Fatalf("recognition counted with the optimization off: %d", recBase)
+	}
+	if recOpt == 0 {
+		t.Fatal("optimization on but nothing recognized under contention")
+	}
+}
+
+func TestContinuationRecognitionSavesSyscalls(t *testing.T) {
+	const rounds = 300
+	_, _, sysBase := crWorkload(t, core.Config{Model: core.ModelInterrupt}, rounds)
+	_, rec, sysOpt := crWorkload(t, core.Config{Model: core.ModelInterrupt, ContinuationRecognition: true}, rounds)
+	if sysOpt >= sysBase {
+		t.Fatalf("no syscall savings: %d -> %d (recognized %d)", sysBase, sysOpt, rec)
+	}
+	// Every recognized continuation eliminates (at least) one mutex_lock
+	// re-dispatch.
+	if sysBase-sysOpt < rec/2 {
+		t.Fatalf("savings %d inconsistent with %d recognitions", sysBase-sysOpt, rec)
+	}
+}
+
+func TestContinuationRecognitionIgnoredInProcessModel(t *testing.T) {
+	// The flag is accepted but has no effect in the process model, where
+	// waiters resume inside their retained kernel stacks.
+	const rounds = 100
+	res, rec, _ := crWorkload(t, core.Config{Model: core.ModelProcess, ContinuationRecognition: true}, rounds)
+	if res != 2*rounds {
+		t.Fatalf("result %d", res)
+	}
+	if rec != 0 {
+		t.Fatalf("process model recognized %d continuations", rec)
+	}
+}
+
+func TestContinuationRecognitionCondSignalChain(t *testing.T) {
+	// cond_signal + free mutex: the waiter goes from cond queue straight
+	// to holding the mutex without re-entering the kernel.
+	e := newEnv(t, core.Config{Model: core.ModelInterrupt, ContinuationRecognition: true})
+	const (
+		mtx  = dataBase + 0x100
+		cnd  = dataBase + 0x104
+		flag = dataBase + 0x200
+	)
+	b := prog.New(codeBase)
+	b.MutexCreate(mtx).CondCreate(cnd).
+		MutexLock(mtx).
+		Label("check").
+		Movi(4, flag).Ld(5, 4, 0).Movi(6, 0)
+	b.Bne(5, 6, "got")
+	b.CondWait(cnd, mtx).Jmp("check").
+		Label("got").MutexUnlock(mtx).Halt()
+	b.Label("sig").
+		ThreadSleepUS(500).
+		MutexLock(mtx).
+		Movi(4, flag).Movi(5, 1).St(4, 0, 5).
+		MutexUnlock(mtx). // release BEFORE signal so the mutex is free
+		CondSignal(cnd).
+		Halt()
+	w := e.spawn(t, b, 10)
+	s := e.spawnAt(b.Addr("sig"), 10)
+	e.run(t, 400_000_000, w, s)
+	if e.k.Stats.ContinuationsRecognized == 0 {
+		t.Fatal("signal chain not recognized")
+	}
+}

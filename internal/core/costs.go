@@ -1,0 +1,118 @@
+package core
+
+import "repro/internal/clock"
+
+// The kernel cost model, in cycles of the simulated 200 MHz processor
+// (200 cycles = 1 µs). Constants are calibrated so the regenerated tables
+// land near the paper's published numbers; EXPERIMENTS.md records the
+// calibration targets next to the measurements.
+const (
+	// CycSyscallEntry + CycSyscallExit model the "minimal
+	// hardware-mandated cost of entering and leaving supervisor mode
+	// [of] about 70 cycles" (paper §5.5).
+	CycSyscallEntry = 40
+	CycSyscallExit  = 30
+
+	// CycInterruptEntryExtra/ExitExtra are the architectural-bias cost
+	// of the interrupt model on a process-model-biased CPU: "moving the
+	// saved state from the kernel stack to the thread structure on
+	// entry, and back again on exit, amounts to about six cycles"
+	// (paper §5.5).
+	CycInterruptEntryExtra = 3
+	CycInterruptExitExtra  = 3
+
+	// CycCtxSwitchBase is the model-independent context switch cost
+	// (queue manipulation, address space switch).
+	CycCtxSwitchBase = 60
+
+	// CycKernelRedispatch is the cost of re-entering a syscall handler
+	// for a woken thread whose registers name a restart continuation:
+	// the scheduler calls the handler directly, without crossing the
+	// user/kernel privilege boundary.
+	CycKernelRedispatch = 12
+
+	// CycProcessKregSave is the process-model-only context-switch cost
+	// the interrupt model eliminates: saving and restoring kernel-mode
+	// register state ("six 32-bit memory reads and writes on every
+	// context switch", §5.3) plus the stack switch and its associated
+	// cache/TLB traffic. Calibration target: the interrupt model's
+	// ~6% advantage on the switch-heavy flukeperf workload (Table 5).
+	CycProcessKregSave = 90
+
+	// CycKernelLock is the per-syscall cost of kernel locking in the
+	// fully-preemptible configuration, which "requires blocking mutex
+	// locks for kernel locking" (paper Table 4). NP and PP
+	// configurations require no kernel locking and do not pay it.
+	// Calibration target: FP's 5-20% slowdown in Table 5.
+	CycKernelLock = 35
+
+	// CycObjLookup is the handle-table lookup cost per object resolved.
+	CycObjLookup = 12
+
+	// CycCopyWord is the IPC data copy cost per 32-bit word.
+	CycCopyWord = 2
+
+	// CycPreemptPoint is the cost of one explicit preemption check on
+	// the IPC copy path.
+	CycPreemptPoint = 2
+
+	// PreemptPointBytes is how often the IPC copy path checks for
+	// preemption in the PP configurations: "checked after every 8k of
+	// data" (paper Table 4).
+	PreemptPointBytes = 8192
+
+	// CycSoftFaultRemedy is the kernel-internal cost of deriving and
+	// installing a PTE from the mapping hierarchy. Calibration target:
+	// client-side soft fault remedy = 18.9 µs (Table 3).
+	CycSoftFaultRemedy = 3700
+
+	// CycCrossSpaceFaultExtra is the additional bookkeeping when the
+	// fault is taken against the *other* side's address space during
+	// IPC (server-side faults in Table 3: 29.3 µs vs 18.9 µs soft).
+	CycCrossSpaceFaultExtra = 2100
+
+	// CycHardFaultKernel is the kernel-side overhead of a hard fault —
+	// building the exception IPC to the user-mode manager and waking
+	// waiters afterwards — excluding the pager's own execution and the
+	// context switches, which the simulation performs for real.
+	// Calibration target: client-side hard fault remedy = 118 µs
+	// (Table 3).
+	CycHardFaultKernel = 23000
+
+	// CycFaultLockSoftFP and CycFaultLockHardFP are the additional
+	// kernel-lock traffic of the fault-handling path in the
+	// fully-preemptible configuration (the mapping hierarchy must be
+	// locked with blocking mutexes). Calibration target: FP's 11%
+	// slowdown on the fault-dominated memtest workload (Table 5).
+	CycFaultLockSoftFP = 1200
+	CycFaultLockHardFP = 4800
+
+	// CycFaultDeliver is the cost of queueing one fault notification to
+	// the pager port.
+	CycFaultDeliver = 400
+
+	// CycTimerIRQ is the cost of fielding one timer interrupt.
+	CycTimerIRQ = 80
+
+	// CycIPCConnect is the connection-establishment work on the IPC
+	// path beyond copying (port/portset queue manipulation).
+	CycIPCConnect = 120
+
+	// CycRegionSearchPage is the per-page scan cost of region_search,
+	// the paper's example of a long-running non-IPC multi-stage call.
+	// region_search has *stage* boundaries (its registers roll forward
+	// every RegionSearchChunkPages) but no PP preemption point — in the
+	// paper the single explicit preemption point is on the IPC data
+	// copy path only — so it bounds PP preemption latency in Table 6.
+	CycRegionSearchPage = 60
+
+	// RegionSearchChunkPages is how many pages region_search scans per
+	// atomic stage.
+	RegionSearchChunkPages = 1024
+
+	// CycGetSetState is the cost of marshaling a thread state frame.
+	CycGetSetState = 150
+)
+
+// MicrosOf converts cycles to microseconds (convenience re-export).
+func MicrosOf(cycles uint64) float64 { return clock.Micros(cycles) }

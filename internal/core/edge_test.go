@@ -1,0 +1,236 @@
+package core_test
+
+// Edge-path tests: error returns, faulting argument buffers, destruction
+// with waiters, and wrong-direction IPC.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/sys"
+)
+
+func TestCreateAtBusyHandle(t *testing.T) {
+	e := newEnv(t, core.Config{Model: core.ModelInterrupt})
+	const h = dataBase + 0x100
+	b := prog.New(codeBase)
+	b.MutexCreate(h).
+		Movi(6, dataBase).St(6, 0, 0).
+		CondCreate(h). // same handle address
+		Movi(6, dataBase).St(6, 4, 0).
+		Halt()
+	th := e.spawn(t, b, 10)
+	e.run(t, 50_000_000, th)
+	if got := e.word(t, dataBase); got != uint32(sys.EOK) {
+		t.Fatalf("first create %v", sys.Errno(got))
+	}
+	if got := e.word(t, dataBase+4); got != uint32(sys.EBUSY) {
+		t.Fatalf("duplicate create %v, want EBUSY", sys.Errno(got))
+	}
+}
+
+func TestRenameFromUntouchedPageRestarts(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, cfg core.Config) {
+		e := newEnv(t, cfg)
+		const (
+			mtx  = dataBase + 0x100
+			name = dataBase + 10*mem.PageSize // never touched: soft fault
+		)
+		b := prog.New(codeBase)
+		b.MutexCreate(mtx).
+			Movi(1, mtx).Movi(2, name).Movi(3, 4).
+			Syscall(sys.CommonOpNum(sys.ObjMutex, sys.OpRename)).
+			Movi(6, dataBase).St(6, 0, 0).
+			Halt()
+		th := e.spawn(t, b, 10)
+		e.run(t, 50_000_000, th)
+		if got := e.word(t, dataBase); got != uint32(sys.EOK) {
+			t.Fatalf("rename errno %v", sys.Errno(got))
+		}
+		// Name is four zero bytes from the fresh page.
+		if got := e.s.At(mtx).Hdr().Name; got != "\x00\x00\x00\x00" {
+			t.Fatalf("name %q", got)
+		}
+	})
+}
+
+func TestRenameTooLong(t *testing.T) {
+	e := newEnv(t, core.Config{Model: core.ModelProcess})
+	const mtx = dataBase + 0x100
+	b := prog.New(codeBase)
+	b.MutexCreate(mtx).
+		Movi(1, mtx).Movi(2, dataBase+0x200).Movi(3, 100).
+		Syscall(sys.CommonOpNum(sys.ObjMutex, sys.OpRename)).
+		Movi(6, dataBase).St(6, 0, 0).
+		Halt()
+	th := e.spawn(t, b, 10)
+	e.run(t, 50_000_000, th)
+	if got := e.word(t, dataBase); got != uint32(sys.EINVAL) {
+		t.Fatalf("errno %v, want EINVAL", sys.Errno(got))
+	}
+}
+
+func TestPortDestroyWakesConnectors(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, cfg core.Config) {
+		e := newEnv(t, cfg)
+		bindIPC(t, e.k, e.s, e.s)
+		// Client connects; no server ever accepts; destroyer kills the
+		// port; the client's connect observes ESRCH.
+		cli := prog.New(codeBase)
+		cli.Movi(4, dataBase+0x1000).Movi(5, 1).St(4, 0, 5).
+			IPCClientConnectSend(dataBase+0x1000, 1, refVA).
+			Movi(6, dataBase).St(6, 0, 0).
+			Halt()
+		client := e.spawn(t, cli, 10)
+		e.k.RunFor(2_000_000)
+		if client.State != obj.ThBlocked {
+			t.Fatalf("client state %v", client.State)
+		}
+		// Host-side destroy (the port handle lives in the kernel window).
+		port := e.s.At(portVA).(*obj.Port)
+		port.Dead = true
+		e.k.WakeThread(port.Connectors.Peek())
+		e.run(t, 100_000_000, client)
+		if got := e.word(t, dataBase); got != uint32(sys.ESRCH) {
+			t.Fatalf("connector errno %v, want ESRCH", sys.Errno(got))
+		}
+	})
+}
+
+func TestServerSendWrongDirection(t *testing.T) {
+	e := newEnv(t, core.Config{Model: core.ModelInterrupt})
+	bindIPC(t, e.k, e.s, e.s)
+	const srvBuf = dataBase + 0x2000
+	// Server accepts a plain connect_send (no turnaround) and then tries
+	// to send while the direction is still client->server: ESTATE.
+	srv := prog.New(codeBase + 0x8000)
+	srv.IPCWaitReceive(srvBuf, 1, psVA).
+		Movi(1, srvBuf).Movi(2, 1).Syscall(sys.NIPCServerSend).
+		Movi(6, dataBase).St(6, 0, 0).
+		Halt()
+	cli := prog.New(codeBase)
+	cli.Movi(4, dataBase+0x1000).Movi(5, 1).St(4, 0, 5).
+		IPCClientConnectSend(dataBase+0x1000, 1, refVA).
+		ThreadSleepUS(1 << 29).
+		Halt()
+	if _, err := e.k.LoadImage(e.s, srv.Base(), srv.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	server := e.spawnAt(srv.Base(), 10)
+	e.spawn(t, cli, 10)
+	e.k.RunFor(400_000_000)
+	if !server.Exited {
+		t.Fatalf("server stuck: %v pc=%#x", server.State, server.Regs.PC)
+	}
+	if got := e.word(t, dataBase); got != uint32(sys.ESTATE) {
+		t.Fatalf("server_send errno %v, want ESTATE", sys.Errno(got))
+	}
+}
+
+func TestThreadWaitInterruptible(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, cfg core.Config) {
+		e := newEnv(t, cfg)
+		// Joiner waits on a thread that never exits; gets interrupted.
+		b := prog.New(codeBase)
+		b.Label("immortal").ThreadSleepUS(1 << 29).Halt()
+		b.Label("joiner").
+			Movi(1, 0).Label("patch").
+			Syscall(sys.NThreadWait).
+			Movi(6, dataBase).St(6, 0, 0).
+			Halt()
+		img := b.MustAssemble()
+		if _, err := e.k.LoadImage(e.s, codeBase, img); err != nil {
+			t.Fatal(err)
+		}
+		immortal := e.spawnAt(b.Addr("immortal"), 10)
+		joiner := e.spawnAt(b.Addr("joiner"), 10)
+		patch := b.Addr("patch") - 4
+		va := immortal.VA
+		if err := e.k.WriteMem(e.s, patch, []byte{byte(va), byte(va >> 8), byte(va >> 16), byte(va >> 24)}); err != nil {
+			t.Fatal(err)
+		}
+		e.k.RunFor(2_000_000)
+		if joiner.State != obj.ThBlocked {
+			t.Fatalf("joiner state %v", joiner.State)
+		}
+		joiner.Interrupted = true
+		e.k.WakeThread(joiner)
+		e.run(t, 100_000_000, joiner)
+		if got := e.word(t, dataBase); got != uint32(sys.EINTR) {
+			t.Fatalf("join errno %v, want EINTR", sys.Errno(got))
+		}
+	})
+}
+
+func TestMutexSetStateBusyWithWaiters(t *testing.T) {
+	e := newEnv(t, core.Config{Model: core.ModelProcess})
+	const (
+		mtx = dataBase + 0x100
+		buf = dataBase + 0x400
+	)
+	b := prog.New(codeBase)
+	b.Label("holder").
+		MutexCreate(mtx).MutexLock(mtx).
+		ThreadSleepUS(5000).
+		// With a waiter queued, set_state must refuse.
+		Movi(4, buf).Movi(5, 0).St(4, 0, 5).
+		SetState(sys.ObjMutex, mtx, buf).
+		Movi(6, dataBase).St(6, 0, 0).
+		MutexUnlock(mtx).
+		Halt()
+	b.Label("waiter").
+		ThreadSleepUS(1000).
+		MutexLock(mtx).
+		MutexUnlock(mtx).
+		Halt()
+	img := b.MustAssemble()
+	if _, err := e.k.LoadImage(e.s, codeBase, img); err != nil {
+		t.Fatal(err)
+	}
+	holder := e.spawnAt(b.Addr("holder"), 10)
+	waiter := e.spawnAt(b.Addr("waiter"), 10)
+	e.run(t, 400_000_000, holder, waiter)
+	if got := e.word(t, dataBase); got != uint32(sys.EBUSY) {
+		t.Fatalf("set_state errno %v, want EBUSY", sys.Errno(got))
+	}
+}
+
+func TestPagerBufferTooSmallForFaultMessage(t *testing.T) {
+	// A pager receiving with a 1-word buffer cannot take the 2-word
+	// fault notification: EINVAL, and the fault stays queued.
+	e := newEnv(t, core.Config{Model: core.ModelInterrupt})
+	port, _ := bindIPC(t, e.k, e.s, e.s)
+	reg, err := e.k.NewBoundRegion(e.s, regVA, mem.PageSize, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.k.AttachPager(reg, port)
+	const pBase = 0x0100_0000
+	if _, err := e.k.MapInto(e.s, reg, pBase, 0, mem.PageSize, 0x3); err != nil {
+		t.Fatal(err)
+	}
+	pager := prog.New(codeBase + 0x8000)
+	pager.IPCWaitReceive(dataBase+0x1000, 1, psVA). // too small
+							Movi(6, dataBase).St(6, 0, 0).
+							Halt()
+	faulter := prog.New(codeBase)
+	faulter.Movi(4, pBase).Ldb(5, 4, 0).Halt()
+	if _, err := e.k.LoadImage(e.s, pager.Base(), pager.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	pt := e.spawnAt(pager.Base(), 15)
+	e.spawn(t, faulter, 10)
+	e.k.RunFor(100_000_000)
+	if !pt.Exited {
+		t.Fatalf("pager stuck: %v", pt.State)
+	}
+	if got := e.word(t, dataBase); got != uint32(sys.EINVAL) {
+		t.Fatalf("pager errno %v, want EINVAL", sys.Errno(got))
+	}
+	if len(reg.PendingFaults) != 1 {
+		t.Fatalf("fault not left queued: %v", reg.PendingFaults)
+	}
+}

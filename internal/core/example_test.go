@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/sys"
+)
+
+// Example boots an interrupt-model kernel, runs a guest program that
+// takes a kernel mutex and stores a value, and reads the result back.
+func Example() {
+	k := core.New(core.Config{Model: core.ModelInterrupt, Preempt: core.PreemptPartial})
+	s := k.NewSpace()
+
+	// Map a demand-zero data window and bind a mutex handle inside it.
+	data := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(0x10000, true)}
+	k.BindFresh(s, data)
+	if _, err := k.MapInto(s, data, 0x40000, 0, 0x10000, mmu.PermRW); err != nil {
+		panic(err)
+	}
+	m, _ := obj.New(sys.ObjMutex)
+	if err := k.Bind(s, 0x40010, m); err != nil {
+		panic(err)
+	}
+
+	b := prog.New(0x10000)
+	b.MutexLock(0x40010).
+		Movi(4, 0x40100).Movi(5, 1999).St(4, 0, 5).
+		MutexUnlock(0x40010).
+		Halt()
+	if _, err := k.SpawnProgram(s, 0x10000, b.MustAssemble(), 10); err != nil {
+		panic(err)
+	}
+	k.Run()
+
+	out, _ := k.ReadMem(s, 0x40100, 4)
+	fmt.Println(uint32(out[0]) | uint32(out[1])<<8 | uint32(out[2])<<16 | uint32(out[3])<<24)
+	// Output: 1999
+}
+
+// ExampleEncodeThreadState shows the atomic API's headline property: a
+// thread blocked inside a system call exports a complete, consistent
+// state whose PC names the entrypoint that will resume it.
+func ExampleEncodeThreadState() {
+	k := core.New(core.Config{Model: core.ModelProcess})
+	s := k.NewSpace()
+	b := prog.New(0x10000)
+	b.ThreadSleepUS(1_000_000).Halt()
+	th, err := k.SpawnProgram(s, 0x10000, b.MustAssemble(), 10)
+	if err != nil {
+		panic(err)
+	}
+	k.RunFor(500_000) // the thread is now asleep mid-syscall
+
+	w := core.EncodeThreadState(th)
+	fmt.Println(sys.Name(int((w[core.TSPc] - 0xFFF0_0000) / 8)))
+	// Output: thread_sleep
+}

@@ -1,0 +1,776 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/sys"
+	"repro/internal/trace"
+)
+
+// This file is the execution-model machinery — the counterpart of the
+// "two hundred assembly language instructions in the system call entry and
+// exit code, and about fifty lines of C in the context switching ...
+// code" that differ between Fluke's two builds (paper §3.1). Everything
+// else in the kernel is model-independent.
+
+// fpChunk is the cycle granularity at which fully-preemptible kernel code
+// checks for preemption; it bounds FP preemption latency (Table 6's
+// 19.6 µs max).
+const fpChunk = 2000
+
+// killSignal unwinds a process-model kernel-stack context when its thread
+// is destroyed while parked.
+type killSignal struct{}
+
+type resumeKind uint8
+
+const (
+	resumeRun resumeKind = iota
+	resumeKill
+)
+
+type yieldKind uint8
+
+const (
+	yBlocked yieldKind = iota
+	yReady
+	yDead
+)
+
+// kctx is a process-model kernel-stack context: a goroutine whose retained
+// Go stack plays the role of the thread's kernel stack. Exactly one
+// context (or the scheduler) runs at a time — control passes by baton, so
+// the simulation stays deterministic.
+type kctx struct {
+	t      *obj.Thread
+	resume chan resumeKind
+	yield  chan struct{}
+	reason yieldKind
+	done   bool
+}
+
+func (k *Kernel) newKctx(t *obj.Thread) {
+	c := &kctx{t: t, resume: make(chan resumeKind), yield: make(chan struct{})}
+	t.KCtx = c
+	go k.threadBody(c)
+}
+
+// threadBody is the root of a process-model kernel stack.
+func (k *Kernel) threadBody(c *kctx) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSignal); !ok {
+				panic(r)
+			}
+		}
+		c.reason = yDead
+		c.yield <- struct{}{}
+	}()
+	if <-c.resume == resumeKill {
+		panic(killSignal{})
+	}
+	k.runThread(c.t)
+}
+
+// yieldProcess parks the current process-model context, handing the baton
+// back to whoever resumed it. It panics with killSignal if the thread is
+// destroyed while parked.
+func (k *Kernel) yieldProcess(t *obj.Thread, reason yieldKind) {
+	c := t.KCtx.(*kctx)
+	c.reason = reason
+	c.yield <- struct{}{}
+	if <-c.resume == resumeKill {
+		panic(killSignal{})
+	}
+}
+
+// resumeCtx hands the baton to t's context and waits for its next yield.
+func (k *Kernel) resumeCtx(t *obj.Thread, kind resumeKind) yieldKind {
+	c := t.KCtx.(*kctx)
+	c.resume <- kind
+	<-c.yield
+	return c.reason
+}
+
+// reapCtx releases the kernel-stack accounting for a dead context.
+func (k *Kernel) reapCtx(t *obj.Thread) {
+	c, ok := t.KCtx.(*kctx)
+	if !ok || c.done {
+		return
+	}
+	c.done = true
+	k.stacksInUse--
+}
+
+// emit records a typed trace event when a tracer is attached.
+func (k *Kernel) emit(kind trace.Kind, a, b uint32) {
+	if k.Tracer == nil {
+		return
+	}
+	var tid uint32
+	if k.current != nil {
+		tid = k.current.ID
+	}
+	k.Tracer.Add(trace.Event{Time: k.Clock.Now(), TID: tid, Kind: kind, A: a, B: b})
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler loop.
+
+// Run executes until the system is quiescent: no runnable threads and no
+// pending timers.
+func (k *Kernel) Run() {
+	k.RunUntil(func() bool { return false })
+}
+
+// RunFor executes for (approximately) the given number of cycles of
+// virtual time; a running thread is descheduled at the next user-mode
+// instruction boundary past the budget.
+func (k *Kernel) RunFor(cycles uint64) {
+	end := k.Clock.Now() + cycles
+	k.stopAt = end
+	k.RunUntil(func() bool { return k.Clock.Now() >= end })
+	k.stopAt = 0
+}
+
+// RunUntil executes until stop() reports true (checked between
+// dispatches) or the system is quiescent.
+func (k *Kernel) RunUntil(stop func() bool) {
+	for !stop() {
+		t := k.runq.Pick()
+		if t == nil {
+			d, ok := k.Clock.NextDeadline()
+			if !ok {
+				return // quiescent
+			}
+			if d > k.Clock.Now() {
+				k.Stats.IdleCycles += d - k.Clock.Now()
+			}
+			k.Clock.AdvanceTo(d)
+			continue
+		}
+		k.dispatch(t)
+	}
+}
+
+// DebugDispatch, when set, is called on every dispatch with the chosen
+// thread and the highest queued runnable priority (testing diagnostics).
+var DebugDispatch func(t *obj.Thread, topQueued int, ok bool)
+
+func (k *Kernel) dispatch(t *obj.Thread) {
+	if DebugDispatch != nil {
+		top, ok := k.runq.TopPriority()
+		DebugDispatch(t, top, ok)
+	}
+	k.ctxSwitch(t)
+	if k.cfg.Model == ModelInterrupt {
+		k.runThread(t)
+	} else {
+		if k.resumeCtx(t, resumeRun) == yDead {
+			k.reapCtx(t)
+		}
+	}
+	k.current = nil
+}
+
+// ctxSwitch makes t the running thread, charging the model-dependent
+// switch cost: the process model additionally saves/restores kernel-mode
+// register state ("six 32-bit memory reads and writes on every context
+// switch", §5.3).
+func (k *Kernel) ctxSwitch(t *obj.Thread) {
+	cost := uint64(CycCtxSwitchBase)
+	if k.cfg.Model == ModelProcess {
+		cost += CycProcessKregSave
+	}
+	k.Stats.KernelCycles += cost
+	k.Clock.Advance(cost)
+	k.Stats.ContextSwitches++
+	t.State = obj.ThRunning
+	k.current = t
+	k.emit(trace.CtxSwitch, t.ID, 0)
+	k.needResched = false
+	k.armSliceTimer()
+}
+
+func (k *Kernel) armSliceTimer() {
+	if k.sliceTimer != nil {
+		k.Clock.Cancel(k.sliceTimer)
+	}
+	k.sliceTimer = k.Clock.After(k.cfg.Quantum, func(uint64) {
+		k.Stats.TimerIRQs++
+		cur := k.current
+		if cur == nil {
+			return
+		}
+		if p, ok := k.runq.TopPriority(); ok && p >= cur.Priority {
+			k.needResched = true
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// The per-thread execution loop, shared verbatim by both models. In the
+// interrupt model it runs on the per-CPU stack (the scheduler's frame) and
+// returns whenever the thread stops running. In the process model it runs
+// on the thread's own kernel-stack context and blocking parks in place, so
+// it returns only when the thread dies.
+
+func (k *Kernel) runThread(t *obj.Thread) {
+	// fromUser tracks whether a user-mode instruction has executed since
+	// the thread was scheduled. A syscall trap taken without one is a
+	// kernel-internal re-dispatch of a rolled-forward continuation (a
+	// woken interrupt-model thread restarting its operation): no
+	// privilege boundary is crossed, so the hardware entry cost is not
+	// paid again.
+	fromUser := false
+	for t.State == obj.ThRunning {
+		if k.settling == t {
+			// A settle drove us to a clean boundary; stop here.
+			t.State = obj.ThReady
+			k.runq.EnqueueFront(t)
+			k.yieldProcess(t, yReady)
+			continue
+		}
+		if t.HostFn != nil {
+			if !k.stepHost(t) {
+				return
+			}
+			continue
+		}
+		cycles, trap := cpu.Step(&t.Regs, t.Space.AS)
+		k.chargeUser(cycles)
+		if t.State != obj.ThRunning {
+			return
+		}
+		if k.needResched {
+			if !k.preemptUser(t) {
+				return
+			}
+		}
+		switch trap.Kind {
+		case cpu.TrapNone:
+			fromUser = true
+		case cpu.TrapSyscall:
+			if !k.doSyscall(t, trap.Sys, fromUser) {
+				return
+			}
+			fromUser = false
+		case cpu.TrapFault:
+			if !k.doFault(t, t.Space, trap.Fault) {
+				return
+			}
+		case cpu.TrapHalt:
+			k.exitThread(t, t.Regs.R[1])
+			return
+		case cpu.TrapBreak:
+			// Trace point; ignored.
+		case cpu.TrapIllegal:
+			k.exitThread(t, uint32(0xFFFF_00FF))
+			return
+		}
+	}
+}
+
+// stepHost runs one activation of a kernel (host-function) thread.
+func (k *Kernel) stepHost(t *obj.Thread) bool {
+	switch kerr := t.HostFn(); kerr {
+	case sys.KOK:
+		return true
+	case sys.KWouldBlock, sys.KPreempted:
+		return false
+	case sys.KDead:
+		return false
+	default:
+		panic(fmt.Sprintf("core: host thread returned %v", kerr))
+	}
+}
+
+// preemptUser handles preemption at a user-mode instruction boundary.
+func (k *Kernel) preemptUser(t *obj.Thread) bool {
+	k.Stats.PreemptsUser++
+	k.emit(trace.Preempt, 0, 0)
+	k.needResched = false
+	t.State = obj.ThReady
+	k.runq.Enqueue(t)
+	if k.cfg.Model == ModelInterrupt {
+		return false
+	}
+	k.yieldProcess(t, yReady)
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Cycle charging. Kernel charges in the fully-preemptible configuration
+// are chunked so a wakeup during a long kernel operation preempts within
+// fpChunk cycles.
+
+func (k *Kernel) chargeUser(cycles uint64) {
+	k.Stats.UserCycles += cycles
+	k.Clock.Advance(cycles)
+	if k.stopAt != 0 && k.Clock.Now() >= k.stopAt {
+		k.needResched = true
+	}
+}
+
+// ChargeKernel charges kernel work to virtual time, honoring full kernel
+// preemption. Syscall handlers and the IPC engine use it for all
+// simulated kernel work.
+func (k *Kernel) ChargeKernel(cycles uint64) {
+	t := k.current
+	if k.cfg.Preempt == PreemptFull && k.inHandler && t != nil && k.settling != t {
+		for cycles > 0 {
+			n := cycles
+			if n > k.cfg.FPChunkCycles {
+				n = k.cfg.FPChunkCycles
+			}
+			k.Stats.KernelCycles += n
+			t.EntryCycles += n
+			k.Clock.Advance(n)
+			cycles -= n
+			if k.needResched && t.State == obj.ThRunning {
+				k.Stats.PreemptsKernel++
+				k.emit(trace.Preempt, 2, 0)
+				k.needResched = false
+				t.State = obj.ThReady
+				t.InKernelPark = true
+				k.runq.EnqueueFront(t)
+				k.yieldProcess(t, yReady)
+				t.InKernelPark = false
+			}
+		}
+		return
+	}
+	k.Stats.KernelCycles += cycles
+	if t != nil && k.inHandler {
+		t.EntryCycles += cycles
+	}
+	k.Clock.Advance(cycles)
+}
+
+// ---------------------------------------------------------------------------
+// System call dispatch (entry/exit code — the model-dependent part).
+
+func (k *Kernel) doSyscall(t *obj.Thread, num int, fromUser bool) bool {
+	entry := uint64(CycSyscallEntry)
+	exit := uint64(CycSyscallExit)
+	if k.cfg.Model == ModelInterrupt {
+		// Architectural bias (§5.5): the interrupt model moves saved
+		// state between the per-CPU stack and the thread structure.
+		entry += CycInterruptEntryExtra
+		exit += CycInterruptExitExtra
+	}
+	if !fromUser {
+		// Kernel-internal re-dispatch of a rolled-forward continuation:
+		// the scheduler invokes the handler directly.
+		entry = CycKernelRedispatch
+	}
+	if num < 0 || num >= sys.NumSyscalls || k.handlers[num] == nil {
+		k.ChargeKernel(entry + exit)
+		k.Return(t, sys.EINVAL)
+		return true
+	}
+	k.Stats.Syscalls++
+	k.Stats.SyscallsByNum[num]++
+	redispatch := uint32(0)
+	if !fromUser {
+		redispatch = 1
+	}
+	k.emit(trace.SyscallEnter, uint32(num), redispatch)
+	if t.InSyscall {
+		k.Stats.Restarts++
+	}
+	t.InSyscall = true
+	k.inHandler = true
+	k.ChargeKernel(entry)
+	if k.cfg.Preempt == PreemptFull {
+		// FP needs kernel locking (Table 4); charge the lock traffic.
+		k.ChargeKernel(CycKernelLock)
+	}
+	kerr := k.handlers[num](k, t)
+	k.emit(trace.SyscallExit, uint32(num), uint32(kerr))
+	switch kerr {
+	case sys.KOK:
+		t.InSyscall = false
+		t.EntryCycles = 0
+		k.ChargeKernel(exit)
+		k.inHandler = false
+		k.trace(t, num, "ok")
+		return true
+	case sys.KIntr:
+		k.Return(t, sys.EINTR)
+		t.InSyscall = false
+		t.EntryCycles = 0
+		k.ChargeKernel(exit)
+		k.inHandler = false
+		k.trace(t, num, "eintr")
+		return true
+	case sys.KWouldBlock, sys.KPreempted, sys.KDead:
+		k.inHandler = false
+		k.trace(t, num, kerr.String())
+		return false
+	case sys.KFault:
+		k.inHandler = false
+		k.trace(t, num, "fault")
+		return k.doFault(t, t.PendingFaultSpace, t.PendingFault)
+	default:
+		panic(fmt.Sprintf("core: handler %s returned %v", sys.Name(num), kerr))
+	}
+}
+
+func (k *Kernel) trace(t *obj.Thread, num int, outcome string) {
+	if k.cfg.TraceSyscalls != nil {
+		k.cfg.TraceSyscalls(fmt.Sprintf("[%10d] t%d %s -> %s", k.Clock.Now(), t.ID, sys.Name(num), outcome))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fault handling: classify against the mapping hierarchy, remedy soft
+// faults in the kernel, turn hard faults into pager notifications and
+// wait. In all cases the faulting operation restarts from its
+// rolled-forward register state afterwards.
+
+func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
+	class, m := spc.AS.Classify(f.VA, f.Access)
+	side := FaultSame
+	if spc != t.Space {
+		side = FaultCross
+	}
+	key := FaultKey{Class: class, Side: side}
+	sideBit := uint32(0)
+	if side == FaultCross {
+		sideBit = 1
+	}
+	k.emit(trace.Fault, f.VA, uint32(class)|sideBit<<8)
+	switch class {
+	case mmu.FaultSoft:
+		k.Stats.FaultCount[key]++
+		k.Stats.FaultRollback[key] += t.EntryCycles
+		t.EntryCycles = 0
+		start := k.Clock.Now()
+		remedy := uint64(CycSoftFaultRemedy)
+		if side == FaultCross {
+			remedy += CycCrossSpaceFaultExtra
+		}
+		if k.cfg.Preempt == PreemptFull {
+			// The fault path takes blocking kernel locks in the
+			// fully-preemptible configuration.
+			remedy += CycFaultLockSoftFP
+		}
+		k.ChargeKernel(remedy)
+		if err := spc.AS.ResolveSoft(f.VA, f.Access); err != nil {
+			k.exitThread(t, uint32(0xFFFF_0E00))
+			return false
+		}
+		k.Stats.FaultRemedy[key] += k.Clock.Now() - start
+		return true
+
+	case mmu.FaultHard:
+		k.Stats.FaultCount[key]++
+		k.Stats.FaultRollback[key] += t.EntryCycles
+		t.EntryCycles = 0
+		port, _ := m.Region.Pager.(*obj.Port)
+		if port == nil || port.FaultRegion == nil || port.Dead {
+			k.exitThread(t, uint32(0xFFFF_0E01))
+			return false
+		}
+		reg := port.FaultRegion
+		off := mem.PageTrunc(m.RegionOff + (f.VA - m.Base))
+		t.FaultStart = k.Clock.Now()
+		t.FaultClass = class
+		t.FaultCross = side == FaultCross
+		k.ChargeKernel(CycHardFaultKernel)
+		if side == FaultCross {
+			k.ChargeKernel(CycCrossSpaceFaultExtra)
+		}
+		if k.cfg.Preempt == PreemptFull {
+			k.ChargeKernel(CycFaultLockHardFP)
+		}
+		k.queueFault(reg, port, off)
+		// Wait for the pager to populate the page. The wait is not
+		// EINTR-interruptible — an instruction restart would just
+		// re-fault — but the thread's exported state stays clean
+		// throughout (registers at the faulting restart point).
+		switch kerr := k.block(&reg.FaultWaiters, false); kerr {
+		case sys.KWouldBlock:
+			return false
+		case sys.KOK:
+			return true
+		case sys.KDead:
+			return false
+		default:
+			panic(fmt.Sprintf("core: fault block returned %v", kerr))
+		}
+
+	default: // fatal
+		k.Stats.FaultCount[key]++
+		k.exitThread(t, uint32(0xFFFF_0E02))
+		return false
+	}
+}
+
+// queueFault records a pending fault notification for the pager and wakes
+// a server waiting on the pager's portset.
+func (k *Kernel) queueFault(reg *obj.Region, port *obj.Port, off uint32) {
+	k.ChargeKernel(CycFaultDeliver)
+	for _, o := range reg.PendingFaults {
+		if o == off {
+			return // already queued
+		}
+	}
+	reg.PendingFaults = append(reg.PendingFaults, off)
+	if port.Set != nil {
+		k.wakeOne(&port.Set.Servers)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Blocking and waking.
+
+// block parks the current thread on q. In the interrupt model it returns
+// KWouldBlock and the dispatch layer unwinds — the thread's rolled-forward
+// registers are its continuation. In the process model it parks the
+// thread's kernel-stack context in place and returns KOK when woken.
+//
+// If interruptible, a pending thread_interrupt is consumed and KIntr
+// returned instead of (or after) blocking.
+func (k *Kernel) block(q *obj.WaitQueue, interruptible bool) sys.KErr {
+	t := k.current
+	if interruptible && t.Interrupted {
+		t.Interrupted = false
+		k.Stats.Interrupts++
+		return sys.KIntr
+	}
+	t.State = obj.ThBlocked
+	q.Enqueue(t)
+	if k.cfg.Model == ModelInterrupt {
+		return sys.KWouldBlock
+	}
+	k.yieldProcess(t, yBlocked)
+	if interruptible && t.Interrupted {
+		t.Interrupted = false
+		k.Stats.Interrupts++
+		return sys.KIntr
+	}
+	return sys.KOK
+}
+
+// Block is the exported blocking primitive for the IPC engine and host
+// threads.
+func (k *Kernel) Block(q *obj.WaitQueue, interruptible bool) sys.KErr {
+	return k.block(q, interruptible)
+}
+
+// wakeThread makes a specific (blocked or stopped-ready) thread runnable,
+// removing it from any wait queue and cancelling its sleep timer.
+func (k *Kernel) wakeThread(t *obj.Thread) {
+	if t.State == obj.ThDead {
+		return
+	}
+	if t.WaitQ != nil {
+		t.WaitQ.Remove(t)
+	}
+	if t.SleepTimer != nil {
+		k.Clock.Cancel(t.SleepTimer)
+		t.SleepTimer = nil
+	}
+	if t.FaultStart != 0 {
+		key := FaultKey{Class: t.FaultClass, Side: FaultSame}
+		if t.FaultCross {
+			key.Side = FaultCross
+		}
+		k.Stats.FaultRemedy[key] += k.Clock.Now() - t.FaultStart
+		t.FaultStart = 0
+	}
+	if t.State == obj.ThBlocked {
+		t.State = obj.ThReady
+	}
+	if t.Runnable() {
+		k.emit(trace.Wake, t.ID, 0)
+		k.runq.Enqueue(t)
+		k.maybeResched(t)
+	}
+}
+
+// wakeOne wakes the head of q, returning it (nil if the queue was empty).
+func (k *Kernel) wakeOne(q *obj.WaitQueue) *obj.Thread {
+	t := q.Peek()
+	if t == nil {
+		return nil
+	}
+	k.wakeThread(t)
+	return t
+}
+
+// wakeAll wakes every thread on q.
+func (k *Kernel) wakeAll(q *obj.WaitQueue) int {
+	n := 0
+	for k.wakeOne(q) != nil {
+		n++
+	}
+	return n
+}
+
+func (k *Kernel) maybeResched(t *obj.Thread) {
+	if k.current != nil && t.Priority > k.current.Priority {
+		k.needResched = true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Voluntary yield and explicit preemption points.
+
+// yieldCPU gives up the CPU with the thread still runnable. The caller
+// must already have rolled the thread's registers forward to a consistent
+// restart point (or completed the syscall). front selects queue position.
+func (k *Kernel) yieldCPU(front bool) sys.KErr {
+	t := k.current
+	t.State = obj.ThReady
+	if front {
+		k.runq.EnqueueFront(t)
+	} else {
+		k.runq.Enqueue(t)
+	}
+	k.needResched = false
+	if k.cfg.Model == ModelInterrupt {
+		return sys.KPreempted
+	}
+	k.yieldProcess(t, yReady)
+	return sys.KOK
+}
+
+// PreemptPoint is the explicit preemption point on the IPC data copy path
+// (PP configurations; paper Table 4). The caller must have rolled the
+// transfer registers forward first, so unwinding loses no state. In the
+// process model the thread resumes in place; in the interrupt model
+// KPreempted propagates and the operation restarts from the rolled-forward
+// registers.
+func (k *Kernel) PreemptPoint() sys.KErr {
+	if k.cfg.Preempt != PreemptPartial {
+		return sys.KOK
+	}
+	k.ChargeKernel(CycPreemptPoint)
+	if !k.needResched {
+		return sys.KOK
+	}
+	k.Stats.PreemptsPoint++
+	k.emit(trace.Preempt, 1, 0)
+	return k.yieldCPU(true)
+}
+
+// ---------------------------------------------------------------------------
+// Thread death and settling.
+
+// exitThread terminates t in place: marks it dead, severs its queues,
+// wakes joiners, and breaks its IPC connection.
+func (k *Kernel) exitThread(t *obj.Thread, code uint32) {
+	if t.State == obj.ThDead {
+		return
+	}
+	t.Exited = true
+	t.ExitCode = code
+	t.State = obj.ThDead
+	k.emit(trace.ThreadExit, code, 0)
+	if t.WaitQ != nil {
+		t.WaitQ.Remove(t)
+	}
+	k.runq.Remove(t)
+	if t.SleepTimer != nil {
+		k.Clock.Cancel(t.SleepTimer)
+		t.SleepTimer = nil
+	}
+	k.ipcOnDeath(t)
+	k.wakeAll(&t.ExitWaiters)
+	delete(k.threads, t.ID)
+	if t.Space != nil {
+		for i, x := range t.Space.Threads {
+			if x == t {
+				t.Space.Threads = append(t.Space.Threads[:i], t.Space.Threads[i+1:]...)
+				break
+			}
+		}
+		// The handle stays bound (dead) so joiners that restart after
+		// the exit still resolve it; the destroy common op unbinds it.
+	}
+	t.Dead = true
+}
+
+// DestroyThread destroys an arbitrary thread, promptly: a target parked
+// mid-kernel (FP) is first settled to a clean boundary, then its kernel
+// stack context is unwound.
+func (k *Kernel) DestroyThread(t *obj.Thread) {
+	if t.State == obj.ThDead {
+		return
+	}
+	if t == k.current {
+		k.exitThread(t, 0)
+		return
+	}
+	if k.cfg.Model == ModelProcess {
+		k.settle(t)
+	}
+	k.exitThread(t, 0)
+	if k.cfg.Model == ModelProcess && t.KCtx != nil {
+		if c := t.KCtx.(*kctx); !c.done {
+			if k.resumeCtx(t, resumeKill) != yDead {
+				panic("core: killed context yielded alive")
+			}
+			k.reapCtx(t)
+		}
+	}
+}
+
+// settle drives a process-model thread that was preempted mid-kernel to a
+// clean boundary (syscall completion or a block point), so its exported
+// state is consistent. The wait involves only kernel-internal activity,
+// preserving the API's promptness requirement.
+func (k *Kernel) settle(target *obj.Thread) {
+	if !target.InKernelPark {
+		return
+	}
+	me := k.current
+	k.settling = target
+	k.runq.Remove(target)
+	target.State = obj.ThRunning
+	k.current = target
+	if k.resumeCtx(target, resumeRun) == yDead {
+		k.reapCtx(target)
+	}
+	k.settling = nil
+	k.current = me
+	if me != nil {
+		me.State = obj.ThRunning
+	}
+	if target.InKernelPark {
+		panic("core: settle did not reach a clean boundary")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Register-state helpers (the Figure 4 primitives).
+
+// Return completes the current system call: status in R0, resume at the
+// address the CALL left in LR.
+func (k *Kernel) Return(t *obj.Thread, e sys.Errno) {
+	t.Regs.R[0] = uint32(e)
+	t.Regs.PC = t.Regs.R[cpu.LR]
+}
+
+// SetPC re-points the thread's user PC at a different system call
+// entrypoint — the set_pc of paper Figure 4, which turns the user-visible
+// register state into the continuation (cond_wait -> mutex_lock, IPC stage
+// chaining).
+func (k *Kernel) SetPC(t *obj.Thread, sysno int) {
+	t.Regs.PC = cpu.SyscallEntry(sysno)
+	t.InSyscall = false
+	t.EntryCycles = 0
+}
+
+// CommitProgress marks the thread's rolled-forward registers as committed:
+// work charged before this point will not be redone by a restart.
+func (k *Kernel) CommitProgress(t *obj.Thread) {
+	t.EntryCycles = 0
+}

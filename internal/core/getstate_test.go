@@ -1,0 +1,130 @@
+package core_test
+
+// Guest-level coverage of get_state for every object type — the uniform
+// "getobjstate" common op of §4.3.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/prog"
+	"repro/internal/sys"
+)
+
+func TestGetStateAllObjectTypes(t *testing.T) {
+	e := newEnv(t, core.Config{Model: core.ModelProcess})
+	const (
+		mtx  = dataBase + 0x100
+		cnd  = dataBase + 0x104
+		port = dataBase + 0x108
+		ps   = dataBase + 0x10C
+		ref  = dataBase + 0x110
+		regH = dataBase + 0x114
+		mapH = dataBase + 0x118
+		spc  = dataBase + 0x11C
+		buf  = dataBase + 0x400
+		out  = dataBase + 0x800 // words-written per step
+	)
+	b := prog.New(codeBase)
+	step := 0
+	record := func() {
+		b.Movi(6, out+uint32(step)*4).St(6, 0, 1) // R1 = words written
+		step++
+	}
+	b.MutexCreate(mtx).CondCreate(cnd).
+		Create(sys.ObjPort, port).Create(sys.ObjPortset, ps).Create(sys.ObjRef, ref)
+	b.Movi(1, regH).Movi(2, 2*mem.PageSize).Movi(3, 1).
+		Syscall(sys.CommonOpNum(sys.ObjRegion, sys.OpCreate))
+	b.Movi(1, mapH).Movi(2, regH).Movi(3, 0x0090_0000).Movi(4, 2*mem.PageSize).Movi(5, 0).
+		Syscall(sys.CommonOpNum(sys.ObjMapping, sys.OpCreate))
+	b.Create(sys.ObjSpace, spc)
+	// portset_add so the port shows membership.
+	b.Movi(1, ps).Movi(2, port).Syscall(sys.NPortsetAdd)
+	// point the ref at the port.
+	b.Movi(1, port).Movi(2, ref).Syscall(sys.CommonOpNum(sys.ObjPort, sys.OpReference))
+
+	b.GetState(sys.ObjMutex, mtx, buf)
+	record()
+	b.GetState(sys.ObjCond, cnd, buf)
+	record()
+	b.GetState(sys.ObjPort, port, buf)
+	record()
+	b.GetState(sys.ObjPortset, ps, buf)
+	record()
+	b.GetState(sys.ObjRef, ref, buf)
+	record()
+	b.GetState(sys.ObjRegion, regH, buf)
+	record()
+	b.GetState(sys.ObjMapping, mapH, buf)
+	record()
+	b.GetState(sys.ObjSpace, spc, buf)
+	record()
+	// Thread state of self.
+	b.ThreadSelf().Mov(3, 1) // r3 = own handle
+	b.Mov(1, 3).Movi(2, buf).Syscall(sys.CommonOpNum(sys.ObjThread, sys.OpGetState))
+	record()
+	b.Halt()
+
+	th := e.spawn(t, b, 10)
+	e.run(t, 200_000_000, th)
+	wants := []uint32{
+		3,                             // mutex: locked, holder, waiters
+		1,                             // cond: waiters
+		2,                             // port: inSet, pending
+		2,                             // portset: ports, pending
+		1,                             // ref: target type
+		3,                             // region: size, flags, present
+		4,                             // mapping: base, size, perm, off
+		2,                             // space: objects, threads
+		uint32(core.ThreadStateWords), // thread frame
+	}
+	for i, want := range wants {
+		if got := e.word(t, out+uint32(i)*4); got != want {
+			t.Errorf("step %d: get_state wrote %d words, want %d", i, got, want)
+		}
+	}
+	// Spot-check content: the ref's target type word is port+1.
+	b2 := prog.New(codeBase + 0x8000)
+	b2.GetState(sys.ObjRef, ref, buf).
+		Movi(4, buf).Ld(5, 4, 0).
+		Movi(6, dataBase).St(6, 0, 5).
+		Halt()
+	if _, err := e.k.LoadImage(e.s, b2.Base(), b2.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	th2 := e.spawnAt(b2.Base(), 10)
+	e.run(t, 50_000_000, th2)
+	if got := e.word(t, dataBase); got != uint32(sys.ObjPort)+1 {
+		t.Fatalf("ref target type word = %d, want %d", got, uint32(sys.ObjPort)+1)
+	}
+}
+
+func TestSetStateMutexAndRegionViaSyscalls(t *testing.T) {
+	e := newEnv(t, core.Config{Model: core.ModelInterrupt})
+	const (
+		mtx = dataBase + 0x100
+		buf = dataBase + 0x400
+	)
+	b := prog.New(codeBase)
+	b.MutexCreate(mtx)
+	// set_state(mutex, [1]) -> locked.
+	b.Movi(4, buf).Movi(5, 1).St(4, 0, 5).
+		SetState(sys.ObjMutex, mtx, buf).
+		Movi(6, dataBase).St(6, 0, 0). // errno
+		MutexTrylock(mtx).
+		Movi(6, dataBase).St(6, 4, 0). // should be EWOULDBLOCK
+		// set_state(mutex, [0]) -> unlocked, then trylock succeeds.
+		Movi(4, buf).Movi(5, 0).St(4, 0, 5).
+		SetState(sys.ObjMutex, mtx, buf).
+		MutexTrylock(mtx).
+		Movi(6, dataBase).St(6, 8, 0).
+		Halt()
+	th := e.spawn(t, b, 10)
+	e.run(t, 100_000_000, th)
+	for i, want := range []sys.Errno{sys.EOK, sys.EWOULDBLOCK, sys.EOK} {
+		if got := e.word(t, dataBase+uint32(i)*4); got != uint32(want) {
+			t.Errorf("step %d errno %v, want %v", i, sys.Errno(got), want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"repro/internal/obj"
+	"repro/internal/sys"
+)
+
+// copyChargeBatch is how many words of IPC copy are charged to the clock
+// at a time (amortizing accounting overhead without distorting timing).
+const copyChargeBatch = 64
+
+// copyCommitWords is how often the copy loop commits its rolled-forward
+// progress. Work since the last commit is redone on a fault-induced
+// restart — this is the "Cost to Rollback" of Table 3 (a few µs in the
+// paper).
+const copyCommitWords = 768
+
+// CopyWords transfers min(src.R2, dst.R2) words from src's buffer to dst's
+// buffer, advancing both threads' R1/R2 registers word by word exactly as
+// the paper's §4.3 example describes ("as the data are transferred, the
+// pointer register is incremented and the word count register decremented").
+//
+// The loop takes the PP preemption point every 8 KB and faults out — with
+// both registers rolled forward to the precise word — if either side's
+// buffer page is unmapped, so the operation restarts "without redoing any
+// transfers".
+func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
+	t := k.current
+	pending := uint64(0)     // uncharged copy cycles
+	sincePoint := uint32(0)  // bytes since last preemption point
+	sinceCommit := uint32(0) // words since last progress commit
+	flush := func() {
+		if pending > 0 {
+			k.ChargeKernel(pending)
+			pending = 0
+		}
+	}
+	for src.Regs.R[2] > 0 && dst.Regs.R[2] > 0 {
+		v, f := src.Space.AS.Load32(src.Regs.R[1])
+		if f != nil {
+			flush()
+			return k.faultOut(t, src.Space, f)
+		}
+		if f := dst.Space.AS.Store32(dst.Regs.R[1], v); f != nil {
+			flush()
+			return k.faultOut(t, dst.Space, f)
+		}
+		src.Regs.R[1] += 4
+		src.Regs.R[2]--
+		dst.Regs.R[1] += 4
+		dst.Regs.R[2]--
+		pending += CycCopyWord
+		if pending >= copyChargeBatch*CycCopyWord {
+			flush()
+		}
+		sinceCommit++
+		if sinceCommit >= copyCommitWords {
+			sinceCommit = 0
+			flush()
+			k.CommitProgress(t)
+		}
+		sincePoint += 4
+		if sincePoint >= k.cfg.PreemptPointBytes {
+			sincePoint = 0
+			flush()
+			k.CommitProgress(t)
+			if kerr := k.PreemptPoint(); kerr != sys.KOK {
+				return kerr
+			}
+		}
+	}
+	flush()
+	k.CommitProgress(t)
+	return sys.KOK
+}
+
+// ChargeConnect charges the IPC connection-establishment cost.
+func (k *Kernel) ChargeConnect() { k.ChargeKernel(CycIPCConnect) }

@@ -1,0 +1,400 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/sys"
+)
+
+// Handle slots in the eagerly-mapped kernel window used by IPC tests.
+const (
+	portVA = core.KObjBase + 0x400
+	psVA   = core.KObjBase + 0x404
+	refVA  = core.KObjBase + 0x408
+	regVA  = core.KObjBase + 0x40C
+)
+
+// bindIPC creates a Port+Portset in serverSpace and a Reference to the
+// port in clientSpace.
+func bindIPC(t *testing.T, k *core.Kernel, serverSpace, clientSpace *obj.Space) (*obj.Port, *obj.Portset) {
+	t.Helper()
+	po, _ := obj.New(sys.ObjPort)
+	pso, _ := obj.New(sys.ObjPortset)
+	port := po.(*obj.Port)
+	ps := pso.(*obj.Portset)
+	if err := k.Bind(serverSpace, portVA, port); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Bind(serverSpace, psVA, ps); err != nil {
+		t.Fatal(err)
+	}
+	ps.AddPort(port)
+	ref := &obj.Ref{Header: obj.Header{Type: sys.ObjRef}, Target: port}
+	if err := k.Bind(clientSpace, refVA, ref); err != nil {
+		t.Fatal(err)
+	}
+	return port, ps
+}
+
+func TestIPCPingPongRPC(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, cfg core.Config) {
+		e := newEnv(t, cfg)
+		bindIPC(t, e.k, e.s, e.s)
+		const (
+			reqBuf = dataBase + 0x1000
+			repBuf = dataBase + 0x2000
+			srvBuf = dataBase + 0x3000
+		)
+		// Server: receive 2 words, reply with [w0+1, w1+7], loop.
+		srv := prog.New(codeBase + 0x8000)
+		srv.IPCWaitReceive(srvBuf, 2, psVA).
+			Label("serve").
+			Movi(4, srvBuf).
+			Ld(5, 4, 0).Addi(5, 5, 1).St(4, 0, 5).
+			Ld(5, 4, 4).Addi(5, 5, 7).St(4, 4, 5).
+			IPCReplyWaitReceive(srvBuf, 2, psVA, srvBuf, 2).
+			Jmp("serve")
+
+		// Client: write request [10, 20], RPC, store reply + errno.
+		cli := prog.New(codeBase)
+		cli.Movi(4, reqBuf).Movi(5, 10).St(4, 0, 5).Movi(5, 20).St(4, 4, 5).
+			IPCClientConnectSendOverReceive(reqBuf, 2, refVA, repBuf, 2).
+			Movi(6, dataBase).St(6, 0, 0). // errno
+			Movi(4, repBuf).Ld(5, 4, 0).Movi(6, dataBase).St(6, 4, 5).
+			Movi(4, repBuf).Ld(5, 4, 4).Movi(6, dataBase).St(6, 8, 5).
+			Halt()
+
+		if _, err := e.k.LoadImage(e.s, srv.Base(), srv.MustAssemble()); err != nil {
+			t.Fatal(err)
+		}
+		server := e.spawnAt(srv.Base(), 10)
+		client := e.spawn(t, cli, 10)
+		e.run(t, 400_000_000, client)
+		_ = server
+		if got := e.word(t, dataBase); got != uint32(sys.EOK) {
+			t.Fatalf("RPC errno = %v", sys.Errno(got))
+		}
+		if got := e.word(t, dataBase+4); got != 11 {
+			t.Fatalf("reply[0] = %d, want 11", got)
+		}
+		if got := e.word(t, dataBase+8); got != 27 {
+			t.Fatalf("reply[1] = %d, want 27", got)
+		}
+	})
+}
+
+// TestIPCRollForwardRegisters reproduces the paper's §4.3 example: "if an
+// IPC tries to send 8,192 bytes starting from address 0x08001800 and
+// successfully transfers the first 6,144 bytes and then [stalls], the
+// registers will be updated to reflect a 2,048 byte transfer starting at
+// address 0x08003000" — and the continuation entrypoint has been rewritten
+// from ipc_client_connect_send to ipc_client_send.
+func TestIPCRollForwardRegisters(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, cfg core.Config) {
+		e := newEnv(t, cfg)
+		bindIPC(t, e.k, e.s, e.s)
+		const (
+			sendBuf   = dataBase + 0x1800 // mirrors the paper's ...1800
+			srvBuf    = dataBase + 0x8000
+			sendWords = 2048 // 8192 bytes
+			recvWords = 1536 // server takes only 6144 bytes
+		)
+		srv := prog.New(codeBase + 0x8000)
+		// Receive only part of the message, then go quiet (the
+		// connection must stay alive for the client to stay mid-send).
+		srv.IPCWaitReceive(srvBuf, recvWords, psVA).
+			Movi(6, dataBase).St(6, 0, 0). // receive errno
+			ThreadSleepUS(1 << 30).
+			Halt()
+
+		cli := prog.New(codeBase)
+		cli.IPCClientConnectSend(sendBuf, sendWords, refVA).Halt()
+
+		if _, err := e.k.LoadImage(e.s, srv.Base(), srv.MustAssemble()); err != nil {
+			t.Fatal(err)
+		}
+		client := e.spawn(t, cli, 10)
+		server := e.spawnAt(srv.Base(), 10)
+		e.k.RunFor(200_000_000)
+		if got := e.word(t, dataBase); got != uint32(sys.EOK) {
+			t.Fatalf("server receive errno = %v (server state %v)", sys.Errno(got), server.State)
+		}
+		if client.State != obj.ThBlocked {
+			t.Fatalf("client state %v, want blocked mid-send", client.State)
+		}
+		// The paper's exact register picture.
+		if got := client.Regs.R[1]; got != sendBuf+6144 {
+			t.Fatalf("client R1 = %#x, want %#x (+6144)", got, sendBuf+6144)
+		}
+		if got := client.Regs.R[2]; got != sendWords-recvWords {
+			t.Fatalf("client R2 = %d words, want %d", got, sendWords-recvWords)
+		}
+		if got := client.Regs.PC; got != cpu.SyscallEntry(sys.NIPCClientSend) {
+			t.Fatalf("client PC = %#x, want rewritten ipc_client_send entry %#x",
+				got, cpu.SyscallEntry(sys.NIPCClientSend))
+		}
+	})
+}
+
+func TestIPCOnewayAndWaitReceive(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, cfg core.Config) {
+		e := newEnv(t, cfg)
+		bindIPC(t, e.k, e.s, e.s)
+		const (
+			msg    = dataBase + 0x1000
+			srvBuf = dataBase + 0x2000
+		)
+		srv := prog.New(codeBase + 0x8000)
+		srv.IPCWaitReceive(srvBuf, 8, psVA).
+			Movi(6, dataBase).St(6, 0, 0). // errno
+			Movi(6, dataBase).St(6, 4, 2). // words remaining (R2)
+			Movi(4, srvBuf).Ld(5, 4, 0).
+			Movi(6, dataBase).St(6, 8, 5). // first word
+			Halt()
+		cli := prog.New(codeBase)
+		cli.Movi(4, msg).Movi(5, 0xABCD).St(4, 0, 5).
+			IPCSendOneway(msg, 1, refVA).
+			Halt()
+		if _, err := e.k.LoadImage(e.s, srv.Base(), srv.MustAssemble()); err != nil {
+			t.Fatal(err)
+		}
+		server := e.spawnAt(srv.Base(), 10)
+		client := e.spawn(t, cli, 10)
+		e.run(t, 200_000_000, client, server)
+		if got := e.word(t, dataBase); got != uint32(sys.EOK) {
+			t.Fatalf("server errno = %v", sys.Errno(got))
+		}
+		if got := e.word(t, dataBase+4); got != 7 {
+			t.Fatalf("server words remaining = %d, want 7 (received 1 of 8)", got)
+		}
+		if got := e.word(t, dataBase+8); got != 0xABCD {
+			t.Fatalf("payload = %#x", got)
+		}
+		// After the oneway both sides are disconnected: the client's
+		// client half and the server's server half are idle again.
+		if client.IPCClient.Phase != obj.IPCIdle || server.IPCServer.Phase != obj.IPCIdle {
+			t.Fatalf("phases %v/%v, want idle/idle", client.IPCClient.Phase, server.IPCServer.Phase)
+		}
+	})
+}
+
+func TestIPCPeerDeathDeliversEDEAD(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, cfg core.Config) {
+		e := newEnv(t, cfg)
+		bindIPC(t, e.k, e.s, e.s)
+		const srvBuf = dataBase + 0x2000
+		// Server waits for a request that never completes: client
+		// connects, sends one word, then halts mid-connection.
+		srv := prog.New(codeBase + 0x8000)
+		srv.IPCWaitReceive(srvBuf, 8, psVA).
+			Movi(6, dataBase).St(6, 0, 0). // errno after peer death
+			Halt()
+		cli := prog.New(codeBase)
+		cli.Movi(4, dataBase+0x1000).Movi(5, 1).St(4, 0, 5).
+			IPCClientConnectSend(dataBase+0x1000, 1, refVA).
+			Halt() // dies connected
+		if _, err := e.k.LoadImage(e.s, srv.Base(), srv.MustAssemble()); err != nil {
+			t.Fatal(err)
+		}
+		server := e.spawnAt(srv.Base(), 10)
+		client := e.spawn(t, cli, 10)
+		e.run(t, 200_000_000, client, server)
+		if got := e.word(t, dataBase); got != uint32(sys.EDEAD) {
+			t.Fatalf("server errno = %v, want EDEAD", sys.Errno(got))
+		}
+	})
+}
+
+func TestIPCDisconnectDeliversECONN(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, cfg core.Config) {
+		e := newEnv(t, cfg)
+		bindIPC(t, e.k, e.s, e.s)
+		const srvBuf = dataBase + 0x2000
+		srv := prog.New(codeBase + 0x8000)
+		srv.IPCWaitReceive(srvBuf, 8, psVA).
+			Movi(6, dataBase).St(6, 0, 0).
+			Halt()
+		cli := prog.New(codeBase)
+		cli.Movi(4, dataBase+0x1000).Movi(5, 1).St(4, 0, 5).
+			IPCClientConnectSend(dataBase+0x1000, 1, refVA).
+			IPCClientDisconnect().
+			ThreadSleepUS(500_000). // stay alive so EDEAD is not the cause
+			Halt()
+		if _, err := e.k.LoadImage(e.s, srv.Base(), srv.MustAssemble()); err != nil {
+			t.Fatal(err)
+		}
+		server := e.spawnAt(srv.Base(), 10)
+		client := e.spawn(t, cli, 10)
+		e.run(t, 400_000_000, server)
+		_ = client
+		if got := e.word(t, dataBase); got != uint32(sys.ECONN) {
+			t.Fatalf("server errno = %v, want ECONN", sys.Errno(got))
+		}
+	})
+}
+
+// TestIPCCrossSpaceServerFault drives the Table 3 scenario: during the
+// client's send, the server's receive buffer page is unmapped, so the
+// copy takes a *server-side* (cross-space) fault, rolls the registers
+// forward, remedies, and restarts without re-sending.
+func TestIPCCrossSpaceServerFault(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, cfg core.Config) {
+		k := core.New(cfg)
+		sSrv := k.NewSpace()
+		sCli := k.NewSpace()
+		bindIPC(t, k, sSrv, sCli)
+
+		mkData := func(s *obj.Space) {
+			r, err := k.NewBoundRegion(s, kernelDataHandle(), dataSize, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := k.MapInto(s, r, dataBase, 0, dataSize, mmu.PermRW); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mkData(sSrv)
+		mkData(sCli)
+
+		const (
+			cliBuf = dataBase + 0x1000
+			srvBuf = dataBase + 0x4000 // untouched page: soft fault on first store
+		)
+		srv := prog.New(codeBase)
+		srv.IPCWaitReceive(srvBuf, 4, psVA).
+			Movi(4, srvBuf).Ld(5, 4, 0).
+			Movi(6, dataBase).St(6, 0, 5).
+			Halt()
+		cli := prog.New(codeBase)
+		// Touch the client buffer first so only the server side faults
+		// during the copy.
+		cli.Movi(4, cliBuf).Movi(5, 0x77).St(4, 0, 5).
+			Movi(5, 0x88).St(4, 4, 5).Movi(5, 0x99).St(4, 8, 5).Movi(5, 0xAA).St(4, 12, 5).
+			IPCClientConnectSend(cliBuf, 4, refVA).
+			Halt()
+		if _, err := k.SpawnProgram(sSrv, codeBase, srv.MustAssemble(), 10); err != nil {
+			t.Fatal(err)
+		}
+		client, err := k.SpawnProgram(sCli, codeBase, cli.MustAssemble(), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.RunFor(400_000_000)
+		if !client.Exited {
+			t.Fatalf("client did not finish (state %v pc %#x)", client.State, client.Regs.PC)
+		}
+		got, err := k.ReadMem(sSrv, dataBase, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 0x77 {
+			t.Fatalf("server received %#x, want 0x77", got[0])
+		}
+		cross := k.Stats.FaultCount[core.FaultKey{Class: mmu.FaultSoft, Side: core.FaultCross}]
+		if cross == 0 {
+			t.Fatal("no cross-space (server-side) fault recorded")
+		}
+	})
+}
+
+// TestHardFaultPagerRoundTrip is the full user-mode memory-manager path:
+// a thread touches a pager-backed page, the kernel turns the hard fault
+// into an exception-IPC notification, the pager thread receives it via
+// ipc_wait_receive, services it with mem_allocate, and the faulting
+// thread resumes transparently.
+func TestHardFaultPagerRoundTrip(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, cfg core.Config) {
+		e := newEnv(t, cfg)
+		port, _ := bindIPC(t, e.k, e.s, e.s)
+
+		// A pager-backed region mapped at pBase.
+		const pBase = 0x0100_0000
+		reg, err := e.k.NewBoundRegion(e.s, regVA, 8*mem.PageSize, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.k.AttachPager(reg, port)
+		if _, err := e.k.MapInto(e.s, reg, pBase, 0, 8*mem.PageSize, mmu.PermRW); err != nil {
+			t.Fatal(err)
+		}
+
+		const fmBuf = dataBase + 0x1000 // pager's fault-message buffer
+		pager := prog.New(codeBase + 0x8000)
+		pager.Label("loop").
+			IPCWaitReceive(fmBuf, 2, psVA).
+			Movi(1, regVA).
+			Movi(4, fmBuf).Ld(2, 4, 0). // offset from the message
+			Movi(3, 1).
+			Syscall(sys.NMemAllocate).
+			Jmp("loop")
+
+		// Client: store then load across three pager-backed pages.
+		cli := prog.New(codeBase)
+		cli.Movi(4, pBase).Movi(5, 0x1234).St(4, 0, 5).
+			Movi(4, pBase+mem.PageSize).Movi(5, 0x5678).St(4, 0, 5).
+			Movi(4, pBase).Ld(5, 4, 0).
+			Movi(6, dataBase).St(6, 0, 5).
+			Movi(4, pBase+mem.PageSize).Ld(5, 4, 0).
+			Movi(6, dataBase).St(6, 4, 5).
+			Halt()
+
+		if _, err := e.k.LoadImage(e.s, pager.Base(), pager.MustAssemble()); err != nil {
+			t.Fatal(err)
+		}
+		pt := e.spawnAt(pager.Base(), 15) // pager above client priority
+		client := e.spawn(t, cli, 10)
+		e.run(t, 400_000_000, client)
+		_ = pt
+		if got := e.word(t, dataBase); got != 0x1234 {
+			t.Fatalf("page0 word = %#x", got)
+		}
+		if got := e.word(t, dataBase+4); got != 0x5678 {
+			t.Fatalf("page1 word = %#x", got)
+		}
+		hard := e.k.Stats.FaultCount[core.FaultKey{Class: mmu.FaultHard, Side: core.FaultSame}]
+		if hard < 2 {
+			t.Fatalf("hard faults = %d, want >= 2", hard)
+		}
+	})
+}
+
+// TestIPCStreamLargerThanReceiveBuffer checks streaming: the sender's
+// 8 words arrive across two 4-word receives.
+func TestIPCStreamLargerThanReceiveBuffer(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, cfg core.Config) {
+		e := newEnv(t, cfg)
+		bindIPC(t, e.k, e.s, e.s)
+		const (
+			sBuf = dataBase + 0x1000
+			rBuf = dataBase + 0x2000
+		)
+		srv := prog.New(codeBase + 0x8000)
+		srv.IPCWaitReceive(rBuf, 4, psVA).
+			// Continue on the server half for the rest of the stream.
+			Movi(1, rBuf+16).Movi(2, 4).Syscall(sys.NIPCServerReceive).
+			Movi(4, rBuf).Ld(5, 4, 28).
+			Movi(6, dataBase).St(6, 0, 5). // last word
+			Halt()
+		cli := prog.New(codeBase)
+		// Fill 8 words with 1..8.
+		for i := uint32(0); i < 8; i++ {
+			cli.Movi(4, sBuf+i*4).Movi(5, i+1).St(4, 0, 5)
+		}
+		cli.IPCClientConnectSend(sBuf, 8, refVA).Halt()
+		if _, err := e.k.LoadImage(e.s, srv.Base(), srv.MustAssemble()); err != nil {
+			t.Fatal(err)
+		}
+		server := e.spawnAt(srv.Base(), 10)
+		client := e.spawn(t, cli, 10)
+		e.run(t, 200_000_000, client, server)
+		if got := e.word(t, dataBase); got != 8 {
+			t.Fatalf("last streamed word = %d, want 8", got)
+		}
+	})
+}

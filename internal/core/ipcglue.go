@@ -1,0 +1,74 @@
+package core
+
+import (
+	"repro/internal/ipc"
+	"repro/internal/obj"
+	"repro/internal/sys"
+)
+
+// The IPC engine in internal/ipc programs against the ipc.Kern interface;
+// assert the kernel satisfies it.
+var _ ipc.Kern = (*Kernel)(nil)
+
+// registerIPCHandlers binds the 21 IPC entrypoints (Table 1's IPC-related
+// multi-stage calls) to the engine.
+func (k *Kernel) registerIPCHandlers() {
+	bind := func(num int, fn func(ipc.Kern, *obj.Thread) sys.KErr) {
+		k.handlers[num] = func(k *Kernel, t *obj.Thread) sys.KErr { return fn(k, t) }
+	}
+	bind(sys.NIPCClientConnectSend, ipc.ClientConnectSend)
+	bind(sys.NIPCClientConnectSendOverReceive, ipc.ClientConnectSendOverReceive)
+	bind(sys.NIPCClientSend, ipc.ClientSend)
+	bind(sys.NIPCClientSendOverReceive, ipc.ClientSendOverReceive)
+	bind(sys.NIPCClientOverReceive, ipc.ClientOverReceive)
+	bind(sys.NIPCClientReceive, ipc.ClientReceive)
+	bind(sys.NIPCClientDisconnect, ipc.ClientDisconnect)
+	bind(sys.NIPCClientAlert, ipc.ClientAlert)
+	bind(sys.NIPCSetupWait, ipc.SetupWait)
+	bind(sys.NIPCServerReceive, ipc.ServerReceive)
+	bind(sys.NIPCServerOverReceive, ipc.ServerOverReceive)
+	bind(sys.NIPCServerSend, ipc.ServerSend)
+	bind(sys.NIPCServerSendOverReceive, ipc.ServerSendOverReceive)
+	bind(sys.NIPCServerAckSend, ipc.ServerAckSend)
+	bind(sys.NIPCServerAckSendOverReceive, ipc.ServerAckSendOverReceive)
+	bind(sys.NIPCServerAckSendWaitReceive, ipc.ServerAckSendWaitReceive)
+	bind(sys.NIPCServerDisconnect, ipc.ServerDisconnect)
+	bind(sys.NIPCReply, ipc.Reply)
+	bind(sys.NIPCReplyWaitReceive, ipc.ReplyWaitReceive)
+	bind(sys.NIPCSendOneway, ipc.SendOneway)
+	bind(sys.NIPCWaitReceive, ipc.WaitReceive)
+}
+
+// ipcOnDeath severs a dying thread's IPC connection.
+func (k *Kernel) ipcOnDeath(t *obj.Thread) {
+	ipc.OnThreadDeath(k, t)
+}
+
+// DeliverFault implements ipc.Kern: it formats the oldest pending fault of
+// p.FaultRegion as a two-word message (page offset, magic) in t's receive
+// buffer. The store may fault in the pager's own space — the notification
+// is popped only after the message lands, so a restart re-delivers it.
+func (k *Kernel) DeliverFault(t *obj.Thread, p *obj.Port) (bool, sys.Errno, sys.KErr) {
+	reg := p.FaultRegion
+	if reg == nil || len(reg.PendingFaults) == 0 {
+		return false, sys.EOK, sys.KOK
+	}
+	if t.Regs.R[2] < ipc.FaultMsgWords {
+		return true, sys.EINVAL, sys.KOK
+	}
+	if t.Regs.R[1]%4 != 0 {
+		return true, sys.EINVAL, sys.KOK
+	}
+	off := reg.PendingFaults[0]
+	if kerr := k.StoreUser32(t, t.Space, t.Regs.R[1], off); kerr != sys.KOK {
+		return true, 0, kerr
+	}
+	if kerr := k.StoreUser32(t, t.Space, t.Regs.R[1]+4, ipc.FaultMsgMagic); kerr != sys.KOK {
+		return true, 0, kerr
+	}
+	reg.PendingFaults = reg.PendingFaults[1:]
+	t.Regs.R[1] += ipc.FaultMsgWords * 4
+	t.Regs.R[2] -= ipc.FaultMsgWords
+	k.CommitProgress(t)
+	return true, sys.EOK, sys.KOK
+}

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/clock"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/sched"
+	"repro/internal/sys"
+	"repro/internal/trace"
+)
+
+// KObjBase is the start of the reserved per-space kernel-handle window the
+// boot layer binds kernel-created objects into (the space's self handle,
+// initial thread handles). The window is mapped eagerly so those handles
+// never fault.
+const KObjBase uint32 = 0xFFE0_0000
+
+// KObjPages is the size of the reserved handle window in pages.
+const KObjPages = 16
+
+// NumIRQLines is the number of virtual interrupt lines irq_wait serves.
+const NumIRQLines = 16
+
+// FaultSide distinguishes whose address space an IPC-time fault hit
+// (Table 3's "client-side" vs "server-side" rows).
+type FaultSide int
+
+const (
+	// FaultSame: the fault was against the current thread's own space.
+	FaultSame FaultSide = iota
+	// FaultCross: the fault was against the IPC peer's space.
+	FaultCross
+)
+
+// FaultKey indexes fault statistics: (class, side).
+type FaultKey struct {
+	Class mmu.FaultClass
+	Side  FaultSide
+}
+
+// Stats aggregates kernel event counters and the cycle accounting the
+// benchmark harness turns into the paper's tables.
+type Stats struct {
+	Syscalls        uint64
+	SyscallsByNum   [sys.NumSyscalls]uint64
+	ContextSwitches uint64
+	UserCycles      uint64
+	KernelCycles    uint64
+	IdleCycles      uint64
+
+	Restarts       uint64 // syscall re-entries after a fault
+	FaultCount     map[FaultKey]uint64
+	FaultRemedy    map[FaultKey]uint64 // cycles spent remedying
+	FaultRollback  map[FaultKey]uint64 // cycles of work discarded and redone
+	PreemptsUser   uint64              // preemptions taken at user-mode boundaries
+	PreemptsPoint  uint64              // preemptions at explicit kernel preemption points
+	PreemptsKernel uint64              // full-preemption parks inside the kernel
+	Interrupts     uint64              // thread_interrupt deliveries (EINTR)
+	TimerIRQs      uint64
+
+	// ContinuationsRecognized counts operations the kernel completed by
+	// mutating a waiter's explicit continuation instead of re-running it
+	// (§2.2 continuation recognition; interrupt model with
+	// Config.ContinuationRecognition).
+	ContinuationsRecognized uint64
+}
+
+func newStats() Stats {
+	return Stats{
+		FaultCount:    make(map[FaultKey]uint64),
+		FaultRemedy:   make(map[FaultKey]uint64),
+		FaultRollback: make(map[FaultKey]uint64),
+	}
+}
+
+// handler is one syscall implementation. It runs with t == k.current, and
+// returns a kernel-internal result code; user-visible results are
+// delivered only through t.Regs (paper Figure 4).
+type handler func(k *Kernel, t *obj.Thread) sys.KErr
+
+// Kernel is one simulated Fluke kernel instance.
+type Kernel struct {
+	cfg   Config
+	Clock *clock.Clock
+	Alloc *mem.Allocator
+
+	runq    *sched.RunQueue
+	current *obj.Thread
+
+	needResched bool
+	stopAt      uint64 // RunFor budget; forces descheduling of CPU-bound threads
+	sliceTimer  *clock.Timer
+	inHandler   bool        // a syscall handler is on the (virtual) kernel stack
+	settling    *obj.Thread // settle() target; suppresses FP re-parking
+
+	nextTID uint32
+	threads map[uint32]*obj.Thread
+	spaces  []*obj.Space
+
+	irq        [NumIRQLines]obj.WaitQueue
+	irqPending [NumIRQLines]bool // latched lines with no waiter
+
+	handlers [sys.NumSyscalls]handler
+
+	// sleepers is the shared wait queue for time-based blocking; timer
+	// callbacks wake specific threads from it.
+	sleepers obj.WaitQueue
+
+	Stats Stats
+
+	// Tracer, when non-nil, receives typed kernel events (see
+	// internal/trace). Attach before running; costs one branch when nil.
+	Tracer *trace.Ring
+
+	// stacksInUse tracks live kernel stacks for the memory accountant:
+	// one per CPU in the interrupt model, one per live thread in the
+	// process model.
+	stacksInUse int
+}
+
+// New creates a kernel with the given configuration. It panics on an
+// invalid configuration (interrupt model + full preemption); use
+// Config.Validate to check first.
+func New(cfg Config) *Kernel {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	k := &Kernel{
+		cfg:     cfg,
+		Clock:   clock.New(),
+		Alloc:   mem.NewAllocator(cfg.PhysFrames),
+		runq:    sched.NewRunQueue(),
+		threads: make(map[uint32]*obj.Thread),
+		Stats:   newStats(),
+		nextTID: 1,
+	}
+	if cfg.Model == ModelInterrupt {
+		k.stacksInUse = 1 // one kernel stack per (single simulated) CPU
+	}
+	k.registerHandlers()
+	return k
+}
+
+// Config returns the kernel's configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Current returns the running thread (nil inside the scheduler).
+func (k *Kernel) Current() *obj.Thread { return k.current }
+
+// ---------------------------------------------------------------------------
+// Host ("boot loader") API: the operations a bootstrap environment performs
+// before handing control to user programs. These do not charge simulated
+// time.
+
+// NewSpace creates a space with an empty address space plus the reserved
+// kernel-handle window, and binds the space's self handle.
+func (k *Kernel) NewSpace() *obj.Space {
+	return k.newSpaceInternal()
+}
+
+func (k *Kernel) newSpaceInternal() *obj.Space {
+	s := obj.NewSpace(mmu.NewAddrSpace(k.Alloc))
+	// Reserved handle window: eagerly-mapped demand-zero pages.
+	r := mmu.NewRegion(KObjPages*mem.PageSize, true)
+	m := &mmu.Mapping{Region: r, Base: KObjBase, Size: r.Size, Perm: mmu.PermRW}
+	if err := s.AS.Map(m); err != nil {
+		panic(err)
+	}
+	for p := uint32(0); p < KObjPages; p++ {
+		if err := s.AS.ResolveSoft(KObjBase+p*mem.PageSize, cpu.Write); err != nil {
+			panic(err)
+		}
+	}
+	s.Header.Type = sys.ObjSpace
+	if e := s.Insert(KObjBase, s); e != sys.EOK {
+		panic(e)
+	}
+	k.spaces = append(k.spaces, s)
+	return s
+}
+
+// Spaces returns all spaces ever created on this kernel.
+func (k *Kernel) Spaces() []*obj.Space { return k.spaces }
+
+// kernelHandleVA hands out slots in the reserved handle window.
+func kernelHandleVA(s *obj.Space) uint32 {
+	for va := KObjBase + 4; va < KObjBase+KObjPages*mem.PageSize; va += 4 {
+		if s.At(va) == nil {
+			return va
+		}
+	}
+	panic("core: kernel handle window exhausted")
+}
+
+// NewThread creates a thread in space s at the given priority, bound into
+// the reserved handle window. The thread starts stopped with zeroed
+// registers; set its registers and call StartThread.
+func (k *Kernel) NewThread(s *obj.Space, priority int) *obj.Thread {
+	t := k.makeThread(s, priority)
+	if e := s.Insert(kernelHandleVA(s), t); e != sys.EOK {
+		panic(e)
+	}
+	return t
+}
+
+// makeThread builds an unbound, stopped thread: the common substrate of
+// the host NewThread and the thread_create syscall.
+func (k *Kernel) makeThread(s *obj.Space, priority int) *obj.Thread {
+	t := &obj.Thread{
+		Header:   obj.Header{Type: sys.ObjThread},
+		ID:       k.nextTID,
+		Space:    s,
+		Priority: priority,
+		State:    obj.ThReady,
+		Stopped:  true,
+	}
+	k.nextTID++
+	s.Threads = append(s.Threads, t)
+	k.threads[t.ID] = t
+	if k.cfg.Model == ModelProcess {
+		k.newKctx(t)
+		k.stacksInUse++
+	}
+	return t
+}
+
+// Threads returns the live thread table.
+func (k *Kernel) Threads() map[uint32]*obj.Thread { return k.threads }
+
+// StartThread makes a (stopped) thread runnable.
+func (k *Kernel) StartThread(t *obj.Thread) {
+	if t.State == obj.ThDead {
+		panic("core: starting dead thread")
+	}
+	t.Stopped = false
+	if t.State == obj.ThReady {
+		k.runq.Enqueue(t)
+	}
+}
+
+// BindFresh installs an object at a fresh handle slot in the space's
+// reserved kernel window and returns the handle VA.
+func (k *Kernel) BindFresh(s *obj.Space, o obj.Obj) uint32 {
+	va := kernelHandleVA(s)
+	if e := s.Insert(va, o); e != sys.EOK {
+		panic(e)
+	}
+	return va
+}
+
+// Bind installs an object at a handle VA in a space (host-level Insert).
+func (k *Kernel) Bind(s *obj.Space, va uint32, o obj.Obj) error {
+	if e := s.Insert(va, o); e != sys.EOK {
+		return fmt.Errorf("core: bind %v at %#x: %v", obj.TypeOf(o), va, e)
+	}
+	return nil
+}
+
+// NewBoundRegion creates a Region object of size bytes backed by a
+// demand-zero (pager == nil) or pager-backed mmu region, bound at handle
+// va in s.
+func (k *Kernel) NewBoundRegion(s *obj.Space, va uint32, size uint32, demandZero bool) (*obj.Region, error) {
+	r := &obj.Region{
+		Header: obj.Header{Type: sys.ObjRegion},
+		R:      mmu.NewRegion(size, demandZero),
+	}
+	if err := k.Bind(s, va, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AttachPager marks port p as the pager for region r: absent pages of r
+// become hard faults delivered to p.
+func (k *Kernel) AttachPager(r *obj.Region, p *obj.Port) {
+	r.R.Pager = p
+	r.R.DemandZero = false
+	p.FaultRegion = r
+}
+
+// MapInto installs a window of region r into space s. The mapping object
+// is bound into s's reserved handle window.
+func (k *Kernel) MapInto(s *obj.Space, r *obj.Region, base, off, size uint32, perm mmu.Perm) (*obj.Mapping, error) {
+	mm := &mmu.Mapping{Region: r.R, RegionOff: off, Base: base, Size: size, Perm: perm}
+	if err := s.AS.Map(mm); err != nil {
+		return nil, err
+	}
+	om := &obj.Mapping{Header: obj.Header{Type: sys.ObjMapping}, M: mm, Dst: s}
+	if e := s.Insert(kernelHandleVA(s), om); e != sys.EOK {
+		return nil, fmt.Errorf("core: bind mapping: %v", e)
+	}
+	return om, nil
+}
+
+// LoadImage creates a demand-zero region of at least len(image) bytes,
+// maps it RWX at base in s, and copies the image in (pages become
+// present). It returns the backing region object.
+func (k *Kernel) LoadImage(s *obj.Space, base uint32, image []byte) (*obj.Region, error) {
+	size := mem.PageRound(uint32(len(image)))
+	if size == 0 {
+		size = mem.PageSize
+	}
+	r := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(size, true)}
+	if _, err := k.MapInto(s, r, base, 0, size, mmu.PermRWX); err != nil {
+		return nil, err
+	}
+	if err := k.WriteMem(s, base, image); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// SpawnProgram loads an assembled image at base into s and creates a
+// started thread entering at base with the given priority.
+func (k *Kernel) SpawnProgram(s *obj.Space, base uint32, image []byte, priority int) (*obj.Thread, error) {
+	if _, err := k.LoadImage(s, base, image); err != nil {
+		return nil, err
+	}
+	t := k.NewThread(s, priority)
+	t.Regs.PC = base
+	k.StartThread(t)
+	return t, nil
+}
+
+// WriteMem copies host bytes into guest memory, resolving soft faults
+// directly (boot-loader powers). It fails on hard or fatal faults.
+func (k *Kernel) WriteMem(s *obj.Space, va uint32, data []byte) error {
+	for i, b := range data {
+		a := va + uint32(i)
+		if f := s.AS.Store8(a, b); f != nil {
+			cl, _ := s.AS.Classify(a, cpu.Write)
+			if cl != mmu.FaultSoft {
+				return fmt.Errorf("core: WriteMem at %#x: %v fault", a, cl)
+			}
+			if err := s.AS.ResolveSoft(a, cpu.Write); err != nil {
+				return err
+			}
+			if f := s.AS.Store8(a, b); f != nil {
+				return fmt.Errorf("core: WriteMem at %#x: fault persists", a)
+			}
+		}
+	}
+	return nil
+}
+
+// ReadMem copies guest memory to host bytes, resolving soft faults.
+func (k *Kernel) ReadMem(s *obj.Space, va uint32, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := range out {
+		a := va + uint32(i)
+		b, f := s.AS.Load8(a)
+		if f != nil {
+			cl, _ := s.AS.Classify(a, cpu.Read)
+			if cl != mmu.FaultSoft {
+				return nil, fmt.Errorf("core: ReadMem at %#x: %v fault", a, cl)
+			}
+			if err := s.AS.ResolveSoft(a, cpu.Read); err != nil {
+				return nil, err
+			}
+			b, f = s.AS.Load8(a)
+			if f != nil {
+				return nil, fmt.Errorf("core: ReadMem at %#x: fault persists", a)
+			}
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// RaiseIRQ wakes all threads blocked in irq_wait on the given line. The
+// line is latched: if nothing is waiting, the next irq_wait completes
+// immediately — a driver preempted between programming its device and
+// waiting must not lose the edge.
+func (k *Kernel) RaiseIRQ(line int) {
+	if line < 0 || line >= NumIRQLines {
+		panic(fmt.Sprintf("core: IRQ line %d out of range", line))
+	}
+	k.emit(trace.IRQ, uint32(line), 0)
+	if k.irq[line].Len() == 0 {
+		k.irqPending[line] = true
+		return
+	}
+	for k.irq[line].Len() > 0 {
+		k.wakeOne(&k.irq[line])
+	}
+}
+
+// Shutdown destroys every remaining thread (unwinding process-model
+// kernel-stack contexts so their goroutines exit) and cancels pending
+// timers. The kernel is not usable afterwards.
+func (k *Kernel) Shutdown() {
+	for {
+		var victim *obj.Thread
+		for _, t := range k.threads {
+			victim = t
+			break
+		}
+		if victim == nil {
+			break
+		}
+		k.DestroyThread(victim)
+	}
+	if k.sliceTimer != nil {
+		k.Clock.Cancel(k.sliceTimer)
+		k.sliceTimer = nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Memory accounting (paper Table 7).
+
+// TCBSize is the measured size in bytes of this kernel's thread control
+// block (the Thread object).
+func TCBSize() int {
+	return int(unsafe.Sizeof(obj.Thread{}))
+}
+
+// MemOverhead reports the kernel's per-thread memory overhead in bytes for
+// this configuration: the TCB plus, in the process model, the per-thread
+// kernel stack. In the interrupt model the per-CPU stack is not a
+// per-thread cost, matching Table 7's "—" entry.
+func (k *Kernel) MemOverhead() (tcb, stack, total int) {
+	tcb = TCBSize()
+	if k.cfg.Model == ModelProcess {
+		stack = k.cfg.KernelStackSize
+	}
+	return tcb, stack, tcb + stack
+}
+
+// KernelStackBytes returns the total bytes in kernel stacks right now:
+// stacks * configured stack size.
+func (k *Kernel) KernelStackBytes() int {
+	return k.stacksInUse * k.cfg.KernelStackSize
+}
+
+// StacksInUse returns the number of live kernel stacks.
+func (k *Kernel) StacksInUse() int { return k.stacksInUse }

@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+)
+
+// TestShutdownReleasesKernelStacks checks that Shutdown unwinds every
+// process-model kernel-stack context: the backing goroutines exit and the
+// stack accounting returns to the per-CPU baseline.
+func TestShutdownReleasesKernelStacks(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, cfg core.Config) {
+		before := runtime.NumGoroutine()
+		e := newEnv(t, cfg)
+		const mtx = dataBase + 0x100
+		b := prog.New(codeBase)
+		// A mix of states: one blocked forever, one spinning, one asleep.
+		b.Label("blocker").MutexCreate(mtx).MutexLock(mtx).MutexLock(mtx).Halt()
+		b.Label("spinner").Movi(6, 0).Label("s").Addi(6, 6, 1).Jmp("s")
+		b.Label("sleeper").ThreadSleepUS(1 << 30).Halt()
+		img := b.MustAssemble()
+		if _, err := e.k.LoadImage(e.s, codeBase, img); err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range []string{"blocker", "spinner", "sleeper"} {
+			e.spawnAt(b.Addr(l), 10)
+		}
+		e.k.RunFor(2_000_000)
+		if len(e.k.Threads()) != 3 {
+			t.Fatalf("threads = %d", len(e.k.Threads()))
+		}
+		e.k.Shutdown()
+		if len(e.k.Threads()) != 0 {
+			t.Fatal("threads survive shutdown")
+		}
+		wantStacks := 0
+		if cfg.Model == core.ModelInterrupt {
+			wantStacks = 1 // the per-CPU stack
+		}
+		if got := e.k.StacksInUse(); got != wantStacks {
+			t.Fatalf("stacks after shutdown = %d, want %d", got, wantStacks)
+		}
+		// Give exited goroutines a moment to be reaped before counting.
+		if cfg.Model == core.ModelProcess {
+			deadline := time.Now().Add(2 * time.Second)
+			for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+				runtime.Gosched()
+			}
+			if g := runtime.NumGoroutine(); g > before+2 {
+				t.Fatalf("goroutines leaked: %d -> %d", before, g)
+			}
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package core_test
+
+// Property tests on the exported thread state frame.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/obj"
+)
+
+// TestPropertyStateFrameRoundTrip: for arbitrary register contents,
+// Encode(Apply(frame)) == frame for every restorable field.
+func TestPropertyStateFrameRoundTrip(t *testing.T) {
+	k := core.New(core.Config{Model: core.ModelInterrupt})
+	s := k.NewSpace()
+	f := func(pc, sp uint32, regs [8]uint32, pr0, pr1, flags uint32, prio uint8, interrupted bool) bool {
+		var w [core.ThreadStateWords]uint32
+		w[core.TSPc] = pc
+		w[core.TSSp] = sp
+		for i, v := range regs {
+			w[core.TSR0+i] = v
+		}
+		w[core.TSPr0] = pr0
+		w[core.TSPr1] = pr1
+		w[core.TSFlags] = flags
+		w[core.TSPriority] = uint32(prio % 32)
+		if interrupted {
+			w[core.TSCtl] = 2
+		}
+		th := k.NewThread(s, 1) // stopped
+		defer k.DestroyThread(th)
+		k.ApplyThreadState(th, w)
+		got := core.EncodeThreadState(th)
+		// The stopped bit is managed by the kernel, not the frame.
+		got[core.TSCtl] &^= 1
+		return got == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApplyRejectsWildPriority: out-of-range priorities in a frame are
+// ignored rather than corrupting the scheduler.
+func TestApplyRejectsWildPriority(t *testing.T) {
+	k := core.New(core.Config{Model: core.ModelInterrupt})
+	s := k.NewSpace()
+	th := k.NewThread(s, 7)
+	var w [core.ThreadStateWords]uint32
+	w[core.TSPriority] = 999
+	k.ApplyThreadState(th, w)
+	if th.Priority != 7 {
+		t.Fatalf("priority %d, want unchanged 7", th.Priority)
+	}
+}
+
+// TestRelinkRefusesHijack: a frame naming a peer whose connection half is
+// already attached to a *live* third thread must not steal it.
+func TestRelinkRefusesHijack(t *testing.T) {
+	k := core.New(core.Config{Model: core.ModelInterrupt})
+	s := k.NewSpace()
+	a := k.NewThread(s, 7)
+	bTh := k.NewThread(s, 7)
+	c := k.NewThread(s, 7)
+	// a(client) <-> b(server), both live.
+	a.IPCClient.Phase = obj.IPCSend
+	a.IPCClient.Peer = bTh
+	bTh.IPCServer.Phase = obj.IPCRecv
+	bTh.IPCServer.Peer = a
+
+	var w [core.ThreadStateWords]uint32
+	w[core.TSIPCPhase] = uint32(obj.IPCSend)
+	w[core.TSIPCPeer] = bTh.ID
+	k.ApplyThreadState(c, w)
+	if c.IPCClient.Peer != nil {
+		t.Fatal("relink hijacked a live connection")
+	}
+	if bTh.IPCServer.Peer != a {
+		t.Fatal("victim connection disturbed")
+	}
+}

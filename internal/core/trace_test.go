@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+// TestTracerRecordsKernelEvents attaches the typed tracer and checks that
+// a short run emits the expected event kinds in a sane order.
+func TestTracerRecordsKernelEvents(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, cfg core.Config) {
+		e := newEnv(t, cfg)
+		e.k.Tracer = trace.NewRing(4096)
+		const mtx = dataBase + 0x100
+		b := prog.New(codeBase)
+		b.MutexCreate(mtx).
+			MutexLock(mtx).
+			ThreadSleepUS(100).
+			MutexUnlock(mtx).
+			Halt()
+		th := e.spawn(t, b, 10)
+		e.run(t, 50_000_000, th)
+
+		kinds := map[trace.Kind]int{}
+		var last uint64
+		for _, ev := range e.k.Tracer.Events() {
+			kinds[ev.Kind]++
+			if ev.Time < last {
+				t.Fatalf("events out of order: %d after %d", ev.Time, last)
+			}
+			last = ev.Time
+		}
+		for _, want := range []trace.Kind{trace.SyscallEnter, trace.SyscallExit, trace.CtxSwitch, trace.Wake, trace.ThreadExit} {
+			if kinds[want] == 0 {
+				t.Errorf("no %v events recorded", want)
+			}
+		}
+		// Enter/exit pair up.
+		if kinds[trace.SyscallEnter] != kinds[trace.SyscallExit] {
+			t.Errorf("enter %d != exit %d", kinds[trace.SyscallEnter], kinds[trace.SyscallExit])
+		}
+		// Soft faults from the demand-zero data page show up.
+		if kinds[trace.Fault] == 0 {
+			t.Error("no fault events recorded")
+		}
+		dump := e.k.Tracer.Dump()
+		if !strings.Contains(dump, "mutex_lock") || !strings.Contains(dump, "thread_sleep") {
+			t.Error("dump missing syscall names")
+		}
+	})
+}
+
+// TestTracerDisabledIsFree: no tracer, no events, no crash.
+func TestTracerDisabledIsFree(t *testing.T) {
+	e := newEnv(t, core.Config{Model: core.ModelInterrupt})
+	b := prog.New(codeBase)
+	b.Null().Halt()
+	th := e.spawn(t, b, 10)
+	e.run(t, 10_000_000, th)
+	if e.k.Tracer != nil {
+		t.Fatal("tracer appeared from nowhere")
+	}
+}

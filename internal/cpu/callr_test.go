@@ -1,0 +1,49 @@
+package cpu
+
+import "testing"
+
+func TestCallRIndirect(t *testing.T) {
+	m := &flatMem{data: make([]byte, 4096)}
+	load(m,
+		Instr{Op: OpMovi, Rd: 2, Imm: 4 * InstrSize}, // target
+		Instr{Op: OpCallR, Rs: 2},
+		Instr{Op: OpHalt}, // return lands here
+		Instr{Op: OpNop},
+		Instr{Op: OpMovi, Rd: 0, Imm: 7}, // fn:
+		Instr{Op: OpRet},
+	)
+	var r Regs
+	tr := run(t, &r, m, 100)
+	if tr.Kind != TrapHalt || r.R[0] != 7 {
+		t.Fatalf("trap=%v R0=%d", tr.Kind, r.R[0])
+	}
+	if r.R[LR] != 2*InstrSize {
+		t.Fatalf("LR=%#x", r.R[LR])
+	}
+}
+
+func TestBrkAdvancesPC(t *testing.T) {
+	m := &flatMem{data: make([]byte, 4096)}
+	load(m,
+		Instr{Op: OpBrk},
+		Instr{Op: OpHalt},
+	)
+	var r Regs
+	_, tr := Step(&r, m)
+	if tr.Kind != TrapBreak {
+		t.Fatalf("trap=%v", tr.Kind)
+	}
+	if r.PC != InstrSize {
+		t.Fatalf("PC=%#x, want past the brk", r.PC)
+	}
+}
+
+func TestFetchFaultReportsExec(t *testing.T) {
+	m := &flatMem{data: make([]byte, 64)}
+	var r Regs
+	r.PC = 4096 // out of range
+	_, tr := Step(&r, m)
+	if tr.Kind != TrapFault || tr.Fault.Access != Exec {
+		t.Fatalf("trap=%v fault=%+v", tr.Kind, tr.Fault)
+	}
+}

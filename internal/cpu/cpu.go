@@ -1,0 +1,397 @@
+// Package cpu implements the simulated processor the Fluke reproduction
+// runs user code on: an explicit register file, a small fixed-width ISA,
+// precise traps, and a cycle-charging interpreter.
+//
+// The design deliberately mirrors the properties the paper leans on:
+//
+//   - All user-visible thread state is the register file plus memory. A
+//     thread's registers are its continuation (paper §5.1).
+//   - Two "pseudo-registers" PR0/PR1 extend the architectural state, exactly
+//     as Fluke added pseudo-registers on the register-starved x86 (§4.4).
+//   - System calls are entered by transferring control into a reserved
+//     syscall-entry page; the entry address names the operation, so the
+//     kernel can re-point a thread at a different entrypoint by rewriting
+//     its PC (the cond_wait → mutex_lock trick of §4.3).
+//   - Faults are precise: when a load/store faults, the PC still points at
+//     the faulting instruction and no architectural state has changed, like
+//     the restartable string instructions of §4.2.
+package cpu
+
+import "fmt"
+
+// Access describes the kind of memory access that faulted.
+type Access uint8
+
+const (
+	// Read is a data load.
+	Read Access = iota
+	// Write is a data store.
+	Write
+	// Exec is an instruction fetch.
+	Exec
+)
+
+func (a Access) String() string {
+	switch a {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Exec:
+		return "exec"
+	}
+	return "access?"
+}
+
+// Fault describes a memory access the MMU could not translate. A nil *Fault
+// means success.
+type Fault struct {
+	VA     uint32
+	Access Access
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("fault: %s at %#x", f.Access, f.VA)
+}
+
+// Memory is the CPU's view of the current address space. Implementations
+// (the MMU) return a Fault when a translation is missing; the CPU turns it
+// into a precise trap.
+type Memory interface {
+	Load32(va uint32) (uint32, *Fault)
+	Store32(va uint32, v uint32) *Fault
+	Load8(va uint32) (byte, *Fault)
+	Store8(va uint32, v byte) *Fault
+	Fetch32(va uint32) (uint32, *Fault)
+}
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 8
+
+// LR is the conventional link register (holds the return address after
+// CALL, and the user-mode resume address during a system call).
+const LR = 7
+
+// Regs is the complete explicit user-visible state of a thread, exportable
+// and restorable at any time (the "correctness" property of §4.1). PR0 and
+// PR1 are the kernel-implemented pseudo-registers that carry intermediate
+// IPC state in the exported thread state (§4.4).
+type Regs struct {
+	PC    uint32
+	SP    uint32
+	R     [NumRegs]uint32
+	PR0   uint32
+	PR1   uint32
+	Flags uint32
+}
+
+// SyscallBase is the virtual address of the system-call entry page. A
+// control transfer to SyscallBase + n*InstrSize invokes system call n.
+// User code reaches it with CALL, which leaves the resume address in LR.
+const SyscallBase uint32 = 0xFFF0_0000
+
+// MaxSyscalls bounds the number of entrypoints in the syscall page.
+const MaxSyscalls = 256
+
+// InstrSize is the size of one encoded instruction in bytes: one opcode
+// word and one immediate word.
+const InstrSize = 8
+
+// SyscallEntry returns the entry address for syscall n.
+func SyscallEntry(n int) uint32 {
+	if n < 0 || n >= MaxSyscalls {
+		panic(fmt.Sprintf("cpu: syscall number %d out of range", n))
+	}
+	return SyscallBase + uint32(n)*InstrSize
+}
+
+// SyscallNum returns the syscall number a PC in the entry page names, or -1.
+func SyscallNum(pc uint32) int {
+	if pc < SyscallBase || pc >= SyscallBase+MaxSyscalls*InstrSize {
+		return -1
+	}
+	if (pc-SyscallBase)%InstrSize != 0 {
+		return -1
+	}
+	return int(pc-SyscallBase) / InstrSize
+}
+
+// TrapKind classifies why the interpreter stopped.
+type TrapKind uint8
+
+const (
+	// TrapNone: the instruction retired normally.
+	TrapNone TrapKind = iota
+	// TrapSyscall: control transferred into the syscall entry page.
+	TrapSyscall
+	// TrapFault: a precise memory fault; Regs unchanged, PC at the
+	// faulting instruction.
+	TrapFault
+	// TrapHalt: the thread executed HALT (thread exit).
+	TrapHalt
+	// TrapBreak: BRK instruction (debugger breakpoint).
+	TrapBreak
+	// TrapIllegal: undecodable instruction.
+	TrapIllegal
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapNone:
+		return "none"
+	case TrapSyscall:
+		return "syscall"
+	case TrapFault:
+		return "fault"
+	case TrapHalt:
+		return "halt"
+	case TrapBreak:
+		return "break"
+	case TrapIllegal:
+		return "illegal"
+	}
+	return "trap?"
+}
+
+// Trap is the outcome of one Step.
+type Trap struct {
+	Kind  TrapKind
+	Sys   int   // syscall number when Kind == TrapSyscall
+	Fault Fault // fault details when Kind == TrapFault
+}
+
+// Per-instruction cycle costs, chosen so realistic instruction mixes run at
+// roughly 1 cycle/instruction with memory operations costing extra, like
+// the in-order Pentium Pro pipeline the paper measured on (in spirit).
+const (
+	CycInstr = 1 // base cost of any instruction
+	CycMem   = 2 // additional cost of a data memory access
+	CycBr    = 1 // additional cost of a taken branch
+)
+
+// Step executes exactly one instruction of the thread whose register file
+// is r against memory m. It returns the cycles consumed and the trap that
+// ended the instruction (TrapNone for normal retirement).
+//
+// Faults are precise: on TrapFault no register has been modified and r.PC
+// still addresses the faulting instruction, so resolving the fault and
+// re-entering Step resumes transparently.
+func Step(r *Regs, m Memory) (uint64, Trap) {
+	if n := SyscallNum(r.PC); n >= 0 {
+		return 0, Trap{Kind: TrapSyscall, Sys: n}
+	}
+	w0, f := m.Fetch32(r.PC)
+	if f != nil {
+		return CycInstr, Trap{Kind: TrapFault, Fault: *f}
+	}
+	imm, f := m.Fetch32(r.PC + 4)
+	if f != nil {
+		return CycInstr, Trap{Kind: TrapFault, Fault: *f}
+	}
+	op := Opcode(w0 >> 24)
+	rd := int(w0>>20) & 0xF
+	rs := int(w0>>16) & 0xF
+	rt := int(w0>>12) & 0xF
+	if rd >= NumRegs || rs >= NumRegs || rt >= NumRegs {
+		return CycInstr, Trap{Kind: TrapIllegal}
+	}
+	next := r.PC + InstrSize
+	cycles := uint64(CycInstr)
+
+	switch op {
+	case OpNop:
+	case OpHalt:
+		return cycles, Trap{Kind: TrapHalt}
+	case OpBrk:
+		r.PC = next
+		return cycles, Trap{Kind: TrapBreak}
+	case OpMovi:
+		r.R[rd] = imm
+	case OpMov:
+		r.R[rd] = r.R[rs]
+	case OpAdd:
+		r.R[rd] = r.R[rs] + r.R[rt]
+	case OpSub:
+		r.R[rd] = r.R[rs] - r.R[rt]
+	case OpAnd:
+		r.R[rd] = r.R[rs] & r.R[rt]
+	case OpOr:
+		r.R[rd] = r.R[rs] | r.R[rt]
+	case OpXor:
+		r.R[rd] = r.R[rs] ^ r.R[rt]
+	case OpShl:
+		r.R[rd] = r.R[rs] << (r.R[rt] & 31)
+	case OpShr:
+		r.R[rd] = r.R[rs] >> (r.R[rt] & 31)
+	case OpMul:
+		r.R[rd] = r.R[rs] * r.R[rt]
+		cycles += 3
+	case OpAddi:
+		r.R[rd] = r.R[rs] + imm
+	case OpLd:
+		v, f := m.Load32(r.R[rs] + imm)
+		if f != nil {
+			return cycles, Trap{Kind: TrapFault, Fault: *f}
+		}
+		r.R[rd] = v
+		cycles += CycMem
+	case OpSt:
+		if f := m.Store32(r.R[rs]+imm, r.R[rt]); f != nil {
+			return cycles, Trap{Kind: TrapFault, Fault: *f}
+		}
+		cycles += CycMem
+	case OpLdb:
+		v, f := m.Load8(r.R[rs] + imm)
+		if f != nil {
+			return cycles, Trap{Kind: TrapFault, Fault: *f}
+		}
+		r.R[rd] = uint32(v)
+		cycles += CycMem
+	case OpStb:
+		if f := m.Store8(r.R[rs]+imm, byte(r.R[rt])); f != nil {
+			return cycles, Trap{Kind: TrapFault, Fault: *f}
+		}
+		cycles += CycMem
+	case OpBeq:
+		if r.R[rs] == r.R[rt] {
+			next = imm
+			cycles += CycBr
+		}
+	case OpBne:
+		if r.R[rs] != r.R[rt] {
+			next = imm
+			cycles += CycBr
+		}
+	case OpBlt:
+		if r.R[rs] < r.R[rt] {
+			next = imm
+			cycles += CycBr
+		}
+	case OpBge:
+		if r.R[rs] >= r.R[rt] {
+			next = imm
+			cycles += CycBr
+		}
+	case OpJmp:
+		next = imm
+		cycles += CycBr
+	case OpCall:
+		r.R[LR] = next
+		next = imm
+		cycles += CycBr
+	case OpCallR:
+		r.R[LR] = next
+		next = r.R[rs]
+		cycles += CycBr
+	case OpRet:
+		next = r.R[LR]
+		cycles += CycBr
+	default:
+		return cycles, Trap{Kind: TrapIllegal}
+	}
+	r.PC = next
+	return cycles, Trap{Kind: TrapNone}
+}
+
+// Opcode identifies an instruction.
+type Opcode uint8
+
+// The instruction set. Two words per instruction:
+//
+//	word0: opcode(8) | rd(4) | rs(4) | rt(4) | reserved(12)
+//	word1: imm(32)
+const (
+	OpNop Opcode = iota
+	OpHalt
+	OpBrk
+	OpMovi // rd = imm
+	OpMov  // rd = rs
+	OpAdd  // rd = rs + rt
+	OpSub  // rd = rs - rt
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpMul
+	OpAddi // rd = rs + imm
+	OpLd   // rd = mem32[rs+imm]
+	OpSt   // mem32[rs+imm] = rt
+	OpLdb  // rd = mem8[rs+imm]
+	OpStb  // mem8[rs+imm] = rt (low byte)
+	OpBeq  // if rs == rt: PC = imm
+	OpBne
+	OpBlt  // unsigned <
+	OpBge  // unsigned >=
+	OpJmp  // PC = imm
+	OpCall // LR = PC+8; PC = imm
+	OpCallR
+	OpRet // PC = LR
+	opMax
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpHalt: "halt", OpBrk: "brk", OpMovi: "movi", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpMul: "mul", OpAddi: "addi",
+	OpLd: "ld", OpSt: "st", OpLdb: "ldb", OpStb: "stb",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpJmp: "jmp", OpCall: "call", OpCallR: "callr", OpRet: "ret",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Instr is a decoded instruction, used by the assembler in internal/prog
+// and by the disassembler.
+type Instr struct {
+	Op         Opcode
+	Rd, Rs, Rt int
+	Imm        uint32
+}
+
+// Encode packs the instruction into its two memory words.
+func (i Instr) Encode() (uint32, uint32) {
+	w0 := uint32(i.Op)<<24 | uint32(i.Rd&0xF)<<20 | uint32(i.Rs&0xF)<<16 | uint32(i.Rt&0xF)<<12
+	return w0, i.Imm
+}
+
+// Decode unpacks two memory words into an instruction.
+func Decode(w0, imm uint32) Instr {
+	return Instr{
+		Op:  Opcode(w0 >> 24),
+		Rd:  int(w0>>20) & 0xF,
+		Rs:  int(w0>>16) & 0xF,
+		Rt:  int(w0>>12) & 0xF,
+		Imm: imm,
+	}
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case OpNop, OpHalt, OpBrk, OpRet:
+		return i.Op.String()
+	case OpMovi:
+		return fmt.Sprintf("movi r%d, %#x", i.Rd, i.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov r%d, r%d", i.Rd, i.Rs)
+	case OpAddi:
+		return fmt.Sprintf("addi r%d, r%d, %#x", i.Rd, i.Rs, i.Imm)
+	case OpLd, OpLdb:
+		return fmt.Sprintf("%s r%d, [r%d+%#x]", i.Op, i.Rd, i.Rs, i.Imm)
+	case OpSt, OpStb:
+		return fmt.Sprintf("%s [r%d+%#x], r%d", i.Op, i.Rs, i.Imm, i.Rt)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s r%d, r%d, %#x", i.Op, i.Rs, i.Rt, i.Imm)
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s %#x", i.Op, i.Imm)
+	case OpCallR:
+		return fmt.Sprintf("callr r%d", i.Rs)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs, i.Rt)
+	}
+}

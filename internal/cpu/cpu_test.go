@@ -1,0 +1,393 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// flatMem is a simple flat test memory with an optional fault window.
+type flatMem struct {
+	data      []byte
+	faultFrom uint32
+	faultTo   uint32 // exclusive; 0,0 = never fault
+}
+
+func (m *flatMem) fault(va uint32, n uint32) bool {
+	return m.faultTo > m.faultFrom && va+n > m.faultFrom && va < m.faultTo
+}
+
+func (m *flatMem) Load32(va uint32) (uint32, *Fault) {
+	if m.fault(va, 4) || int(va)+4 > len(m.data) {
+		return 0, &Fault{VA: va, Access: Read}
+	}
+	d := m.data[va:]
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+}
+
+func (m *flatMem) Store32(va uint32, v uint32) *Fault {
+	if m.fault(va, 4) || int(va)+4 > len(m.data) {
+		return &Fault{VA: va, Access: Write}
+	}
+	d := m.data[va:]
+	d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return nil
+}
+
+func (m *flatMem) Load8(va uint32) (byte, *Fault) {
+	if m.fault(va, 1) || int(va) >= len(m.data) {
+		return 0, &Fault{VA: va, Access: Read}
+	}
+	return m.data[va], nil
+}
+
+func (m *flatMem) Store8(va uint32, v byte) *Fault {
+	if m.fault(va, 1) || int(va) >= len(m.data) {
+		return &Fault{VA: va, Access: Write}
+	}
+	m.data[va] = v
+	return nil
+}
+
+func (m *flatMem) Fetch32(va uint32) (uint32, *Fault) {
+	v, f := m.Load32(va)
+	if f != nil {
+		f.Access = Exec
+	}
+	return v, f
+}
+
+// load assembles instructions at address 0.
+func load(m *flatMem, instrs ...Instr) {
+	va := uint32(0)
+	for _, in := range instrs {
+		w0, w1 := in.Encode()
+		if f := m.Store32(va, w0); f != nil {
+			panic(f)
+		}
+		if f := m.Store32(va+4, w1); f != nil {
+			panic(f)
+		}
+		va += InstrSize
+	}
+}
+
+// run steps until a non-None trap or limit instructions.
+func run(t *testing.T, r *Regs, m Memory, limit int) Trap {
+	t.Helper()
+	for i := 0; i < limit; i++ {
+		_, tr := Step(r, m)
+		if tr.Kind != TrapNone {
+			return tr
+		}
+	}
+	t.Fatal("run: instruction limit exceeded")
+	return Trap{}
+}
+
+func TestArithmetic(t *testing.T) {
+	m := &flatMem{data: make([]byte, 4096)}
+	load(m,
+		Instr{Op: OpMovi, Rd: 0, Imm: 10},
+		Instr{Op: OpMovi, Rd: 1, Imm: 3},
+		Instr{Op: OpAdd, Rd: 2, Rs: 0, Rt: 1},     // 13
+		Instr{Op: OpSub, Rd: 3, Rs: 0, Rt: 1},     // 7
+		Instr{Op: OpMul, Rd: 4, Rs: 0, Rt: 1},     // 30
+		Instr{Op: OpAddi, Rd: 5, Rs: 2, Imm: 100}, // 113
+		Instr{Op: OpXor, Rd: 6, Rs: 0, Rt: 0},     // 0
+		Instr{Op: OpHalt},
+	)
+	var r Regs
+	tr := run(t, &r, m, 100)
+	if tr.Kind != TrapHalt {
+		t.Fatalf("trap = %v, want halt", tr.Kind)
+	}
+	want := [8]uint32{10, 3, 13, 7, 30, 113, 0, 0}
+	for i, w := range want {
+		if r.R[i] != w {
+			t.Errorf("R%d = %d, want %d", i, r.R[i], w)
+		}
+	}
+}
+
+func TestLoadStoreAndBranchLoop(t *testing.T) {
+	m := &flatMem{data: make([]byte, 8192)}
+	// Sum bytes 0..9 stored at 4096.. into R2.
+	for i := 0; i < 10; i++ {
+		m.data[4096+i] = byte(i + 1)
+	}
+	load(m,
+		Instr{Op: OpMovi, Rd: 0, Imm: 4096}, // ptr
+		Instr{Op: OpMovi, Rd: 1, Imm: 10},   // count
+		Instr{Op: OpMovi, Rd: 2, Imm: 0},    // sum
+		Instr{Op: OpMovi, Rd: 3, Imm: 0},    // i
+		// loop @ 4*8=32:
+		Instr{Op: OpBeq, Rs: 3, Rt: 1, Imm: 9 * InstrSize}, // if i==count goto end
+		Instr{Op: OpLdb, Rd: 4, Rs: 0, Imm: 0},
+		Instr{Op: OpAdd, Rd: 2, Rs: 2, Rt: 4},
+		Instr{Op: OpAddi, Rd: 0, Rs: 0, Imm: 1},
+		Instr{Op: OpAddi, Rd: 3, Rs: 3, Imm: 1},
+		Instr{Op: OpJmp, Imm: 4 * InstrSize},
+		// end @ 9*8=72 (intentionally placed after jmp):
+	)
+	// place halt at entry 10 (the BEQ target is 9*8=72? recompute: instrs
+	// indices 0..9; target "end" is index 10 at 80).
+	m2 := &flatMem{data: make([]byte, 8192)}
+	copy(m2.data, m.data)
+	load(m2,
+		Instr{Op: OpMovi, Rd: 0, Imm: 4096},
+		Instr{Op: OpMovi, Rd: 1, Imm: 10},
+		Instr{Op: OpMovi, Rd: 2, Imm: 0},
+		Instr{Op: OpMovi, Rd: 3, Imm: 0},
+		Instr{Op: OpBeq, Rs: 3, Rt: 1, Imm: 10 * InstrSize},
+		Instr{Op: OpLdb, Rd: 4, Rs: 0, Imm: 0},
+		Instr{Op: OpAdd, Rd: 2, Rs: 2, Rt: 4},
+		Instr{Op: OpAddi, Rd: 0, Rs: 0, Imm: 1},
+		Instr{Op: OpAddi, Rd: 3, Rs: 3, Imm: 1},
+		Instr{Op: OpJmp, Imm: 4 * InstrSize},
+		Instr{Op: OpHalt},
+	)
+	for i := 0; i < 10; i++ {
+		m2.data[4096+i] = byte(i + 1)
+	}
+	var r Regs
+	tr := run(t, &r, m2, 1000)
+	if tr.Kind != TrapHalt {
+		t.Fatalf("trap = %v, want halt", tr.Kind)
+	}
+	if r.R[2] != 55 {
+		t.Fatalf("sum = %d, want 55", r.R[2])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	m := &flatMem{data: make([]byte, 4096)}
+	load(m,
+		Instr{Op: OpCall, Imm: 3 * InstrSize}, // call fn
+		Instr{Op: OpHalt},                     // after return
+		Instr{Op: OpNop},
+		Instr{Op: OpMovi, Rd: 0, Imm: 42}, // fn:
+		Instr{Op: OpRet},
+	)
+	var r Regs
+	tr := run(t, &r, m, 100)
+	if tr.Kind != TrapHalt || r.R[0] != 42 {
+		t.Fatalf("trap=%v R0=%d, want halt 42", tr.Kind, r.R[0])
+	}
+	if r.R[LR] != InstrSize {
+		t.Fatalf("LR = %#x, want %#x", r.R[LR], InstrSize)
+	}
+}
+
+func TestSyscallTrapViaCall(t *testing.T) {
+	m := &flatMem{data: make([]byte, 4096)}
+	load(m,
+		Instr{Op: OpCall, Imm: SyscallEntry(5)},
+		Instr{Op: OpHalt},
+	)
+	var r Regs
+	_, tr := Step(&r, m) // executes CALL
+	if tr.Kind != TrapNone {
+		t.Fatalf("CALL trapped: %v", tr.Kind)
+	}
+	if r.PC != SyscallEntry(5) {
+		t.Fatalf("PC = %#x, want entry 5", r.PC)
+	}
+	_, tr = Step(&r, m)
+	if tr.Kind != TrapSyscall || tr.Sys != 5 {
+		t.Fatalf("trap = %v sys=%d, want syscall 5", tr.Kind, tr.Sys)
+	}
+	// Kernel completes the call: return to LR.
+	r.PC = r.R[LR]
+	_, tr = Step(&r, m)
+	if tr.Kind != TrapHalt {
+		t.Fatalf("after return, trap = %v, want halt", tr.Kind)
+	}
+}
+
+func TestSyscallEntrypointRewrite(t *testing.T) {
+	// The kernel can re-point a trapped thread at a different entrypoint
+	// (cond_wait -> mutex_lock); the next step must trap with the new
+	// number and the same LR.
+	m := &flatMem{data: make([]byte, 4096)}
+	load(m,
+		Instr{Op: OpCall, Imm: SyscallEntry(7)},
+		Instr{Op: OpHalt},
+	)
+	var r Regs
+	Step(&r, m)
+	_, tr := Step(&r, m)
+	if tr.Sys != 7 {
+		t.Fatalf("sys = %d", tr.Sys)
+	}
+	lr := r.R[LR]
+	r.PC = SyscallEntry(9) // kernel rewrites the continuation
+	_, tr = Step(&r, m)
+	if tr.Kind != TrapSyscall || tr.Sys != 9 {
+		t.Fatalf("after rewrite: %v sys=%d, want syscall 9", tr.Kind, tr.Sys)
+	}
+	if r.R[LR] != lr {
+		t.Fatal("LR changed by entrypoint rewrite")
+	}
+}
+
+func TestPreciseFaultLeavesStateUnchanged(t *testing.T) {
+	m := &flatMem{data: make([]byte, 8192), faultFrom: 4096, faultTo: 8192}
+	load(m,
+		Instr{Op: OpMovi, Rd: 0, Imm: 4096},
+		Instr{Op: OpLd, Rd: 1, Rs: 0, Imm: 0},
+		Instr{Op: OpHalt},
+	)
+	var r Regs
+	Step(&r, m) // movi
+	before := r
+	_, tr := Step(&r, m)
+	if tr.Kind != TrapFault {
+		t.Fatalf("trap = %v, want fault", tr.Kind)
+	}
+	if tr.Fault.VA != 4096 || tr.Fault.Access != Read {
+		t.Fatalf("fault = %+v", tr.Fault)
+	}
+	if r != before {
+		t.Fatalf("registers changed across fault: %+v -> %+v", before, r)
+	}
+	// Resolve the fault and resume: execution continues transparently.
+	m.faultTo = 0
+	m.Store32(4096, 0xDEADBEEF)
+	_, tr = Step(&r, m)
+	if tr.Kind != TrapNone || r.R[1] != 0xDEADBEEF {
+		t.Fatalf("resume failed: %v R1=%#x", tr.Kind, r.R[1])
+	}
+}
+
+func TestStoreFault(t *testing.T) {
+	m := &flatMem{data: make([]byte, 8192), faultFrom: 4096, faultTo: 8192}
+	load(m,
+		Instr{Op: OpMovi, Rd: 0, Imm: 4096},
+		Instr{Op: OpMovi, Rd: 1, Imm: 7},
+		Instr{Op: OpSt, Rs: 0, Rt: 1, Imm: 0},
+	)
+	var r Regs
+	Step(&r, m)
+	Step(&r, m)
+	_, tr := Step(&r, m)
+	if tr.Kind != TrapFault || tr.Fault.Access != Write {
+		t.Fatalf("trap = %v %+v, want write fault", tr.Kind, tr.Fault)
+	}
+}
+
+func TestIllegalInstruction(t *testing.T) {
+	m := &flatMem{data: make([]byte, 4096)}
+	m.Store32(0, uint32(opMax)<<24)
+	var r Regs
+	_, tr := Step(&r, m)
+	if tr.Kind != TrapIllegal {
+		t.Fatalf("trap = %v, want illegal", tr.Kind)
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	cases := []struct {
+		op    Opcode
+		a, b  uint32
+		taken bool
+	}{
+		{OpBeq, 5, 5, true}, {OpBeq, 5, 6, false},
+		{OpBne, 5, 6, true}, {OpBne, 5, 5, false},
+		{OpBlt, 4, 5, true}, {OpBlt, 5, 5, false}, {OpBlt, 6, 5, false},
+		{OpBge, 5, 5, true}, {OpBge, 6, 5, true}, {OpBge, 4, 5, false},
+	}
+	for _, c := range cases {
+		m := &flatMem{data: make([]byte, 4096)}
+		load(m,
+			Instr{Op: OpMovi, Rd: 0, Imm: c.a},
+			Instr{Op: OpMovi, Rd: 1, Imm: c.b},
+			Instr{Op: c.op, Rs: 0, Rt: 1, Imm: 5 * InstrSize},
+			Instr{Op: OpMovi, Rd: 2, Imm: 1}, // not taken path
+			Instr{Op: OpHalt},
+			Instr{Op: OpMovi, Rd: 2, Imm: 2}, // taken path
+			Instr{Op: OpHalt},
+		)
+		var r Regs
+		run(t, &r, m, 100)
+		want := uint32(1)
+		if c.taken {
+			want = 2
+		}
+		if r.R[2] != want {
+			t.Errorf("%v(%d,%d): path=%d want %d", c.op, c.a, c.b, r.R[2], want)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	m := &flatMem{data: make([]byte, 4096)}
+	load(m,
+		Instr{Op: OpMovi, Rd: 0, Imm: 1},
+		Instr{Op: OpMovi, Rd: 1, Imm: 12},
+		Instr{Op: OpShl, Rd: 2, Rs: 0, Rt: 1}, // 4096
+		Instr{Op: OpShr, Rd: 3, Rs: 2, Rt: 1}, // 1
+		Instr{Op: OpHalt},
+	)
+	var r Regs
+	run(t, &r, m, 100)
+	if r.R[2] != 4096 || r.R[3] != 1 {
+		t.Fatalf("R2=%d R3=%d", r.R[2], r.R[3])
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, rd, rs, rt uint8, imm uint32) bool {
+		in := Instr{
+			Op: Opcode(op % uint8(opMax)),
+			Rd: int(rd % NumRegs), Rs: int(rs % NumRegs), Rt: int(rt % NumRegs),
+			Imm: imm,
+		}
+		w0, w1 := in.Encode()
+		out := Decode(w0, w1)
+		return out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyscallNumRoundTrip(t *testing.T) {
+	for n := 0; n < MaxSyscalls; n++ {
+		if got := SyscallNum(SyscallEntry(n)); got != n {
+			t.Fatalf("SyscallNum(SyscallEntry(%d)) = %d", n, got)
+		}
+	}
+	if SyscallNum(0) != -1 || SyscallNum(SyscallBase+3) != -1 {
+		t.Fatal("non-entry PCs must return -1")
+	}
+	if SyscallNum(SyscallBase+MaxSyscalls*InstrSize) != -1 {
+		t.Fatal("past-the-end PC must return -1")
+	}
+}
+
+func TestDisassemblerCoversAllOpcodes(t *testing.T) {
+	for op := Opcode(0); op < opMax; op++ {
+		in := Instr{Op: op, Rd: 1, Rs: 2, Rt: 3, Imm: 0x10}
+		if s := in.String(); s == "" {
+			t.Errorf("empty disassembly for %v", op)
+		}
+	}
+}
+
+// Property: Step on a fault never mutates registers (precise exceptions).
+func TestPropertyFaultsArePrecise(t *testing.T) {
+	f := func(seed uint8) bool {
+		m := &flatMem{data: make([]byte, 8192), faultFrom: 4096, faultTo: 8192}
+		ops := []Opcode{OpLd, OpSt, OpLdb, OpStb}
+		op := ops[int(seed)%len(ops)]
+		load(m, Instr{Op: op, Rd: 1, Rs: 0, Rt: 2, Imm: 0})
+		var r Regs
+		r.R[0] = 4096 + uint32(seed)*13%4096
+		before := r
+		_, tr := Step(&r, m)
+		return tr.Kind == TrapFault && r == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package dev
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/sys"
+)
+
+// Driver-space guest layout.
+const (
+	drvCode = 0x0001_0000
+	drvData = 0x0004_0000 // request buffer + scratch
+	drvMMIO = 0x00D0_0000 // device register window
+	drvDMA  = 0x00E0_0000 // DMA region window
+	drvReq  = drvData + 0x100
+)
+
+// Driver is an attached device + its service thread.
+type Driver struct {
+	Device *BlockDevice
+	Thread *obj.Thread
+	Space  *obj.Space
+	Port   *obj.Port
+	// IRQLine is the virtual interrupt line the device raises.
+	IRQLine int
+}
+
+// Attach creates the whole §5.6 arrangement on kernel k: a block device
+// with `capacity` sectors, a driver space with the device registers and
+// DMA window mapped, and a driver thread serving single-sector read RPCs
+// on a fresh port. Clients connect through a Reference to that port.
+//
+// Protocol: request = 1 word (sector number); reply = 128 words (the
+// sector's 512 bytes), sent straight out of the DMA window.
+func Attach(k *core.Kernel, capacity int, irqLine int, latency uint64, priority int) (*Driver, error) {
+	if irqLine < 0 || irqLine >= core.NumIRQLines {
+		return nil, fmt.Errorf("dev: IRQ line %d out of range", irqLine)
+	}
+	s := k.NewSpace()
+
+	// DMA region: one page is plenty for single-sector transfers.
+	dmaReg := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(mem.PageSize, true)}
+	k.BindFresh(s, dmaReg)
+	if _, err := k.MapInto(s, dmaReg, drvDMA, 0, mem.PageSize, mmu.PermRW); err != nil {
+		return nil, err
+	}
+	// Pre-touch the DMA window so replies sent from it never fault.
+	if err := k.WriteMem(s, drvDMA, make([]byte, mem.PageSize)); err != nil {
+		return nil, err
+	}
+
+	d := New(k.Clock, k.Alloc, capacity, dmaReg.R, latency, func() { k.RaiseIRQ(irqLine) })
+	if err := s.AS.MapIO(drvMMIO, mem.PageSize, d); err != nil {
+		return nil, err
+	}
+
+	// Scratch/request page.
+	scratch := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(mem.PageSize, true)}
+	k.BindFresh(s, scratch)
+	if _, err := k.MapInto(s, scratch, drvData, 0, mem.PageSize, mmu.PermRW); err != nil {
+		return nil, err
+	}
+	if err := k.WriteMem(s, drvData, make([]byte, 64)); err != nil {
+		return nil, err
+	}
+
+	// Service port.
+	po, _ := obj.New(sys.ObjPort)
+	pso, _ := obj.New(sys.ObjPortset)
+	port := po.(*obj.Port)
+	ps := pso.(*obj.Portset)
+	k.BindFresh(s, port)
+	psVA := k.BindFresh(s, ps)
+	ps.AddPort(port)
+
+	b := DriverProgram(psVA, uint32(irqLine))
+	th, err := k.SpawnProgram(s, drvCode, b.MustAssemble(), priority)
+	if err != nil {
+		return nil, err
+	}
+	return &Driver{Device: d, Thread: th, Space: s, Port: port, IRQLine: irqLine}, nil
+}
+
+// ClientRef binds a Reference to the driver's port into a client space
+// and returns its handle VA.
+func (dr *Driver) ClientRef(k *core.Kernel, client *obj.Space) uint32 {
+	ref := &obj.Ref{Header: obj.Header{Type: sys.ObjRef}, Target: dr.Port}
+	return k.BindFresh(client, ref)
+}
+
+// DriverProgram builds the driver service loop:
+//
+//	receive a sector-read request
+//	program the device (SECTOR, DMAOFF=0, COUNT=1, CMD=READ)
+//	irq_wait for completion, acknowledge it
+//	reply with the 128 words the device DMA'd, wait for the next request
+//
+// The loop never touches the medium directly — only device registers and
+// the DMA window, like a real driver.
+func DriverProgram(psVA, irqLine uint32) *prog.Builder {
+	b := prog.New(drvCode)
+	b.IPCWaitReceive(drvReq, 1, psVA)
+	b.Label("serve")
+	// r6 = requested sector (survives syscalls).
+	b.Movi(4, drvReq).Ld(6, 4, 0)
+	// Program the device registers.
+	b.Movi(4, drvMMIO).
+		St(4, RegSector, 6).
+		Movi(5, 1).St(4, RegCount, 5).
+		Movi(5, 0).St(4, RegDMAOff, 5).
+		Movi(5, CmdRead).St(4, RegCmd, 5)
+	// Wait for the completion interrupt.
+	b.IRQWait(irqLine)
+	// Check status and acknowledge.
+	b.Movi(4, drvMMIO).Ld(5, 4, RegStatus).
+		Movi(2, StatusDone)
+	b.Bne(5, 2, "fail")
+	b.Movi(5, 1).St(4, RegIRQAck, 5)
+	// Reply straight from the DMA window; then wait for the next request.
+	b.IPCReplyWaitReceive(drvDMA, SectorSize/4, psVA, drvReq, 1).
+		Jmp("serve")
+	// Error: reply with one word 0xDEADDEAD.
+	b.Label("fail").
+		Movi(5, 1).St(4, RegIRQAck, 5).
+		Movi(4, drvData+0x80).Movi(5, 0xDEADDEAD).St(4, 0, 5).
+		IPCReplyWaitReceive(drvData+0x80, 1, psVA, drvReq, 1).
+		Jmp("serve")
+	return b
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obj"
+	"repro/internal/workload"
+)
+
+func TestAblationDiag(t *testing.T) {
+	anomalies := 0
+	core.DebugDispatch = func(th *obj.Thread, top int, ok bool) {
+		if ok && top > th.Priority {
+			anomalies++
+			if anomalies < 10 {
+				fmt.Printf("ANOMALY: dispatched t%d prio=%d while prio %d queued\n", th.ID, th.Priority, top)
+			}
+		}
+	}
+	defer func() { core.DebugDispatch = nil }()
+	k := core.New(core.Config{Model: core.ModelInterrupt, Preempt: core.PreemptPartial, PreemptPointBytes: 2048})
+	sc := workload.FlukeperfScale{Nulls: 2000, MutexPairs: 2000, PingPong: 200, RPCs: 200, BigTransfers: 0, BigWords: 4096, Searches: 0}
+	w, err := workload.NewFlukeperf(k, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.InstallProbe(k, 0, 0)
+	if _, err := w.Run(1 << 62); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	fmt.Printf("max=%.1f avg=%.1f runs=%d miss=%d anomalies=%d\n", p.Lat.Max(), p.Lat.Avg(), p.Runs, p.Misses, anomalies)
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/stats"
+	"repro/internal/sys"
+	"repro/internal/workload"
+)
+
+// Ablations on the two preemption design parameters the paper's Table 6
+// turns on:
+//
+//   - how often the IPC copy path takes its explicit preemption point
+//     (the paper chose 8 KB and notes "a few well-placed preemption
+//     points can greatly reduce preemption latency" — but each check
+//     costs a little copy throughput);
+//   - how fine-grained the fully-preemptible kernel's preemption checks
+//     are (finer = lower latency, more checking overhead; the paper's
+//     "certain core component ... must still remain non-preemptible"
+//     sets the floor).
+
+// AblationRow is one parameter setting's latency/throughput measurement.
+type AblationRow struct {
+	Param     string
+	Value     string
+	AvgUS     float64
+	MaxUS     float64
+	VirtualMS float64
+}
+
+// ablationScale is a copy-heavy flukeperf slice so the parameter under
+// study dominates.
+func ablationScale() workload.FlukeperfScale {
+	return workload.FlukeperfScale{
+		Nulls: 2_000, MutexPairs: 2_000, PingPong: 200, RPCs: 200,
+		BigTransfers: 2, BigWords: 1 << 20 / 4, Searches: 0,
+	}
+}
+
+func runAblation(cfg core.Config) (AblationRow, error) {
+	k := core.New(cfg)
+	w, err := workload.NewFlukeperf(k, ablationScale())
+	if err != nil {
+		return AblationRow{}, err
+	}
+	p := workload.InstallProbe(k, 0, 0)
+	cycles, err := w.Run(1 << 62)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	p.Stop()
+	return AblationRow{
+		AvgUS:     p.Lat.Avg(),
+		MaxUS:     p.Lat.Max(),
+		VirtualMS: float64(cycles) / 200_000,
+	}, nil
+}
+
+// AblatePreemptPointSpacing sweeps the PP copy-path preemption-point
+// spacing (Interrupt PP, the configuration whose latency it bounds).
+func AblatePreemptPointSpacing(spacings []uint32) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, sp := range spacings {
+		r, err := runAblation(core.Config{
+			Model: core.ModelInterrupt, Preempt: core.PreemptPartial,
+			PreemptPointBytes: sp,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.Param = "preempt-point spacing"
+		r.Value = fmt.Sprintf("%d KB", sp/1024)
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// AblateFPGranularity sweeps the fully-preemptible kernel's
+// preemption-check granularity (Process FP).
+func AblateFPGranularity(chunks []uint64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, ch := range chunks {
+		r, err := runAblation(core.Config{
+			Model: core.ModelProcess, Preempt: core.PreemptFull,
+			FPChunkCycles: ch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.Param = "FP check granularity"
+		r.Value = fmt.Sprintf("%d cyc (%.0f µs)", ch, float64(ch)/200)
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// DefaultAblation runs both sweeps at standard points (the paper's
+// choices marked by being in the middle of each sweep).
+func DefaultAblation() ([]AblationRow, error) {
+	pp, err := AblatePreemptPointSpacing([]uint32{2048, 8192, 65536, 1 << 20})
+	if err != nil {
+		return nil, err
+	}
+	fp, err := AblateFPGranularity([]uint64{200, 2000, 20000, 200000})
+	if err != nil {
+		return nil, err
+	}
+	return append(pp, fp...), nil
+}
+
+// ContRecRow is one continuation-recognition measurement.
+type ContRecRow struct {
+	Setting    string
+	VirtualMS  float64
+	Syscalls   uint64
+	Switches   uint64
+	Recognized uint64
+}
+
+// ContinuationRecognition measures the §2.2 optimization the explicit
+// continuations enable: completing a blocked mutex_lock by mutating the
+// waiter's register state. The workload is two threads hammering one
+// mutex while holding it across a reschedule, so the unlock path always
+// finds a blocked waiter whose continuation it can recognize. Interrupt
+// model, optimization off vs on.
+func ContinuationRecognition() ([]ContRecRow, error) {
+	const (
+		crCode   = 0x0001_0000
+		crData   = 0x0004_0000
+		crMtx    = crData + 0x10
+		crCtr    = crData + 0x100
+		crRounds = 5_000
+	)
+	build := func(k *core.Kernel) ([]*obj.Thread, error) {
+		s := k.NewSpace()
+		data := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(mem.PageSize, true)}
+		k.BindFresh(s, data)
+		if _, err := k.MapInto(s, data, crData, 0, mem.PageSize, mmu.PermRW); err != nil {
+			return nil, err
+		}
+		mo, _ := obj.New(sys.ObjMutex)
+		if err := k.Bind(s, crMtx, mo); err != nil {
+			return nil, err
+		}
+		b := prog.New(crCode)
+		worker := func(entry string) {
+			b.Label(entry).Movi(6, 0).
+				Label(entry+".loop").
+				MutexLock(crMtx).
+				SchedYield(). // hold across a reschedule: real contention
+				Movi(4, crCtr).Ld(5, 4, 0).Addi(5, 5, 1).St(4, 0, 5).
+				MutexUnlock(crMtx).
+				Addi(6, 6, 1).Movi(5, crRounds).Blt(6, 5, entry+".loop").
+				Halt()
+		}
+		worker("t1")
+		worker("t2")
+		img, err := b.Assemble()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := k.LoadImage(s, crCode, img); err != nil {
+			return nil, err
+		}
+		var ths []*obj.Thread
+		for _, l := range []string{"t1", "t2"} {
+			th := k.NewThread(s, 10)
+			th.Regs.PC = b.Addr(l)
+			k.StartThread(th)
+			ths = append(ths, th)
+		}
+		return ths, nil
+	}
+	var rows []ContRecRow
+	for _, on := range []bool{false, true} {
+		k := core.New(core.Config{Model: core.ModelInterrupt, ContinuationRecognition: on})
+		ths, err := build(k)
+		if err != nil {
+			return nil, err
+		}
+		start := k.Clock.Now()
+		k.RunFor(1 << 40)
+		for _, th := range ths {
+			if !th.Exited {
+				return nil, fmt.Errorf("contrec: worker stuck (state %v)", th.State)
+			}
+		}
+		name := "recognition off (base kernel)"
+		if on {
+			name = "recognition on"
+		}
+		rows = append(rows, ContRecRow{
+			Setting:    name,
+			VirtualMS:  float64(k.Clock.Now()-start) / 200_000,
+			Syscalls:   k.Stats.Syscalls,
+			Switches:   k.Stats.ContextSwitches,
+			Recognized: k.Stats.ContinuationsRecognized,
+		})
+	}
+	return rows, nil
+}
+
+// ContRecRender formats the comparison.
+func ContRecRender(rows []ContRecRow) *stats.Table {
+	t := stats.NewTable("Extension: §2.2 continuation recognition (interrupt model, lock-contended slice)",
+		"Setting", "runtime (ms)", "syscalls", "switches", "recognized")
+	for _, r := range rows {
+		t.Row(r.Setting, r.VirtualMS, r.Syscalls, r.Switches, r.Recognized)
+	}
+	return t
+}
+
+// AblationRender formats the sweep results.
+func AblationRender(rows []AblationRow) *stats.Table {
+	t := stats.NewTable("Ablation: preemption design parameters vs latency (copy-heavy flukeperf slice)",
+		"Parameter", "Setting", "latency avg (µs)", "latency max (µs)", "runtime (ms)")
+	for _, r := range rows {
+		t.Row(r.Param, r.Value, r.AvgUS, r.MaxUS, r.VirtualMS)
+	}
+	return t
+}

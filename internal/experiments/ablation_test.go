@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// TestAblationMonotonicity pins the design tradeoff both sweeps exist to
+// show: coarser preemption checking can only increase worst-case latency.
+func TestAblationMonotonicity(t *testing.T) {
+	pp, err := AblatePreemptPointSpacing([]uint32{2048, 65536, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pp); i++ {
+		if pp[i].MaxUS < pp[i-1].MaxUS {
+			t.Errorf("PP spacing %s max %.1f < %s max %.1f (not monotone)",
+				pp[i].Value, pp[i].MaxUS, pp[i-1].Value, pp[i-1].MaxUS)
+		}
+	}
+	// The paper's point: widely spaced points wreck latency.
+	if pp[len(pp)-1].MaxUS < 10*pp[0].MaxUS {
+		t.Errorf("1 MB spacing max %.1f not >> 2 KB spacing max %.1f",
+			pp[len(pp)-1].MaxUS, pp[0].MaxUS)
+	}
+
+	fp, err := AblateFPGranularity([]uint64{200, 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp[1].MaxUS < fp[0].MaxUS {
+		t.Errorf("FP granularity: coarser checks gave lower max (%.2f < %.2f)",
+			fp[1].MaxUS, fp[0].MaxUS)
+	}
+	// Runtime overhead moves the other way (finer checks cost more), but
+	// only slightly; just sanity-check it does not explode.
+	if fp[0].VirtualMS > 2*fp[1].VirtualMS {
+		t.Errorf("1 µs FP checking doubled runtime: %.1f vs %.1f", fp[0].VirtualMS, fp[1].VirtualMS)
+	}
+}

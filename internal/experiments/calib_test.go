@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestCalibrationDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	sc := FastTable5Scale().Flukeperf
+	for _, cfg := range []core.Config{
+		{Model: core.ModelProcess},
+		{Model: core.ModelInterrupt},
+	} {
+		k := core.New(cfg)
+		w, err := workload.NewFlukeperf(k, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cyc, err := w.Run(1 << 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("%-12s total=%d user=%d kernel=%d sys=%d switches=%d restarts=%d\n",
+			cfg.Name(), cyc, k.Stats.UserCycles, k.Stats.KernelCycles,
+			k.Stats.Syscalls, k.Stats.ContextSwitches, k.Stats.Restarts)
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/stats"
+	"repro/internal/sys"
+	"repro/internal/workload"
+)
+
+// Extension experiment (motivated by §5.2): "microkernels ... that
+// dispatch hardware interrupts to device drivers running as ordinary
+// threads (in which case preemption latency effectively becomes
+// interrupt-handling latency)". We measure it end-to-end: a client reads
+// disk sectors through the user-mode driver while flukeperf hammers the
+// kernel, under each of the five configurations. The driver and client
+// outrank the workload, so every stall is kernel non-preemptibility.
+
+// DriverLatRow is one configuration's service-time distribution.
+type DriverLatRow struct {
+	Config   string
+	AvgUS    float64
+	MaxUS    float64
+	Requests int
+}
+
+const (
+	dlCode = 0x0001_0000
+	dlData = 0x0004_0000
+	dlReq  = dlData + 0x100
+	dlRep  = dlData + 0x1000
+	dlSam  = dlData + 0x3000 // sample array (µs per request)
+)
+
+// driverLatClient builds the measuring client: n timed sector reads with
+// a pause between them.
+func driverLatClient(refVA uint32, n int, pauseUS uint32) *prog.Builder {
+	b := prog.New(dlCode)
+	b.Movi(6, 0).Label("loop").
+		// t0 (µs) -> [dlData+0x40]
+		ClockGet().
+		Movi(4, dlData+0x40).St(4, 0, 1).
+		// request sector (i mod 8)
+		Movi(4, dlReq).Movi(5, 7).And(5, 6, 5).St(4, 0, 5).
+		IPCClientConnectSendOverReceive(dlReq, 1, refVA, dlRep, dev.SectorSize/4).
+		IPCClientDisconnect().
+		// dt = now - t0 -> samples[i]
+		ClockGet().
+		Movi(4, dlData+0x40).Ld(5, 4, 0).
+		Sub(1, 1, 5).
+		Movi(5, 2).Shl(4, 6, 5).Addi(4, 4, dlSam).
+		St(4, 0, 1).
+		ThreadSleepUS(pauseUS).
+		Addi(6, 6, 1).Movi(5, uint32(n)).Blt(6, 5, "loop").
+		Halt()
+	return b
+}
+
+// DriverLatency measures interrupt-handling (driver service) latency per
+// configuration while flukeperf competes.
+func DriverLatency(sc workload.FlukeperfScale, requests int) ([]DriverLatRow, error) {
+	var rows []DriverLatRow
+	for _, cfg := range core.Configurations() {
+		k := core.New(cfg)
+		w, err := workload.NewFlukeperf(k, sc)
+		if err != nil {
+			return nil, err
+		}
+		dr, err := dev.Attach(k, 64, 5, 0, 30)
+		if err != nil {
+			return nil, err
+		}
+		cs := k.NewSpace()
+		data := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(8*mem.PageSize, true)}
+		k.BindFresh(cs, data)
+		if _, err := k.MapInto(cs, data, dlData, 0, 8*mem.PageSize, mmu.PermRW); err != nil {
+			return nil, err
+		}
+		refVA := dr.ClientRef(k, cs)
+		cb := driverLatClient(refVA, requests, 6000)
+		client, err := k.SpawnProgram(cs, dlCode, cb.MustAssemble(), 28)
+		if err != nil {
+			return nil, err
+		}
+		// Run until both the workload and the client finish.
+		w.Done = append(w.Done, client)
+		if _, err := w.Run(1 << 62); err != nil {
+			return nil, fmt.Errorf("driverlat %s: %w", cfg.Name(), err)
+		}
+		var lat stats.Latency
+		raw, err := k.ReadMem(cs, dlSam, requests*4)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < requests; i++ {
+			us := uint32(raw[i*4]) | uint32(raw[i*4+1])<<8 | uint32(raw[i*4+2])<<16 | uint32(raw[i*4+3])<<24
+			lat.Add(float64(us))
+		}
+		rows = append(rows, DriverLatRow{
+			Config:   cfg.Name(),
+			AvgUS:    lat.Avg(),
+			MaxUS:    lat.Max(),
+			Requests: requests,
+		})
+	}
+	return rows, nil
+}
+
+// DriverLatencyRender formats the rows.
+func DriverLatencyRender(rows []DriverLatRow) *stats.Table {
+	t := stats.NewTable("Extension: user-mode driver service latency under load (sector read RPC, device latency 200 µs)",
+		"Configuration", "avg (µs)", "max (µs)", "requests")
+	for _, r := range rows {
+		t.Row(r.Config, r.AvgUS, r.MaxUS, r.Requests)
+	}
+	return t
+}

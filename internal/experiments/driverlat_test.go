@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestDriverLatencyShape pins the §5.2 claim the extension experiment
+// exists for: with drivers as threads, preemption latency becomes
+// interrupt-handling latency. FP keeps service time near the raw device
+// latency; NP adds its multi-millisecond kernel bursts on top.
+func TestDriverLatencyShape(t *testing.T) {
+	sc := workload.FlukeperfScale{
+		Nulls: 5_000, MutexPairs: 5_000, PingPong: 1_000, RPCs: 1_000,
+		BigTransfers: 2, BigWords: 1 << 20 / 4, Searches: 2,
+	}
+	rows, err := DriverLatency(sc, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCfg := map[string]DriverLatRow{}
+	for _, r := range rows {
+		byCfg[r.Config] = r
+	}
+	fp := byCfg["Process FP"]
+	// FP: device latency (200 µs) plus small bounded kernel delays.
+	if fp.MaxUS > 500 {
+		t.Errorf("FP max service %.0f µs, want near the 200 µs device latency", fp.MaxUS)
+	}
+	for _, np := range []string{"Process NP", "Interrupt NP"} {
+		if byCfg[np].MaxUS < 3*fp.MaxUS {
+			t.Errorf("%s max %.0f µs not >> FP %.0f µs", np, byCfg[np].MaxUS, fp.MaxUS)
+		}
+	}
+	for _, r := range rows {
+		if r.AvgUS < 200 {
+			t.Errorf("%s avg %.0f µs below the raw device latency", r.Config, r.AvgUS)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/stats"
+)
+
+// The §5.5 architectural-bias microbenchmark: on a process-model-biased
+// CPU, an interrupt-model kernel must move the saved state between the
+// per-CPU stack and the thread structure on every kernel entry and exit.
+// The paper measures this at about six cycles against a ~70-cycle minimal
+// kernel entry/exit — under 10% even for the fastest possible system
+// call. We reproduce it by timing null system calls under both models.
+
+// NullSyscallResult is the measured per-call kernel cost for one model.
+type NullSyscallResult struct {
+	Model        string
+	KernelCycles float64 // kernel cycles per null syscall
+	TotalCycles  float64 // total (user+kernel) cycles per iteration
+}
+
+// NullSyscall measures count null syscalls under both execution models
+// and returns (process, interrupt, delta-cycles).
+func NullSyscall(count int) (NullSyscallResult, NullSyscallResult, float64, error) {
+	run := func(cfg core.Config) (NullSyscallResult, error) {
+		k := core.New(cfg)
+		s := k.NewSpace()
+		b := prog.New(0x0001_0000)
+		b.Movi(6, 0).Label("loop").
+			Null().
+			Addi(6, 6, 1).Movi(5, uint32(count)).Blt(6, 5, "loop").
+			Halt()
+		th, err := k.SpawnProgram(s, 0x0001_0000, b.MustAssemble(), 8)
+		if err != nil {
+			return NullSyscallResult{}, err
+		}
+		start := k.Clock.Now()
+		k.RunFor(runBudget)
+		if !th.Exited {
+			return NullSyscallResult{}, fmt.Errorf("nullsys: thread stuck")
+		}
+		elapsed := k.Clock.Now() - start
+		return NullSyscallResult{
+			Model:        cfg.Model.String(),
+			KernelCycles: float64(k.Stats.KernelCycles) / float64(count),
+			TotalCycles:  float64(elapsed) / float64(count),
+		}, nil
+	}
+	p, err := run(core.Config{Model: core.ModelProcess})
+	if err != nil {
+		return NullSyscallResult{}, NullSyscallResult{}, 0, err
+	}
+	i, err := run(core.Config{Model: core.ModelInterrupt})
+	if err != nil {
+		return NullSyscallResult{}, NullSyscallResult{}, 0, err
+	}
+	return p, i, i.KernelCycles - p.KernelCycles, nil
+}
+
+// NullSyscallRender formats the microbenchmark.
+func NullSyscallRender(p, i NullSyscallResult, delta float64) *stats.Table {
+	t := stats.NewTable("§5.5 microbenchmark: null system call cost by execution model",
+		"Model", "kernel cycles/call", "total cycles/iter")
+	t.Row("Process", p.KernelCycles, p.TotalCycles)
+	t.Row("Interrupt", i.KernelCycles, i.TotalCycles)
+	t.Row("Interrupt-model overhead", delta, "")
+	return t
+}

@@ -1,0 +1,93 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the syscall inventory (Table 1), the object types (Table 2),
+// IPC restart costs (Table 3), the configuration matrix (Table 4),
+// application performance across kernel configurations (Table 5),
+// preemption latency (Table 6), per-thread memory overhead (Table 7), the
+// API/execution-model continuum (Figure 1), and the §5.5 null-syscall
+// architectural-bias microbenchmark.
+//
+// Each experiment builds fresh kernels, so results are deterministic and
+// independent. cmd/flukebench prints them; bench_test.go wraps them in
+// testing.B benchmarks; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/sys"
+)
+
+// Table1 regenerates the syscall inventory: 8 trivial / 68 short / 8 long
+// / 23 multi-stage = 107.
+func Table1() *stats.Table {
+	t := stats.NewTable("Table 1: Breakdown of the number and types of system calls in the Fluke API",
+		"Type", "Examples", "Count", "Percent")
+	counts := sys.CountByCategory()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	examples := map[sys.Category]string{
+		sys.Trivial:    "thread_self",
+		sys.Short:      "mutex_trylock",
+		sys.Long:       "mutex_lock",
+		sys.MultiStage: "cond_wait, IPC",
+	}
+	for _, cat := range []sys.Category{sys.Trivial, sys.Short, sys.Long, sys.MultiStage} {
+		n := counts[cat]
+		t.Row(cat.String(), examples[cat], n, fmt.Sprintf("%d%%", (n*100+total/2)/total))
+	}
+	t.Row("Total", "", total, "100%")
+	return t
+}
+
+// Table1Counts exposes the raw category counts for tests.
+func Table1Counts() map[sys.Category]int { return sys.CountByCategory() }
+
+// Table2 regenerates the primitive-object-type table.
+func Table2() *stats.Table {
+	t := stats.NewTable("Table 2: The primitive object types exported by the Fluke kernel",
+		"Object", "Description")
+	for ot := sys.ObjType(0); ot < sys.NumObjTypes; ot++ {
+		name := strings.ToUpper(ot.String()[:1]) + ot.String()[1:]
+		t.Row(name, sys.ObjTypeDescriptions[ot])
+	}
+	return t
+}
+
+// Table4 regenerates the kernel-configuration matrix.
+func Table4() *stats.Table {
+	t := stats.NewTable("Table 4: Kernel configurations", "Configuration", "Description")
+	t.Row("Process NP", "Process model, no kernel preemption; no kernel locking.")
+	t.Row("Process PP", "Process model, explicit preemption point on the IPC copy path every 8k.")
+	t.Row("Process FP", "Process model, full kernel preemption; blocking kernel locks.")
+	t.Row("Interrupt NP", "Interrupt model, no kernel preemption.")
+	t.Row("Interrupt PP", "Interrupt model, same IPC preemption point as Process PP.")
+	return t
+}
+
+// Figure1 renders the kernel execution-model / API-model continuum of
+// Figure 1 as text.
+func Figure1() string {
+	return strings.TrimLeft(`
+Figure 1: The kernel execution and API model continuums.
+
+                    Execution Model
+               Interrupt         Process
+             +-----------------+-----------------+
+  Atomic     |  Fluke          |  Fluke          |
+  API        |  (interrupt-    |  (process-      |
+             |   model)        |   model)        |
+             |                 |  ITS            |
+             +-----------------+-----------------+
+  Conven-    |  V (original)   |  V (Carter)     |
+  tional     |  Mach (Draves)  |  Mach (original)|
+  API        |  QNX, exokernel |  BSD, Linux, NT |
+             +-----------------+-----------------+
+
+Fluke supports either execution model via compile-time options; this
+reproduction selects it with core.Config.Model.
+`, "\n")
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Table 5: performance of the three applications under the five kernel
+// configurations, normalized to Process NP.
+
+// Table5Scale selects workload sizes.
+type Table5Scale struct {
+	Flukeperf    workload.FlukeperfScale
+	MemtestBytes uint32
+	GCC          workload.GCCScale
+}
+
+// FullTable5Scale approximates the paper's runs (16 MB memtest).
+func FullTable5Scale() Table5Scale {
+	return Table5Scale{
+		Flukeperf:    workload.DefaultFlukeperfScale(),
+		MemtestBytes: workload.MemtestBytes,
+		GCC:          workload.DefaultGCCScale(),
+	}
+}
+
+// FastTable5Scale runs in a few seconds of host time.
+func FastTable5Scale() Table5Scale {
+	return Table5Scale{
+		Flukeperf: workload.FlukeperfScale{
+			Nulls: 5_000, MutexPairs: 5_000, PingPong: 2_000, RPCs: 2_000,
+			BigTransfers: 1, BigWords: 512 << 10 / 4, Searches: 2,
+		},
+		MemtestBytes: 2 << 20,
+		GCC:          workload.GCCScale{Files: 10, Words: 128, Passes: 10},
+	}
+}
+
+// Table5Cell is one workload / configuration measurement.
+type Table5Cell struct {
+	Config     string
+	VirtualMS  float64
+	Normalized float64
+}
+
+// Table5Result holds one column (workload) of the table.
+type Table5Result struct {
+	Workload string
+	Cells    []Table5Cell // in Configurations() order
+}
+
+const runBudget = 1 << 62
+
+// Table5 runs the three workloads under every configuration.
+func Table5(sc Table5Scale) ([]Table5Result, error) {
+	mk := map[string]func(k *core.Kernel) (*workload.Workload, error){
+		"memtest":   func(k *core.Kernel) (*workload.Workload, error) { return workload.NewMemtest(k, sc.MemtestBytes) },
+		"flukeperf": func(k *core.Kernel) (*workload.Workload, error) { return workload.NewFlukeperf(k, sc.Flukeperf) },
+		"gcc":       func(k *core.Kernel) (*workload.Workload, error) { return workload.NewGCC(k, sc.GCC) },
+	}
+	var out []Table5Result
+	for _, name := range []string{"memtest", "flukeperf", "gcc"} {
+		res := Table5Result{Workload: name}
+		var base float64
+		for _, cfg := range core.Configurations() {
+			k := core.New(cfg)
+			w, err := mk[name](k)
+			if err != nil {
+				return nil, fmt.Errorf("table5 %s %s: %w", name, cfg.Name(), err)
+			}
+			cycles, err := w.Run(runBudget)
+			if err != nil {
+				return nil, fmt.Errorf("table5 %s %s: %w", name, cfg.Name(), err)
+			}
+			ms := float64(cycles) / 200_000
+			if cfg.Name() == "Process NP" {
+				base = ms
+			}
+			res.Cells = append(res.Cells, Table5Cell{Config: cfg.Name(), VirtualMS: ms})
+		}
+		for i := range res.Cells {
+			res.Cells[i].Normalized = res.Cells[i].VirtualMS / base
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Table5Render formats the results like the paper (configurations as
+// rows, workloads as columns; absolute time on the Process NP row).
+func Table5Render(results []Table5Result) *stats.Table {
+	t := stats.NewTable("Table 5: Application performance across kernel configurations (normalized to Process NP)",
+		"Configuration", "memtest", "flukeperf", "gcc")
+	for i, cfg := range core.Configurations() {
+		cells := make([]any, 0, 4)
+		cells = append(cells, cfg.Name())
+		for _, r := range results {
+			c := r.Cells[i]
+			v := fmt.Sprintf("%.2f", c.Normalized)
+			if cfg.Name() == "Process NP" {
+				v = fmt.Sprintf("1.00 (%.0fms)", c.VirtualMS)
+			}
+			cells = append(cells, v)
+		}
+		t.Row(cells...)
+	}
+	return t
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Table 6: the effect of the execution model on preemption latency. A
+// high-priority kernel thread is scheduled every millisecond while
+// flukeperf runs; we record its average and maximum observed latency, how
+// many times it ran, and how many scheduling events it missed because the
+// previous activation had not completed.
+
+// Table6Row is one configuration's latency measurement.
+type Table6Row struct {
+	Config string
+	AvgUS  float64
+	MaxUS  float64
+	Runs   uint64
+	Misses uint64
+}
+
+// Table6 measures all five configurations running flukeperf at the given
+// scale.
+func Table6(sc workload.FlukeperfScale) ([]Table6Row, error) {
+	var rows []Table6Row
+	for _, cfg := range core.Configurations() {
+		k := core.New(cfg)
+		w, err := workload.NewFlukeperf(k, sc)
+		if err != nil {
+			return nil, fmt.Errorf("table6 %s: %w", cfg.Name(), err)
+		}
+		p := workload.InstallProbe(k, workload.DefaultProbePeriod, workload.DefaultProbeWork)
+		if _, err := w.Run(runBudget); err != nil {
+			return nil, fmt.Errorf("table6 %s: %w", cfg.Name(), err)
+		}
+		p.Stop()
+		rows = append(rows, Table6Row{
+			Config: cfg.Name(),
+			AvgUS:  p.Lat.Avg(),
+			MaxUS:  p.Lat.Max(),
+			Runs:   p.Runs,
+			Misses: p.Misses,
+		})
+	}
+	return rows, nil
+}
+
+// Table6Render formats the rows like the paper.
+func Table6Render(rows []Table6Row) *stats.Table {
+	t := stats.NewTable("Table 6: Effect of execution model on preemption latency (flukeperf)",
+		"Configuration", "latency avg (µs)", "latency max (µs)", "runs", "missed")
+	for _, r := range rows {
+		t.Row(r.Config, r.AvgUS, r.MaxUS, r.Runs, r.Misses)
+	}
+	return t
+}

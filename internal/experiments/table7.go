@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Table 7: memory overhead per thread across systems and execution
+// models. Rows for other systems quote the paper's published values; the
+// Fluke rows are measured from this kernel: the TCB is the real size of
+// our thread control block, and process-model rows add the configured
+// kernel stack (4096-byte default / 1024-byte "production" build).
+
+// Table7Row is one system/configuration.
+type Table7Row struct {
+	System    string
+	Model     string
+	TCB       int
+	Stack     int
+	Total     int
+	Published bool
+}
+
+// Table7 assembles published comparators plus measured Fluke rows.
+func Table7() []Table7Row {
+	published := []Table7Row{
+		{System: "FreeBSD", Model: "Process", TCB: 2132, Stack: 6700, Total: 8832, Published: true},
+		{System: "Linux", Model: "Process", TCB: 2395, Stack: 4096, Total: 6491, Published: true},
+		{System: "Mach", Model: "Process", TCB: 452, Stack: 4022, Total: 4474, Published: true},
+		{System: "Mach", Model: "Interrupt", TCB: 690, Stack: 0, Total: 690, Published: true},
+		{System: "L3", Model: "Process", TCB: 0, Stack: 1024, Total: 1024, Published: true},
+	}
+	kDefault := core.New(core.Config{Model: core.ModelProcess})
+	tcb, stack, total := kDefault.MemOverhead()
+	rows := append(published, Table7Row{
+		System: "Fluke (this repro)", Model: "Process", TCB: tcb, Stack: stack, Total: total,
+	})
+	kProd := core.New(core.Config{Model: core.ModelProcess, KernelStackSize: core.ProductionKernelStackSize})
+	tcb2, stack2, total2 := kProd.MemOverhead()
+	rows = append(rows, Table7Row{
+		System: "Fluke (this repro)", Model: "Process", TCB: tcb2, Stack: stack2, Total: total2,
+	})
+	kInt := core.New(core.Config{Model: core.ModelInterrupt})
+	tcb3, stack3, total3 := kInt.MemOverhead()
+	rows = append(rows, Table7Row{
+		System: "Fluke (this repro)", Model: "Interrupt", TCB: tcb3, Stack: stack3, Total: total3,
+	})
+	return rows
+}
+
+// Table7Render formats the rows like the paper.
+func Table7Render(rows []Table7Row) *stats.Table {
+	t := stats.NewTable("Table 7: Per-thread memory overhead (bytes)",
+		"System", "Execution Model", "TCB Size", "Stack Size", "Total Size", "Source")
+	for _, r := range rows {
+		src := "measured"
+		if r.Published {
+			src = "as published"
+		}
+		stack := fmt.Sprintf("%d", r.Stack)
+		if r.Stack == 0 && r.Model == "Interrupt" {
+			stack = "-"
+		}
+		tcb := fmt.Sprintf("%d", r.TCB)
+		if r.TCB == 0 {
+			tcb = ""
+		}
+		t.Row(r.System, r.Model, tcb, stack, r.Total, src)
+	}
+	return t
+}

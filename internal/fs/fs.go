@@ -1,0 +1,114 @@
+// Package fs implements BFS, a minimal read-only filesystem on the
+// virtual block device, served by a user-mode filesystem server — the
+// multi-server arrangement Fluke was built for. A file read crosses two
+// IPC hops: client -> FS server -> disk driver, with the FS server
+// holding the client's connection open on its *server* half while it
+// performs driver RPCs on its *client* half (the dual connection state
+// real Fluke kept in each TCB).
+//
+// On-disk format (sector = 512 bytes):
+//
+//	sector 0   superblock: magic "BFS1", file count, table sector,
+//	           first data sector
+//	sector 1   file table: 16 entries x 32 bytes
+//	           (name[16], start sector, size in bytes, reserved x2)
+//	sector 2+  file data, each file contiguous
+package fs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/dev"
+)
+
+// Magic identifies a BFS superblock ("BFS1", little-endian).
+const Magic uint32 = 0x31534642
+
+// MaxFiles is the file-table capacity (one table sector).
+const MaxFiles = 16
+
+// MaxNameLen is the maximum file-name length in bytes.
+const MaxNameLen = 16
+
+// Table geometry.
+const (
+	superSector = 0
+	tableSector = 1
+	dataSector  = 2
+	entryBytes  = 32
+)
+
+// Error replies from the server (first reply word).
+const (
+	ErrBadIndex = 0xBAD0_0001
+	ErrBadEOF   = 0xBAD0_0002
+	ErrDisk     = 0xBAD0_0003
+)
+
+// File is one input to Format.
+type File struct {
+	Name string
+	Data []byte
+}
+
+// Format writes a BFS image onto the device medium and returns the
+// name-to-index map the server will use.
+func Format(d *dev.BlockDevice, files []File) (map[string]int, error) {
+	if len(files) > MaxFiles {
+		return nil, fmt.Errorf("fs: %d files > max %d", len(files), MaxFiles)
+	}
+	// Superblock.
+	super := make([]byte, dev.SectorSize)
+	binary.LittleEndian.PutUint32(super[0:], Magic)
+	binary.LittleEndian.PutUint32(super[4:], uint32(len(files)))
+	binary.LittleEndian.PutUint32(super[8:], tableSector)
+	binary.LittleEndian.PutUint32(super[12:], dataSector)
+	if err := d.LoadMedium(superSector, super); err != nil {
+		return nil, err
+	}
+
+	table := make([]byte, dev.SectorSize)
+	idx := map[string]int{}
+	next := uint32(dataSector)
+	for i, f := range files {
+		if len(f.Name) == 0 || len(f.Name) > MaxNameLen {
+			return nil, fmt.Errorf("fs: bad name %q", f.Name)
+		}
+		sectors := (uint32(len(f.Data)) + dev.SectorSize - 1) / dev.SectorSize
+		if sectors == 0 {
+			sectors = 1
+		}
+		if int(next+sectors) > d.Capacity() {
+			return nil, fmt.Errorf("fs: medium full at %q", f.Name)
+		}
+		e := table[i*entryBytes:]
+		copy(e[:MaxNameLen], f.Name)
+		binary.LittleEndian.PutUint32(e[16:], next)
+		binary.LittleEndian.PutUint32(e[20:], uint32(len(f.Data)))
+		// Write the data, sector by sector.
+		for s := uint32(0); s < sectors; s++ {
+			chunk := make([]byte, dev.SectorSize)
+			off := int(s) * dev.SectorSize
+			if off < len(f.Data) {
+				copy(chunk, f.Data[off:])
+			}
+			if err := d.LoadMedium(int(next+s), chunk); err != nil {
+				return nil, err
+			}
+		}
+		idx[f.Name] = i
+		next += sectors
+	}
+	if err := d.LoadMedium(tableSector, table); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// ReadImage reads a whole file back from the medium host-side (test
+// oracle; the guest path goes through the servers).
+func ReadImage(d *dev.BlockDevice, start uint32, size int) []byte {
+	out := d.ReadMedium(int(start), (size+dev.SectorSize-1)/dev.SectorSize*dev.SectorSize)
+	return out[:size]
+}

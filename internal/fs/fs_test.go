@@ -1,0 +1,248 @@
+package fs_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/fs"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/sys"
+)
+
+// --- Format unit tests (host-side, no kernel). ---
+
+func mkDevice(t *testing.T, sectors int) *dev.BlockDevice {
+	t.Helper()
+	return dev.New(clock.New(), mem.NewAllocator(64), sectors,
+		mmu.NewRegion(mem.PageSize, true), 1, func() {})
+}
+
+func TestFormatLayout(t *testing.T) {
+	d := mkDevice(t, 64)
+	files := []fs.File{
+		{Name: "hello.txt", Data: []byte("hello, fluke")},
+		{Name: "big.bin", Data: bytes.Repeat([]byte{7}, 1500)}, // 3 sectors
+	}
+	idx, err := fs.Format(d, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx["hello.txt"] != 0 || idx["big.bin"] != 1 {
+		t.Fatalf("index map %v", idx)
+	}
+	super := d.ReadMedium(0, 16)
+	if binary.LittleEndian.Uint32(super) != fs.Magic {
+		t.Fatal("bad magic")
+	}
+	if binary.LittleEndian.Uint32(super[4:]) != 2 {
+		t.Fatal("bad file count")
+	}
+	table := d.ReadMedium(1, dev.SectorSize)
+	if string(table[:9]) != "hello.txt" {
+		t.Fatalf("entry 0 name %q", table[:9])
+	}
+	start0 := binary.LittleEndian.Uint32(table[16:])
+	size0 := binary.LittleEndian.Uint32(table[20:])
+	if start0 != 2 || size0 != 12 {
+		t.Fatalf("entry 0 start=%d size=%d", start0, size0)
+	}
+	start1 := binary.LittleEndian.Uint32(table[32+16:])
+	if start1 != 3 { // hello.txt used one sector
+		t.Fatalf("entry 1 start=%d", start1)
+	}
+	if got := fs.ReadImage(d, start1, 1500); !bytes.Equal(got, files[1].Data) {
+		t.Fatal("big.bin data corrupted")
+	}
+}
+
+func TestFormatLimits(t *testing.T) {
+	d := mkDevice(t, 8)
+	var many []fs.File
+	for i := 0; i < fs.MaxFiles+1; i++ {
+		many = append(many, fs.File{Name: "f", Data: []byte{1}})
+	}
+	if _, err := fs.Format(d, many); err == nil {
+		t.Fatal("too many files accepted")
+	}
+	if _, err := fs.Format(d, []fs.File{{Name: "", Data: nil}}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := fs.Format(d, []fs.File{{Name: "x", Data: bytes.Repeat([]byte{1}, 8*dev.SectorSize)}}); err == nil {
+		t.Fatal("overfull medium accepted")
+	}
+}
+
+// --- Full-stack integration: client -> FS server -> driver -> device. ---
+
+const (
+	cliCode = 0x0001_0000
+	cliData = 0x0004_0000
+)
+
+// buildStack assembles kernel + device + driver + fs server + one client
+// space, returning the client ref and read helper addresses.
+func buildStack(t *testing.T, cfg core.Config, files []fs.File) (*core.Kernel, *obj.Space, uint32, *fs.Server, *dev.Driver) {
+	t.Helper()
+	k := core.New(cfg)
+	dr, err := dev.Attach(k, 64, 5, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Format(dr.Device, files); err != nil {
+		t.Fatal(err)
+	}
+	sv, err := fs.AttachServer(k, dr, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := k.NewSpace()
+	data := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(8*mem.PageSize, true)}
+	k.BindFresh(cs, data)
+	if _, err := k.MapInto(cs, data, cliData, 0, 8*mem.PageSize, mmu.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	refVA := sv.ClientRef(k, cs)
+	return k, cs, refVA, sv, dr
+}
+
+// readProgram builds a client that reads (fileIdx, fileSector) and halts.
+func readProgram(refVA, fileIdx, fileSector uint32) *prog.Builder {
+	const (
+		req = cliData + 0x100
+		rep = cliData + 0x1000
+	)
+	b := prog.New(cliCode)
+	b.Movi(4, req).Movi(5, fileIdx).St(4, 0, 5).
+		Movi(5, fileSector).St(4, 4, 5).
+		IPCClientConnectSendOverReceive(req, 2, refVA, rep, dev.SectorSize/4).
+		Movi(6, cliData).St(6, 0, 0). // errno
+		St(6, 4, 2).                  // words NOT received (R2 leftover)
+		IPCClientDisconnect().
+		Halt()
+	return b
+}
+
+func TestFSReadThroughTwoServers(t *testing.T) {
+	content := bytes.Repeat([]byte("fluke!"), 300) // 1800 bytes, 4 sectors
+	for _, cfg := range core.Configurations() {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			k, cs, refVA, sv, dr := buildStack(t, cfg, []fs.File{
+				{Name: "readme", Data: []byte("hi")},
+				{Name: "blob", Data: content},
+			})
+			_ = sv
+			// Read sector 2 of file 1.
+			b := readProgram(refVA, 1, 2)
+			client, err := k.SpawnProgram(cs, cliCode, b.MustAssemble(), 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k.RunFor(4_000_000_000)
+			if !client.Exited {
+				t.Fatalf("client stuck: state=%v pc=%#x fs=%v/%#x drv=%v/%#x",
+					client.State, client.Regs.PC,
+					sv.Thread.State, sv.Thread.Regs.PC,
+					dr.Thread.State, dr.Thread.Regs.PC)
+			}
+			got, err := k.ReadMem(cs, cliData+0x1000, dev.SectorSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := content[2*dev.SectorSize : 3*dev.SectorSize]
+			if !bytes.Equal(got, want) {
+				t.Fatalf("file data wrong: got %q... want %q...", got[:12], want[:12])
+			}
+			// Two boot fetches + one data fetch.
+			if dr.Device.Reads != 3 {
+				t.Fatalf("device reads = %d, want 3", dr.Device.Reads)
+			}
+		})
+	}
+}
+
+func TestFSErrorReplies(t *testing.T) {
+	k, cs, refVA, _, _ := buildStack(t, core.Config{Model: core.ModelInterrupt}, []fs.File{
+		{Name: "one", Data: []byte("x")},
+	})
+	cases := []struct {
+		name     string
+		idx, sec uint32
+		want     uint32
+	}{
+		{"bad index", 5, 0, fs.ErrBadIndex},
+		{"beyond eof", 0, 9, fs.ErrBadEOF},
+	}
+	base := uint32(cliCode)
+	for _, c := range cases {
+		b := readProgram(refVA, c.idx, c.sec)
+		bb := prog.New(base)
+		_ = bb
+		img := b.MustAssemble()
+		// Load each client at a distinct base is unnecessary: reuse the
+		// same base with fresh threads sequentially.
+		if _, err := k.LoadImage(cs, base, img); err != nil {
+			// Already mapped from a previous iteration: overwrite.
+			if err2 := k.WriteMem(cs, base, img); err2 != nil {
+				t.Fatal(err, err2)
+			}
+		}
+		th := k.NewThread(cs, 10)
+		th.Regs.PC = base
+		k.StartThread(th)
+		k.RunFor(2_000_000_000)
+		if !th.Exited {
+			t.Fatalf("%s: client stuck", c.name)
+		}
+		got, err := k.ReadMem(cs, cliData+0x1000, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := binary.LittleEndian.Uint32(got); v != c.want {
+			t.Fatalf("%s: reply %#x, want %#x", c.name, v, c.want)
+		}
+	}
+}
+
+func TestFSWholeFileSweep(t *testing.T) {
+	// Read every sector of a multi-sector file and reassemble it.
+	content := make([]byte, 3*dev.SectorSize+100)
+	for i := range content {
+		content[i] = byte(i * 7)
+	}
+	k, cs, refVA, _, _ := buildStack(t, core.Config{Model: core.ModelProcess, Preempt: core.PreemptFull},
+		[]fs.File{{Name: "sweep", Data: content}})
+	sectors := (len(content) + dev.SectorSize - 1) / dev.SectorSize
+	var got []byte
+	for sct := 0; sct < sectors; sct++ {
+		b := readProgram(refVA, 0, uint32(sct))
+		img := b.MustAssemble()
+		if _, err := k.LoadImage(cs, cliCode, img); err != nil {
+			if err2 := k.WriteMem(cs, cliCode, img); err2 != nil {
+				t.Fatal(err, err2)
+			}
+		}
+		th := k.NewThread(cs, 10)
+		th.Regs.PC = cliCode
+		k.StartThread(th)
+		k.RunFor(2_000_000_000)
+		if !th.Exited {
+			t.Fatalf("sector %d: client stuck", sct)
+		}
+		chunk, err := k.ReadMem(cs, cliData+0x1000, dev.SectorSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, chunk...)
+	}
+	if !bytes.Equal(got[:len(content)], content) {
+		t.Fatal("reassembled file differs")
+	}
+}

@@ -1,0 +1,323 @@
+package ipc
+
+import (
+	"repro/internal/obj"
+	"repro/internal/sys"
+)
+
+// The 21 IPC entrypoints. Per the paper (§4.2), "most of these calls
+// simply represent different options and combinations of the basic send
+// and receive primitives": the API prefers "several simple, narrow
+// entrypoints with few parameters rather than one large, complex
+// entrypoint with many parameters".
+//
+// Register conventions:
+//
+//	R1 buffer pointer (rolled forward)     R4 next-stage buffer pointer
+//	R2 word count (rolled forward)         R5 next-stage word count
+//	R3 port reference / portset handle
+//
+// Combined operations move R4/R5 into R1/R2 at the stage transition and
+// rewrite the PC to the follow-on entrypoint, so the registers alone
+// always describe exactly what remains to be done.
+//
+// ipc_client_* entrypoints operate on the thread's client connection
+// half; ipc_server_*, ipc_setup_wait, ipc_wait_receive and ipc_reply* on
+// its server half.
+
+// finish completes a call with errno e unless a kernel-internal condition
+// must propagate.
+func finish(k Kern, t *obj.Thread, e sys.Errno, kerr sys.KErr) sys.KErr {
+	if kerr != sys.KOK {
+		return kerr
+	}
+	k.Return(t, e)
+	return sys.KOK
+}
+
+// ClientConnectSend connects to the port referenced at R3 and sends
+// [R1, R2 words). Once connected the continuation is rewritten to
+// ipc_client_send (the paper's flagship example of entrypoint rewriting).
+func ClientConnectSend(k Kern, t *obj.Thread) sys.KErr {
+	if t.IPCClient.Phase == obj.IPCIdle {
+		e, kerr := connect(k, t, t.Regs.R[3])
+		if kerr != sys.KOK || e != sys.EOK {
+			return finish(k, t, e, kerr)
+		}
+		k.SetPC(t, sys.NIPCClientSend)
+	}
+	return ClientSend(k, t)
+}
+
+// ClientSend sends [R1, R2 words) on the established client connection.
+func ClientSend(k Kern, t *obj.Thread) sys.KErr {
+	e, kerr := sendLoop(k, t, asClient)
+	return finish(k, t, e, kerr)
+}
+
+// ClientConnectSendOverReceive is the full RPC: connect, send the request,
+// turn the connection around, and receive the reply into [R4, R5 words).
+// This is the "ipc_client_connect_send_over_receive" path Table 3
+// measures restart costs on.
+func ClientConnectSendOverReceive(k Kern, t *obj.Thread) sys.KErr {
+	if t.IPCClient.Phase == obj.IPCIdle {
+		e, kerr := connect(k, t, t.Regs.R[3])
+		if kerr != sys.KOK || e != sys.EOK {
+			return finish(k, t, e, kerr)
+		}
+		k.SetPC(t, sys.NIPCClientSendOverReceive)
+	}
+	return ClientSendOverReceive(k, t)
+}
+
+// ClientSendOverReceive sends [R1, R2 words), ends the message, and
+// receives the reply into [R4, R5 words).
+func ClientSendOverReceive(k Kern, t *obj.Thread) sys.KErr {
+	if t.IPCClient.Phase == obj.IPCSend {
+		e, kerr := sendLoop(k, t, asClient)
+		if kerr != sys.KOK || e != sys.EOK {
+			return finish(k, t, e, kerr)
+		}
+		if e := flip(k, t, asClient); e != sys.EOK {
+			return finish(k, t, e, sys.KOK)
+		}
+		// Stage transition: the receive buffer becomes the current
+		// buffer and the continuation becomes ipc_client_receive.
+		t.Regs.R[1] = t.Regs.R[4]
+		t.Regs.R[2] = t.Regs.R[5]
+		k.SetPC(t, sys.NIPCClientReceive)
+	}
+	return ClientReceive(k, t)
+}
+
+// ClientOverReceive ends the outgoing message immediately and receives
+// into [R1, R2 words).
+func ClientOverReceive(k Kern, t *obj.Thread) sys.KErr {
+	if t.IPCClient.Phase == obj.IPCSend {
+		if e := flip(k, t, asClient); e != sys.EOK {
+			return finish(k, t, e, sys.KOK)
+		}
+		k.SetPC(t, sys.NIPCClientReceive)
+	}
+	return ClientReceive(k, t)
+}
+
+// ClientReceive receives into [R1, R2 words) on the client connection.
+func ClientReceive(k Kern, t *obj.Thread) sys.KErr {
+	e, kerr := recvLoop(k, t, asClient)
+	return finish(k, t, e, kerr)
+}
+
+// ClientDisconnect tears down the client connection half.
+func ClientDisconnect(k Kern, t *obj.Thread) sys.KErr {
+	disconnect(k, t, asClient)
+	return finish(k, t, sys.EOK, sys.KOK)
+}
+
+// ClientAlert delivers an out-of-band interrupt to the client-connection
+// peer, breaking it out of its current operation with EINTR.
+func ClientAlert(k Kern, t *obj.Thread) sys.KErr {
+	p := t.IPCClient.Peer
+	if p == nil {
+		return finish(k, t, sys.ENOTCONN, sys.KOK)
+	}
+	p.Interrupted = true
+	if p.State == obj.ThBlocked {
+		k.WakeThread(p)
+	}
+	return finish(k, t, sys.EOK, sys.KOK)
+}
+
+// ---------------------------------------------------------------------------
+// Server side.
+
+// acceptOrDeliver is the accept stage shared by ipc_setup_wait and
+// ipc_wait_receive: wait on the portset at R3 until either a client
+// connects (establishing a server-half connection with this thread
+// receiving) or the kernel has queued a page-fault notification
+// (delivered as a two-word message with no connection).
+//
+// It returns (delivered=true) if a fault message completed the call.
+func acceptOrDeliver(k Kern, t *obj.Thread) (delivered bool, e sys.Errno, kerr sys.KErr) {
+	for t.IPCServer.Phase == obj.IPCIdle {
+		o, e, kerr := k.ObjAt(t, t.Regs.R[3], sys.ObjPortset, false)
+		if kerr != sys.KOK {
+			return false, 0, kerr
+		}
+		if e != sys.EOK {
+			return false, e, sys.KOK
+		}
+		ps := o.(*obj.Portset)
+		if p := ps.PendingPort(); p != nil {
+			if p.FaultRegion != nil && len(p.FaultRegion.PendingFaults) > 0 {
+				return k.DeliverFault(t, p)
+			}
+			if c := p.Connectors.Peek(); c != nil {
+				establish(k, c, t)
+				break
+			}
+		}
+		t.IPCServer.Accepting = true
+		switch kerr := k.Block(&ps.Servers, true); kerr {
+		case sys.KOK:
+			t.IPCServer.Accepting = false
+		case sys.KIntr:
+			t.IPCServer.Accepting = false
+			return false, 0, kerr
+		default:
+			return false, 0, kerr
+		}
+	}
+	return false, sys.EOK, sys.KOK
+}
+
+// SetupWait begins service: wait on the portset at R3 for a connection or
+// fault notification, then receive into [R1, R2 words).
+func SetupWait(k Kern, t *obj.Thread) sys.KErr {
+	return WaitReceive(k, t)
+}
+
+// WaitReceive waits for the next request: accepts a connection (or
+// delivers a queued fault notification) from the portset at R3 and
+// receives into [R1, R2 words).
+func WaitReceive(k Kern, t *obj.Thread) sys.KErr {
+	if t.IPCServer.Phase == obj.IPCIdle {
+		delivered, e, kerr := acceptOrDeliver(k, t)
+		if kerr != sys.KOK || e != sys.EOK || delivered {
+			return finish(k, t, e, kerr)
+		}
+	}
+	return ServerReceive(k, t)
+}
+
+// ServerReceive continues receiving the current request into [R1, R2
+// words).
+func ServerReceive(k Kern, t *obj.Thread) sys.KErr {
+	e, kerr := recvLoop(k, t, asServer)
+	return finish(k, t, e, kerr)
+}
+
+// ServerOverReceive ends the server's outgoing message and receives into
+// [R1, R2 words).
+func ServerOverReceive(k Kern, t *obj.Thread) sys.KErr {
+	if t.IPCServer.Phase == obj.IPCSend {
+		if e := flip(k, t, asServer); e != sys.EOK {
+			return finish(k, t, e, sys.KOK)
+		}
+		k.SetPC(t, sys.NIPCServerReceive)
+	}
+	return ServerReceive(k, t)
+}
+
+// ServerSend sends [R1, R2 words) on the server connection (direction
+// must already be server-to-client).
+func ServerSend(k Kern, t *obj.Thread) sys.KErr {
+	e, kerr := sendLoop(k, t, asServer)
+	return finish(k, t, e, kerr)
+}
+
+// ServerSendOverReceive sends [R1, R2 words), turns the connection
+// around, and receives into [R4, R5 words).
+func ServerSendOverReceive(k Kern, t *obj.Thread) sys.KErr {
+	if t.IPCServer.Phase == obj.IPCSend {
+		e, kerr := sendLoop(k, t, asServer)
+		if kerr != sys.KOK || e != sys.EOK {
+			return finish(k, t, e, kerr)
+		}
+		if e := flip(k, t, asServer); e != sys.EOK {
+			return finish(k, t, e, sys.KOK)
+		}
+		t.Regs.R[1] = t.Regs.R[4]
+		t.Regs.R[2] = t.Regs.R[5]
+		k.SetPC(t, sys.NIPCServerReceive)
+	}
+	return ServerReceive(k, t)
+}
+
+// ServerAckSend acknowledges the received request and sends the reply
+// [R1, R2 words), keeping the connection open with the server sending.
+func ServerAckSend(k Kern, t *obj.Thread) sys.KErr {
+	return ServerSend(k, t)
+}
+
+// ServerAckSendOverReceive replies with [R1, R2 words), ends the reply,
+// and waits for the client's next request into [R4, R5 words).
+func ServerAckSendOverReceive(k Kern, t *obj.Thread) sys.KErr {
+	return ServerSendOverReceive(k, t)
+}
+
+// replyCommon sends [R1, R2 words) on the server half, ends the message,
+// and disconnects. Calling it while holding the receive direction is a
+// protocol error (the peer must turn the connection around first).
+func replyCommon(k Kern, t *obj.Thread) (sys.Errno, sys.KErr) {
+	return sendEndDisconnect(k, t, asServer)
+}
+
+// sendEndDisconnect is the shared "final message" sequence on half r.
+func sendEndDisconnect(k Kern, t *obj.Thread, r role) (sys.Errno, sys.KErr) {
+	st := half(t, r)
+	switch st.Phase {
+	case obj.IPCRecv:
+		return sys.ESTATE, sys.KOK
+	case obj.IPCSend:
+		e, kerr := sendLoop(k, t, r)
+		if kerr != sys.KOK || e != sys.EOK {
+			return e, kerr
+		}
+		if p := st.Peer; p != nil {
+			endMessage(k, p, peerHalf(p, r))
+		}
+		disconnect(k, t, r)
+	}
+	return sys.EOK, sys.KOK
+}
+
+// Reply sends the final reply [R1, R2 words) and disconnects.
+func Reply(k Kern, t *obj.Thread) sys.KErr {
+	e, kerr := replyCommon(k, t)
+	return finish(k, t, e, kerr)
+}
+
+// ReplyWaitReceive replies with [R1, R2 words), disconnects, and waits on
+// the portset at R3 for the next request, receiving into [R4, R5 words) —
+// the inner loop of every Fluke server.
+func ReplyWaitReceive(k Kern, t *obj.Thread) sys.KErr {
+	if t.IPCServer.Phase == obj.IPCSend {
+		e, kerr := replyCommon(k, t)
+		if kerr != sys.KOK || e != sys.EOK {
+			return finish(k, t, e, kerr)
+		}
+		// Stage transition into the accept+receive stage.
+		t.Regs.R[1] = t.Regs.R[4]
+		t.Regs.R[2] = t.Regs.R[5]
+		k.SetPC(t, sys.NIPCWaitReceive)
+	}
+	return WaitReceive(k, t)
+}
+
+// ServerAckSendWaitReceive is the combined serve-next form: reply with
+// [R1, R2 words), disconnect, and accept the next request from the
+// portset at R3 into [R4, R5 words).
+func ServerAckSendWaitReceive(k Kern, t *obj.Thread) sys.KErr {
+	return ReplyWaitReceive(k, t)
+}
+
+// ServerDisconnect tears down the server side of the connection.
+func ServerDisconnect(k Kern, t *obj.Thread) sys.KErr {
+	disconnect(k, t, asServer)
+	return finish(k, t, sys.EOK, sys.KOK)
+}
+
+// SendOneway is the connectionless datagram form: connect to the port
+// referenced at R3 if not already connected, send [R1, R2 words), end the
+// message, and disconnect — all on the client half.
+func SendOneway(k Kern, t *obj.Thread) sys.KErr {
+	if t.IPCClient.Phase == obj.IPCIdle {
+		e, kerr := connect(k, t, t.Regs.R[3])
+		if kerr != sys.KOK || e != sys.EOK {
+			return finish(k, t, e, kerr)
+		}
+	}
+	e, kerr := sendEndDisconnect(k, t, asClient)
+	return finish(k, t, e, kerr)
+}

@@ -1,0 +1,120 @@
+package ipc
+
+// White-box unit tests for the IPC engine's pure helpers. The engine's
+// end-to-end behaviour (transfers, turnarounds, faults mid-copy, peer
+// death, the §4.3 register pictures) is covered by internal/core's tests,
+// which run it on the real kernel under all five configurations.
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/obj"
+	"repro/internal/sys"
+)
+
+func TestDerefPort(t *testing.T) {
+	p := &obj.Port{Header: obj.Header{Type: sys.ObjPort}}
+	if derefPort(p) != p {
+		t.Fatal("direct port handle not accepted")
+	}
+	r := &obj.Ref{Header: obj.Header{Type: sys.ObjRef}, Target: p}
+	if derefPort(r) != p {
+		t.Fatal("reference-to-port not dereferenced")
+	}
+	p.Dead = true
+	if derefPort(r) != nil {
+		t.Fatal("reference to dead port accepted")
+	}
+	m := &obj.Mutex{Header: obj.Header{Type: sys.ObjMutex}}
+	if derefPort(m) != nil {
+		t.Fatal("non-port accepted")
+	}
+	rm := &obj.Ref{Header: obj.Header{Type: sys.ObjRef}, Target: m}
+	if derefPort(rm) != nil {
+		t.Fatal("reference-to-mutex accepted")
+	}
+	if derefPort(&obj.Ref{}) != nil {
+		t.Fatal("null reference accepted")
+	}
+}
+
+func TestConnectRewrite(t *testing.T) {
+	cases := []struct {
+		from int
+		want int
+	}{
+		{sys.NIPCClientConnectSend, sys.NIPCClientSend},
+		{sys.NIPCClientConnectSendOverReceive, sys.NIPCClientSendOverReceive},
+		{sys.NIPCSendOneway, -1}, // phase-checked, not rewritten
+		{sys.NMutexLock, -1},
+	}
+	for _, c := range cases {
+		if got := connectRewrite(cpu.SyscallEntry(c.from)); got != c.want {
+			t.Errorf("connectRewrite(%s) = %d, want %d", sys.Name(c.from), got, c.want)
+		}
+	}
+	if connectRewrite(0x1000) != -1 {
+		t.Error("non-entry PC rewritten")
+	}
+}
+
+func TestSysNumOfEntryMatchesCPU(t *testing.T) {
+	for n := 0; n < sys.NumSyscalls; n++ {
+		if got := sysNumOfEntry(cpu.SyscallEntry(n)); got != n {
+			t.Fatalf("sysNumOfEntry(entry(%d)) = %d", n, got)
+		}
+	}
+	for _, pc := range []uint32{0, 0x1000, cpu.SyscallBase + 2, cpu.SyscallBase - 4} {
+		if sysNumOfEntry(pc) != -1 {
+			t.Errorf("pc %#x treated as entry", pc)
+		}
+	}
+}
+
+func TestResetConnClearsEverything(t *testing.T) {
+	th := &obj.Thread{}
+	peer := &obj.Thread{}
+	th.IPCClient = obj.IPCState{
+		Phase: obj.IPCSend, Peer: peer,
+		WantSend: true, MsgEnd: true, Closed: true, PeerDied: true,
+	}
+	resetConn(&th.IPCClient)
+	st := th.IPCClient
+	if st.Phase != obj.IPCIdle || st.Peer != nil || st.WantSend ||
+		st.MsgEnd || st.Closed || st.PeerDied {
+		t.Fatalf("state not cleared: %+v", st)
+	}
+}
+
+func TestResetConnPanicsWithParkedPeer(t *testing.T) {
+	th := &obj.Thread{}
+	peer := &obj.Thread{}
+	th.IPCClient.Wait.Enqueue(peer)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("resetConn with parked peer did not panic")
+		}
+	}()
+	resetConn(&th.IPCClient)
+}
+
+func TestHalfSelection(t *testing.T) {
+	th := &obj.Thread{}
+	if half(th, asClient) != &th.IPCClient || half(th, asServer) != &th.IPCServer {
+		t.Fatal("half selects the wrong state")
+	}
+	// The peer of my client half is their server half, and vice versa.
+	if peerHalf(th, asClient) != &th.IPCServer || peerHalf(th, asServer) != &th.IPCClient {
+		t.Fatal("peerHalf selects the wrong state")
+	}
+}
+
+func TestFaultMsgConstants(t *testing.T) {
+	if FaultMsgWords != 2 {
+		t.Fatal("fault messages are two words (offset, magic)")
+	}
+	if FaultMsgMagic == 0 {
+		t.Fatal("magic must be nonzero so pagers can sanity-check")
+	}
+}

@@ -1,0 +1,118 @@
+// Package mem implements the simulated physical memory substrate: a
+// page-frame allocator with accounting, used by the MMU to back regions and
+// by the kernel to charge per-object memory overhead (paper Table 7).
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the simulated page size in bytes (4 KB, as on the x86 the
+// paper evaluated on).
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// PageMask masks the offset within a page.
+const PageMask = PageSize - 1
+
+// ErrNoMemory is returned when the allocator is exhausted.
+var ErrNoMemory = errors.New("mem: out of physical memory")
+
+// Frame is one physical page frame. The Data slice is the frame's contents;
+// it is always exactly PageSize bytes.
+type Frame struct {
+	PFN  uint32 // physical frame number, unique per allocator
+	Data []byte
+}
+
+// Allocator hands out page frames from a fixed-size simulated physical
+// memory, modelling the 64 MB machine of the paper's evaluation by default.
+type Allocator struct {
+	limit   int // max frames
+	nextPFN uint32
+	free    []*Frame
+	inUse   int
+	peak    int
+}
+
+// DefaultFrames is the default physical memory size: 64 MB, matching the
+// 200 MHz Pentium Pro / 64 MB testbed in the paper.
+const DefaultFrames = 64 << 20 / PageSize
+
+// NewAllocator returns an allocator that will hand out at most maxFrames
+// frames. maxFrames <= 0 selects DefaultFrames.
+func NewAllocator(maxFrames int) *Allocator {
+	if maxFrames <= 0 {
+		maxFrames = DefaultFrames
+	}
+	return &Allocator{limit: maxFrames}
+}
+
+// Alloc returns a zeroed page frame, or ErrNoMemory when the configured
+// physical memory is exhausted.
+func (a *Allocator) Alloc() (*Frame, error) {
+	if n := len(a.free); n > 0 {
+		f := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		clear(f.Data)
+		a.inUse++
+		if a.inUse > a.peak {
+			a.peak = a.inUse
+		}
+		return f, nil
+	}
+	if a.inUse >= a.limit {
+		return nil, ErrNoMemory
+	}
+	f := &Frame{PFN: a.nextPFN, Data: make([]byte, PageSize)}
+	a.nextPFN++
+	a.inUse++
+	if a.inUse > a.peak {
+		a.peak = a.inUse
+	}
+	return f, nil
+}
+
+// Free returns a frame to the allocator. Freeing nil is a no-op; freeing a
+// frame twice is a programming error and panics.
+func (a *Allocator) Free(f *Frame) {
+	if f == nil {
+		return
+	}
+	for _, g := range a.free {
+		if g == f {
+			panic(fmt.Sprintf("mem: double free of frame %d", f.PFN))
+		}
+	}
+	a.inUse--
+	a.free = append(a.free, f)
+}
+
+// InUse returns the number of frames currently allocated.
+func (a *Allocator) InUse() int { return a.inUse }
+
+// Peak returns the high-water mark of allocated frames.
+func (a *Allocator) Peak() int { return a.peak }
+
+// Limit returns the total number of allocatable frames.
+func (a *Allocator) Limit() int { return a.limit }
+
+// BytesInUse returns allocated bytes.
+func (a *Allocator) BytesInUse() int { return a.inUse * PageSize }
+
+// PageRound rounds n up to the next page boundary.
+func PageRound(n uint32) uint32 {
+	return (n + PageMask) &^ uint32(PageMask)
+}
+
+// PageTrunc rounds n down to a page boundary.
+func PageTrunc(n uint32) uint32 {
+	return n &^ uint32(PageMask)
+}
+
+// VPN returns the virtual page number of an address.
+func VPN(va uint32) uint32 { return va >> PageShift }

@@ -1,0 +1,165 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocZeroed(t *testing.T) {
+	a := NewAllocator(4)
+	f, err := a.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Data) != PageSize {
+		t.Fatalf("frame size %d, want %d", len(f.Data), PageSize)
+	}
+	for i, b := range f.Data {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestReuseIsZeroed(t *testing.T) {
+	a := NewAllocator(1)
+	f, _ := a.Alloc()
+	f.Data[17] = 0xAB
+	a.Free(f)
+	g, err := a.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Data[17] != 0 {
+		t.Fatal("reused frame not zeroed")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := NewAllocator(2)
+	f1, _ := a.Alloc()
+	if _, err := a.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(); err != ErrNoMemory {
+		t.Fatalf("err = %v, want ErrNoMemory", err)
+	}
+	a.Free(f1)
+	if _, err := a.Alloc(); err != nil {
+		t.Fatalf("alloc after free failed: %v", err)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	a := NewAllocator(8)
+	var frames []*Frame
+	for i := 0; i < 5; i++ {
+		f, _ := a.Alloc()
+		frames = append(frames, f)
+	}
+	if a.InUse() != 5 || a.Peak() != 5 {
+		t.Fatalf("InUse=%d Peak=%d, want 5 5", a.InUse(), a.Peak())
+	}
+	a.Free(frames[0])
+	a.Free(frames[1])
+	if a.InUse() != 3 || a.Peak() != 5 {
+		t.Fatalf("InUse=%d Peak=%d, want 3 5", a.InUse(), a.Peak())
+	}
+	if a.BytesInUse() != 3*PageSize {
+		t.Fatalf("BytesInUse=%d", a.BytesInUse())
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := NewAllocator(2)
+	f, _ := a.Alloc()
+	a.Free(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.Free(f)
+}
+
+func TestUniquePFNs(t *testing.T) {
+	a := NewAllocator(16)
+	seen := map[uint32]bool{}
+	for i := 0; i < 16; i++ {
+		f, _ := a.Alloc()
+		if seen[f.PFN] {
+			t.Fatalf("duplicate PFN %d", f.PFN)
+		}
+		seen[f.PFN] = true
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	a := NewAllocator(0)
+	if a.Limit() != DefaultFrames {
+		t.Fatalf("Limit=%d, want %d", a.Limit(), DefaultFrames)
+	}
+	if DefaultFrames*PageSize != 64<<20 {
+		t.Fatal("DefaultFrames is not 64MB")
+	}
+}
+
+func TestPageRoundTrunc(t *testing.T) {
+	cases := []struct{ in, round, trunc uint32 }{
+		{0, 0, 0},
+		{1, PageSize, 0},
+		{PageSize, PageSize, PageSize},
+		{PageSize + 1, 2 * PageSize, PageSize},
+		{3*PageSize - 1, 3 * PageSize, 2 * PageSize},
+	}
+	for _, c := range cases {
+		if got := PageRound(c.in); got != c.round {
+			t.Errorf("PageRound(%d)=%d want %d", c.in, got, c.round)
+		}
+		if got := PageTrunc(c.in); got != c.trunc {
+			t.Errorf("PageTrunc(%d)=%d want %d", c.in, got, c.trunc)
+		}
+	}
+}
+
+// Property: PageTrunc(v) <= v < PageTrunc(v)+PageSize and VPN consistent.
+func TestPropertyPageMath(t *testing.T) {
+	f := func(v uint32) bool {
+		tr := PageTrunc(v)
+		return tr <= v && (v-tr) < PageSize && VPN(v) == tr>>PageShift
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: alloc/free in any pattern keeps InUse == allocs-frees and never
+// exceeds the limit.
+func TestPropertyAllocFreePattern(t *testing.T) {
+	f := func(ops []bool) bool {
+		a := NewAllocator(32)
+		var live []*Frame
+		for _, alloc := range ops {
+			if alloc {
+				fr, err := a.Alloc()
+				if err != nil {
+					if len(live) != 32 {
+						return false
+					}
+					continue
+				}
+				live = append(live, fr)
+			} else if len(live) > 0 {
+				a.Free(live[len(live)-1])
+				live = live[:len(live)-1]
+			}
+			if a.InUse() != len(live) || a.InUse() > 32 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

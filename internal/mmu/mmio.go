@@ -1,0 +1,88 @@
+package mmu
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// IOHandler receives programmed-I/O accesses to a device register window.
+// Offsets are window-relative and word-aligned. Device registers are
+// always "present" — they never page-fault — but are not fetchable.
+type IOHandler interface {
+	IORead32(off uint32) uint32
+	IOWrite32(off uint32, v uint32)
+}
+
+type ioWindow struct {
+	base, size uint32
+	h          IOHandler
+}
+
+// MapIO installs a device register window at [base, base+size). The
+// window must be page-aligned and may not overlap mappings or other
+// windows. Byte and instruction-fetch accesses to it fault (devices are
+// word-addressed, as on most memory-mapped buses).
+func (as *AddrSpace) MapIO(base, size uint32, h IOHandler) error {
+	if base%mem.PageSize != 0 || size%mem.PageSize != 0 || size == 0 {
+		return fmt.Errorf("mmu: unaligned IO window base=%#x size=%#x", base, size)
+	}
+	if h == nil {
+		return fmt.Errorf("mmu: nil IO handler")
+	}
+	for _, w := range as.io {
+		if base < w.base+w.size && w.base < base+size {
+			return fmt.Errorf("mmu: IO window overlaps [%#x,+%#x)", w.base, w.size)
+		}
+	}
+	for _, m := range as.mappings {
+		if base < m.Base+m.Size && m.Base < base+size {
+			return fmt.Errorf("mmu: IO window overlaps mapping [%#x,+%#x)", m.Base, m.Size)
+		}
+	}
+	as.io = append(as.io, ioWindow{base: base, size: size, h: h})
+	return nil
+}
+
+// ioAt returns the window covering va, if any.
+func (as *AddrSpace) ioAt(va uint32) *ioWindow {
+	for i := range as.io {
+		w := &as.io[i]
+		if va >= w.base && va-w.base < w.size {
+			return w
+		}
+	}
+	return nil
+}
+
+// IOWindows returns the number of installed device windows.
+func (as *AddrSpace) IOWindows() int { return len(as.io) }
+
+// ioLoad32 handles a load that may hit a device window; hit reports
+// whether it did.
+func (as *AddrSpace) ioLoad32(va uint32) (v uint32, hit bool, flt *cpu.Fault) {
+	w := as.ioAt(va)
+	if w == nil {
+		return 0, false, nil
+	}
+	if va%4 != 0 {
+		as.Faults++
+		return 0, true, &cpu.Fault{VA: va, Access: cpu.Read}
+	}
+	return w.h.IORead32(va - w.base), true, nil
+}
+
+// ioStore32 handles a store that may hit a device window.
+func (as *AddrSpace) ioStore32(va uint32, v uint32) (hit bool, flt *cpu.Fault) {
+	w := as.ioAt(va)
+	if w == nil {
+		return false, nil
+	}
+	if va%4 != 0 {
+		as.Faults++
+		return true, &cpu.Fault{VA: va, Access: cpu.Write}
+	}
+	w.h.IOWrite32(va-w.base, v)
+	return true, nil
+}

@@ -1,0 +1,155 @@
+package mmu
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// regDev is a trivial register file for MMIO tests.
+type regDev struct {
+	regs map[uint32]uint32
+}
+
+func (d *regDev) IORead32(off uint32) uint32 { return d.regs[off] }
+func (d *regDev) IOWrite32(off uint32, v uint32) {
+	if d.regs == nil {
+		d.regs = map[uint32]uint32{}
+	}
+	d.regs[off] = v
+}
+
+func TestMapIOValidation(t *testing.T) {
+	as := NewAddrSpace(mem.NewAllocator(16))
+	d := &regDev{}
+	if err := as.MapIO(0x1000, 0, d); err == nil {
+		t.Fatal("zero-size window accepted")
+	}
+	if err := as.MapIO(0x1004, mem.PageSize, d); err == nil {
+		t.Fatal("unaligned base accepted")
+	}
+	if err := as.MapIO(0x1000, mem.PageSize, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	if err := as.MapIO(0x1000, mem.PageSize, d); err != nil {
+		t.Fatal(err)
+	}
+	if as.IOWindows() != 1 {
+		t.Fatal("window count")
+	}
+	// Overlap with another window.
+	if err := as.MapIO(0x1000, mem.PageSize, d); err == nil {
+		t.Fatal("overlapping window accepted")
+	}
+	// Overlap with a mapping.
+	r := NewRegion(mem.PageSize, true)
+	if err := as.Map(&Mapping{Region: r, Base: 0x8000, Size: mem.PageSize, Perm: PermRW}); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapIO(0x8000, mem.PageSize, d); err == nil {
+		t.Fatal("window over mapping accepted")
+	}
+}
+
+func TestIOAccessSemantics(t *testing.T) {
+	as := NewAddrSpace(mem.NewAllocator(16))
+	d := &regDev{}
+	if err := as.MapIO(0x2000, mem.PageSize, d); err != nil {
+		t.Fatal(err)
+	}
+	if f := as.Store32(0x2008, 0xBEEF); f != nil {
+		t.Fatal(f)
+	}
+	if v, f := as.Load32(0x2008); f != nil || v != 0xBEEF {
+		t.Fatalf("v=%#x f=%v", v, f)
+	}
+	// Misaligned word access to a window faults.
+	if _, f := as.Load32(0x2002); f == nil {
+		t.Fatal("misaligned IO load accepted")
+	}
+	if f := as.Store32(0x2001, 1); f == nil {
+		t.Fatal("misaligned IO store accepted")
+	}
+	// Outside the window: normal translation (fault: unmapped).
+	if _, f := as.Load32(0x9000); f == nil {
+		t.Fatal("unmapped load succeeded")
+	}
+}
+
+func TestRegionIntrospection(t *testing.T) {
+	r := NewRegion(3*mem.PageSize, true)
+	if r.Pages() != 3 {
+		t.Fatalf("Pages=%d", r.Pages())
+	}
+	if r.PresentPages() != 0 {
+		t.Fatal("fresh region has present pages")
+	}
+	if r.FrameAt(10*mem.PageSize) != nil {
+		t.Fatal("FrameAt beyond region returned frame")
+	}
+	a := mem.NewAllocator(8)
+	f, _ := a.Alloc()
+	r.Populate(mem.PageSize, f)
+	if r.PresentPages() != 1 {
+		t.Fatal("PresentPages after populate")
+	}
+	if r.Evict(10 * mem.PageSize) != nil {
+		t.Fatal("Evict beyond region returned frame")
+	}
+}
+
+func TestPopulateBeyondRegionPanics(t *testing.T) {
+	r := NewRegion(mem.PageSize, true)
+	a := mem.NewAllocator(2)
+	f, _ := a.Alloc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	r.Populate(4*mem.PageSize, f)
+}
+
+func TestStringers(t *testing.T) {
+	if PermRW.String() != "rw-" || PermRWX.String() != "rwx" || Perm(0).String() != "---" {
+		t.Fatalf("perm strings: %s %s", PermRW, PermRWX)
+	}
+	for _, c := range []FaultClass{FaultFatal, FaultSoft, FaultHard} {
+		if c.String() == "fault?" {
+			t.Fatalf("unnamed class %d", c)
+		}
+	}
+}
+
+func TestByteAccessAndFetch(t *testing.T) {
+	as := NewAddrSpace(mem.NewAllocator(16))
+	r := NewRegion(mem.PageSize, true)
+	if err := as.Map(&Mapping{Region: r, Base: 0x4000, Size: mem.PageSize, Perm: PermRWX}); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.ResolveSoft(0x4000, cpu.Write); err != nil {
+		t.Fatal(err)
+	}
+	if f := as.Store8(0x4005, 0x7E); f != nil {
+		t.Fatal(f)
+	}
+	if b, f := as.Load8(0x4005); f != nil || b != 0x7E {
+		t.Fatalf("b=%#x f=%v", b, f)
+	}
+	// Store a word and fetch it as an instruction.
+	as.Store32(0x4010, 0x01020304)
+	if v, f := as.Fetch32(0x4010); f != nil || v != 0x01020304 {
+		t.Fatalf("fetch v=%#x f=%v", v, f)
+	}
+	if _, f := as.Fetch32(0x4012); f == nil {
+		t.Fatal("misaligned fetch accepted")
+	}
+	// Store8 to unmapped address faults.
+	if f := as.Store8(0xF0000, 1); f == nil {
+		t.Fatal("store8 to unmapped accepted")
+	}
+	if len(as.Mappings()) != 1 {
+		t.Fatal("Mappings()")
+	}
+}

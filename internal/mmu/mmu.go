@@ -1,0 +1,415 @@
+// Package mmu implements the simulated memory-management hardware and the
+// Fluke memory-mapping hierarchy: address spaces translate virtual
+// addresses through per-page PTEs; Regions export memory; Mappings import
+// (part of) a Region into an address space.
+//
+// The PTE table is a pure cache of the Mapping/Region state, which gives
+// the simulation the two fault flavours Table 3 of the paper measures:
+//
+//   - a soft page fault is one "for which the kernel can derive a page
+//     table entry based on an entry higher in the memory mapping
+//     hierarchy": the VA is covered by a Mapping whose source Region page
+//     is present (or demand-zero), so the kernel installs a PTE and
+//     restarts;
+//   - a hard page fault needs an RPC to a user-level memory manager: the
+//     Region page is absent and the Region names a pager.
+package mmu
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// Perm is a page-protection bit set.
+type Perm uint8
+
+// Protection bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// PermRW and PermRWX are common combinations.
+const (
+	PermRW  = PermRead | PermWrite
+	PermRWX = PermRead | PermWrite | PermExec
+)
+
+func (p Perm) String() string {
+	s := [3]byte{'-', '-', '-'}
+	if p&PermRead != 0 {
+		s[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		s[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		s[2] = 'x'
+	}
+	return string(s[:])
+}
+
+func needs(acc cpu.Access) Perm {
+	switch acc {
+	case cpu.Write:
+		return PermWrite
+	case cpu.Exec:
+		return PermExec
+	default:
+		return PermRead
+	}
+}
+
+// Region is an exportable range of memory (Fluke's Region object state).
+// Pages are backed lazily: a page is either present (has a frame), demand-
+// zero (the kernel may materialize a zero frame on first touch — a soft
+// fault), or pager-backed (a user-mode memory manager must provide it — a
+// hard fault).
+type Region struct {
+	Size       uint32 // bytes, page multiple
+	DemandZero bool   // absent pages may be materialized as zero frames
+	Pager      any    // opaque pager identity (a kernel Port); nil if none
+
+	frames []*mem.Frame
+}
+
+// NewRegion creates a region of size bytes (rounded up to pages).
+func NewRegion(size uint32, demandZero bool) *Region {
+	size = mem.PageRound(size)
+	return &Region{
+		Size:       size,
+		DemandZero: demandZero,
+		frames:     make([]*mem.Frame, size/mem.PageSize),
+	}
+}
+
+// Pages returns the number of pages in the region.
+func (r *Region) Pages() int { return len(r.frames) }
+
+// FrameAt returns the frame backing the page containing offset off, or nil.
+func (r *Region) FrameAt(off uint32) *mem.Frame {
+	if off >= r.Size {
+		return nil
+	}
+	return r.frames[off/mem.PageSize]
+}
+
+// Populate installs a frame for the page containing offset off, replacing
+// any previous frame (which is returned so the caller can free it).
+func (r *Region) Populate(off uint32, f *mem.Frame) *mem.Frame {
+	if off >= r.Size {
+		panic(fmt.Sprintf("mmu: Populate offset %#x beyond region size %#x", off, r.Size))
+	}
+	old := r.frames[off/mem.PageSize]
+	r.frames[off/mem.PageSize] = f
+	return old
+}
+
+// Evict removes and returns the frame backing the page at off, if any.
+// Subsequent touches fault again (soft if demand-zero, hard if pager-backed).
+func (r *Region) Evict(off uint32) *mem.Frame {
+	if off >= r.Size {
+		return nil
+	}
+	f := r.frames[off/mem.PageSize]
+	r.frames[off/mem.PageSize] = nil
+	return f
+}
+
+// PresentPages counts populated pages.
+func (r *Region) PresentPages() int {
+	n := 0
+	for _, f := range r.frames {
+		if f != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Mapping imports [RegionOff, RegionOff+Size) of Region at [Base,
+// Base+Size) in a destination address space (Fluke's Mapping object state).
+type Mapping struct {
+	Region    *Region
+	RegionOff uint32
+	Base      uint32
+	Size      uint32
+	Perm      Perm
+}
+
+// Contains reports whether the mapping covers va.
+func (m *Mapping) Contains(va uint32) bool {
+	return va >= m.Base && va-m.Base < m.Size
+}
+
+// regionOffFor translates a covered va to its region offset.
+func (m *Mapping) regionOffFor(va uint32) uint32 {
+	return m.RegionOff + (va - m.Base)
+}
+
+type pte struct {
+	frame *mem.Frame
+	perm  Perm
+}
+
+// FaultClass classifies a page fault (paper Table 3 terminology).
+type FaultClass uint8
+
+const (
+	// FaultFatal: no mapping covers the address, or protection denies
+	// the access. The thread gets an exception.
+	FaultFatal FaultClass = iota
+	// FaultSoft: the kernel can derive the PTE from the mapping
+	// hierarchy without leaving the kernel.
+	FaultSoft
+	// FaultHard: a user-mode pager must provide the page (exception IPC).
+	FaultHard
+)
+
+func (c FaultClass) String() string {
+	switch c {
+	case FaultFatal:
+		return "fatal"
+	case FaultSoft:
+		return "soft"
+	case FaultHard:
+		return "hard"
+	}
+	return "fault?"
+}
+
+// AddrSpace is the translation state of one Fluke Space. It implements
+// cpu.Memory. All 32-bit accesses must be 4-byte aligned (misalignment
+// faults, as on a trap-on-misalign machine).
+type AddrSpace struct {
+	alloc    *mem.Allocator
+	pt       map[uint32]pte // vpn -> pte
+	mappings []*Mapping
+	io       []ioWindow // device register windows (see mmio.go)
+
+	// Faults counts translation faults taken through this space
+	// (diagnostics and tests).
+	Faults uint64
+}
+
+// NewAddrSpace creates an empty address space drawing demand-zero frames
+// from alloc.
+func NewAddrSpace(alloc *mem.Allocator) *AddrSpace {
+	return &AddrSpace{alloc: alloc, pt: make(map[uint32]pte)}
+}
+
+// Allocator exposes the backing allocator (the pager uses it).
+func (as *AddrSpace) Allocator() *mem.Allocator { return as.alloc }
+
+// Map installs a mapping. Overlapping an existing mapping is an error.
+// Base, RegionOff and Size must be page-aligned and the mapped window must
+// lie within the region.
+func (as *AddrSpace) Map(m *Mapping) error {
+	if m.Base%mem.PageSize != 0 || m.Size%mem.PageSize != 0 || m.RegionOff%mem.PageSize != 0 {
+		return fmt.Errorf("mmu: unaligned mapping base=%#x off=%#x size=%#x", m.Base, m.RegionOff, m.Size)
+	}
+	if m.Size == 0 {
+		return fmt.Errorf("mmu: empty mapping")
+	}
+	if m.Region == nil || m.RegionOff+m.Size > m.Region.Size || m.RegionOff+m.Size < m.RegionOff {
+		return fmt.Errorf("mmu: mapping window [%#x,+%#x) outside region", m.RegionOff, m.Size)
+	}
+	if m.Base+m.Size < m.Base && m.Base+m.Size != 0 {
+		return fmt.Errorf("mmu: mapping wraps address space")
+	}
+	for _, ex := range as.mappings {
+		if m.Base < ex.Base+ex.Size && ex.Base < m.Base+m.Size {
+			return fmt.Errorf("mmu: mapping [%#x,+%#x) overlaps [%#x,+%#x)", m.Base, m.Size, ex.Base, ex.Size)
+		}
+	}
+	as.mappings = append(as.mappings, m)
+	return nil
+}
+
+// Unmap removes the given mapping and flushes its PTEs. It reports whether
+// the mapping was installed.
+func (as *AddrSpace) Unmap(m *Mapping) bool {
+	for i, ex := range as.mappings {
+		if ex == m {
+			as.mappings = append(as.mappings[:i], as.mappings[i+1:]...)
+			as.FlushRange(m.Base, m.Size)
+			return true
+		}
+	}
+	return false
+}
+
+// MappingAt returns the mapping covering va, or nil.
+func (as *AddrSpace) MappingAt(va uint32) *Mapping {
+	for _, m := range as.mappings {
+		if m.Contains(va) {
+			return m
+		}
+	}
+	return nil
+}
+
+// Mappings returns the installed mappings (do not mutate).
+func (as *AddrSpace) Mappings() []*Mapping { return as.mappings }
+
+// SetProtection changes a mapping's protection and flushes its PTEs so the
+// new protection takes effect on the next access.
+func (as *AddrSpace) SetProtection(m *Mapping, p Perm) {
+	m.Perm = p
+	as.FlushRange(m.Base, m.Size)
+}
+
+// FlushRange drops cached PTEs covering [base, base+size).
+func (as *AddrSpace) FlushRange(base, size uint32) {
+	first := mem.VPN(base)
+	last := mem.VPN(base + size - 1)
+	for vpn := first; vpn <= last; vpn++ {
+		delete(as.pt, vpn)
+		if vpn == last { // guard wrap-around
+			break
+		}
+	}
+}
+
+// FlushPage drops the cached PTE for the page containing va.
+func (as *AddrSpace) FlushPage(va uint32) {
+	delete(as.pt, mem.VPN(va))
+}
+
+// Present reports whether the page containing va has a PTE granting acc.
+func (as *AddrSpace) Present(va uint32, acc cpu.Access) bool {
+	e, ok := as.pt[mem.VPN(va)]
+	return ok && e.perm&needs(acc) != 0
+}
+
+// PTEs returns the number of installed PTEs.
+func (as *AddrSpace) PTEs() int { return len(as.pt) }
+
+// Classify decides what kind of fault an access to va is, returning the
+// covering mapping for soft/hard faults.
+func (as *AddrSpace) Classify(va uint32, acc cpu.Access) (FaultClass, *Mapping) {
+	m := as.MappingAt(va)
+	if m == nil || m.Perm&needs(acc) == 0 {
+		return FaultFatal, nil
+	}
+	off := m.regionOffFor(va)
+	if m.Region.FrameAt(off) != nil || m.Region.DemandZero {
+		return FaultSoft, m
+	}
+	if m.Region.Pager != nil {
+		return FaultHard, m
+	}
+	return FaultFatal, nil
+}
+
+// ResolveSoft installs the PTE for a soft fault at va, materializing a
+// demand-zero frame in the region if needed. Classify must have returned
+// FaultSoft for the same access.
+func (as *AddrSpace) ResolveSoft(va uint32, acc cpu.Access) error {
+	m := as.MappingAt(va)
+	if m == nil {
+		return fmt.Errorf("mmu: ResolveSoft(%#x): no mapping", va)
+	}
+	off := mem.PageTrunc(m.regionOffFor(va))
+	f := m.Region.FrameAt(off)
+	if f == nil {
+		if !m.Region.DemandZero {
+			return fmt.Errorf("mmu: ResolveSoft(%#x): page absent and not demand-zero", va)
+		}
+		var err error
+		f, err = as.alloc.Alloc()
+		if err != nil {
+			return err
+		}
+		m.Region.Populate(off, f)
+	}
+	as.pt[mem.VPN(va)] = pte{frame: f, perm: m.Perm}
+	return nil
+}
+
+// translate returns the frame and in-page offset for va, or a fault.
+func (as *AddrSpace) translate(va uint32, acc cpu.Access) (*mem.Frame, uint32, *cpu.Fault) {
+	e, ok := as.pt[mem.VPN(va)]
+	if !ok || e.perm&needs(acc) == 0 {
+		as.Faults++
+		return nil, 0, &cpu.Fault{VA: va, Access: acc}
+	}
+	return e.frame, va & mem.PageMask, nil
+}
+
+// Load32 implements cpu.Memory.
+func (as *AddrSpace) Load32(va uint32) (uint32, *cpu.Fault) {
+	if len(as.io) > 0 {
+		if v, hit, flt := as.ioLoad32(va); hit {
+			return v, flt
+		}
+	}
+	if va%4 != 0 {
+		as.Faults++
+		return 0, &cpu.Fault{VA: va, Access: cpu.Read}
+	}
+	f, off, flt := as.translate(va, cpu.Read)
+	if flt != nil {
+		return 0, flt
+	}
+	d := f.Data[off:]
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+}
+
+// Store32 implements cpu.Memory.
+func (as *AddrSpace) Store32(va uint32, v uint32) *cpu.Fault {
+	if len(as.io) > 0 {
+		if hit, flt := as.ioStore32(va, v); hit {
+			return flt
+		}
+	}
+	if va%4 != 0 {
+		as.Faults++
+		return &cpu.Fault{VA: va, Access: cpu.Write}
+	}
+	f, off, flt := as.translate(va, cpu.Write)
+	if flt != nil {
+		return flt
+	}
+	d := f.Data[off:]
+	d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return nil
+}
+
+// Load8 implements cpu.Memory.
+func (as *AddrSpace) Load8(va uint32) (byte, *cpu.Fault) {
+	f, off, flt := as.translate(va, cpu.Read)
+	if flt != nil {
+		return 0, flt
+	}
+	return f.Data[off], nil
+}
+
+// Store8 implements cpu.Memory.
+func (as *AddrSpace) Store8(va uint32, v byte) *cpu.Fault {
+	f, off, flt := as.translate(va, cpu.Write)
+	if flt != nil {
+		return flt
+	}
+	f.Data[off] = v
+	return nil
+}
+
+// Fetch32 implements cpu.Memory (instruction fetch).
+func (as *AddrSpace) Fetch32(va uint32) (uint32, *cpu.Fault) {
+	if va%4 != 0 {
+		as.Faults++
+		return 0, &cpu.Fault{VA: va, Access: cpu.Exec}
+	}
+	f, off, flt := as.translate(va, cpu.Exec)
+	if flt != nil {
+		return 0, flt
+	}
+	d := f.Data[off:]
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+}
+
+var _ cpu.Memory = (*AddrSpace)(nil)

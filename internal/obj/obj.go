@@ -1,0 +1,440 @@
+// Package obj implements the nine primitive object types the Fluke kernel
+// exports (paper Table 2): Mutex, Cond, Mapping, Region, Port, Portset,
+// Space, Thread, and Reference.
+//
+// As in Fluke, kernel objects are named by virtual addresses: an object is
+// "mapped into the address space of an application with the virtual
+// address serving as the handle" (§4.3, footnote 3). A Space therefore
+// carries a handle table from VA to object; syscalls resolve handles
+// through it, faulting (and restarting) if the handle's page is not
+// mapped.
+package obj
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/cpu"
+	"repro/internal/mmu"
+	"repro/internal/sys"
+)
+
+// Header is the state common to every kernel object.
+type Header struct {
+	Type  sys.ObjType
+	VA    uint32 // handle address in the owning space
+	Owner *Space
+	Name  string // set by the rename common op
+	Dead  bool
+	Refs  int // number of Reference objects pointing at this object
+}
+
+// Hdr returns the header; it makes *Header satisfy Obj via embedding.
+func (h *Header) Hdr() *Header { return h }
+
+// Obj is any kernel object.
+type Obj interface {
+	Hdr() *Header
+}
+
+// WaitQueue is a FIFO queue of blocked threads. It is part of kernel
+// object state (mutex waiters, condition waiters, port queues, ...).
+//
+// Crucially for the atomic API, every thread on a wait queue has its user
+// register state rolled forward to a consistent restart point *before*
+// enqueueing, so the queue never holds hidden continuation state.
+type WaitQueue struct {
+	Name string
+	ts   []*Thread
+}
+
+// Enqueue appends t and records the queue on the thread.
+func (q *WaitQueue) Enqueue(t *Thread) {
+	if t.WaitQ != nil {
+		panic(fmt.Sprintf("obj: thread %d already on queue %q", t.ID, t.WaitQ.Name))
+	}
+	t.WaitQ = q
+	q.ts = append(q.ts, t)
+}
+
+// Dequeue removes and returns the head, or nil if empty.
+func (q *WaitQueue) Dequeue() *Thread {
+	if len(q.ts) == 0 {
+		return nil
+	}
+	t := q.ts[0]
+	copy(q.ts, q.ts[1:])
+	q.ts[len(q.ts)-1] = nil
+	q.ts = q.ts[:len(q.ts)-1]
+	t.WaitQ = nil
+	return t
+}
+
+// Remove unlinks t from the queue (used by thread_interrupt and
+// destruction). It reports whether t was queued here.
+func (q *WaitQueue) Remove(t *Thread) bool {
+	for i, x := range q.ts {
+		if x == t {
+			copy(q.ts[i:], q.ts[i+1:])
+			q.ts[len(q.ts)-1] = nil
+			q.ts = q.ts[:len(q.ts)-1]
+			t.WaitQ = nil
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of queued threads.
+func (q *WaitQueue) Len() int { return len(q.ts) }
+
+// Peek returns the head without removing it.
+func (q *WaitQueue) Peek() *Thread {
+	if len(q.ts) == 0 {
+		return nil
+	}
+	return q.ts[0]
+}
+
+// Threads returns the queued threads in order (do not mutate).
+func (q *WaitQueue) Threads() []*Thread { return q.ts }
+
+// ThreadState is the run state of a thread.
+type ThreadState uint8
+
+const (
+	// ThReady: runnable, on (or headed for) a run queue.
+	ThReady ThreadState = iota
+	// ThRunning: currently executing on the (virtual) CPU.
+	ThRunning
+	// ThBlocked: on a wait queue; registers are a consistent restart
+	// point.
+	ThBlocked
+	// ThDead: destroyed.
+	ThDead
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case ThReady:
+		return "ready"
+	case ThRunning:
+		return "running"
+	case ThBlocked:
+		return "blocked"
+	case ThDead:
+		return "dead"
+	}
+	return "state?"
+}
+
+// IPCPhase is the exportable connection phase of a thread's IPC state.
+type IPCPhase uint8
+
+const (
+	// IPCIdle: no connection.
+	IPCIdle IPCPhase = iota
+	// IPCSend: connected, this side currently holds the send direction.
+	IPCSend
+	// IPCRecv: connected, this side currently receives.
+	IPCRecv
+)
+
+func (p IPCPhase) String() string {
+	switch p {
+	case IPCIdle:
+		return "idle"
+	case IPCSend:
+		return "send"
+	case IPCRecv:
+		return "recv"
+	}
+	return "phase?"
+}
+
+// IPCState is one half of a thread's IPC connection state. As in Fluke,
+// every thread has two independent halves — a *client* connection it
+// initiated and a *server* connection it accepted — so a mid-chain server
+// can hold its client's connection open while performing RPCs of its own
+// downstream. The state lives in the thread control block ("The IPC
+// connection state itself is stored as part of the current thread's
+// control block in the kernel", §4.3) and is exportable through
+// thread_get_state.
+type IPCState struct {
+	Phase IPCPhase
+	// Peer is the connected thread; its *opposite* half points back.
+	Peer *Thread
+
+	// Accepting marks a thread blocked in ipc_wait_receive /
+	// ipc_setup_wait, distinguishing it from portset_wait blockers on
+	// the same queue (server half only).
+	Accepting bool
+	// WantSend/WantRecv mark a connected thread whose rolled-forward
+	// registers describe a transfer buffer the peer may operate on
+	// while this thread is not running.
+	WantSend bool
+	WantRecv bool
+	// MsgEnd: the peer has ended its message toward this thread
+	// ("over" or disconnect); the current receive completes when it is
+	// consumed.
+	MsgEnd bool
+	// Closed: the peer disconnected gracefully.
+	Closed bool
+	// PeerDied: the peer thread was destroyed mid-connection.
+	PeerDied bool
+
+	// Wait is where the peer parks this thread when it must wait for
+	// the other side's progress.
+	Wait WaitQueue
+}
+
+// Thread is the thread control block — Fluke's Thread object. Everything a
+// user-level manager may need is exportable: the register file (including
+// the PR0/PR1 pseudo-registers), scheduling parameters, and the IPC phase.
+type Thread struct {
+	Header
+	ID    uint32
+	Space *Space
+	Regs  cpu.Regs
+
+	State       ThreadState
+	Stopped     bool // thread_stop; excluded from scheduling until resumed
+	Interrupted bool // thread_interrupt pending
+
+	Priority int
+
+	// WaitQ is the wait queue the thread is blocked on, if any.
+	WaitQ *WaitQueue
+
+	// SleepTimer is the pending wakeup for thread_sleep/clock_alarm_wait.
+	SleepTimer *clock.Timer
+
+	// IPCClient and IPCServer are the two exportable connection halves:
+	// the connection this thread initiated and the one it accepted.
+	IPCClient IPCState
+	IPCServer IPCState
+
+	// ExitWaiters holds threads in thread_wait (join) on this thread.
+	ExitWaiters WaitQueue
+	ExitCode    uint32
+	Exited      bool
+
+	// KCtx is the execution-model context (the process-model kernel
+	// stack context); owned by internal/core.
+	KCtx any
+
+	// HostFn, when non-nil, makes this a kernel thread: instead of
+	// interpreting user instructions, the kernel calls HostFn, which
+	// charges simulated time and blocks via the normal kernel
+	// primitives (used for the Table 6 high-priority latency thread).
+	HostFn func() sys.KErr
+
+	// InSyscall marks a system call in progress (dispatch re-entries
+	// while set are counted as restarts).
+	InSyscall bool
+
+	// InKernelPark marks a process-model thread preempted in the middle
+	// of kernel code (full-preemption configuration only); such a
+	// thread must be settled before its state is exported.
+	InKernelPark bool
+
+	// EntryCycles counts cycles charged since the last committed
+	// progress point of the current syscall; on a fault-induced restart
+	// it is the work thrown away and redone (paper Table 3 rollback).
+	EntryCycles uint64
+
+	// PendingFault and PendingFaultSpace describe a fault a syscall
+	// handler hit in user memory (KFault).
+	PendingFault      cpu.Fault
+	PendingFaultSpace *Space
+
+	// FaultStart/FaultClass/FaultCross record an in-progress fault for
+	// remedy-time accounting.
+	FaultStart uint64
+	FaultClass mmu.FaultClass
+	FaultCross bool
+}
+
+// Runnable reports whether the scheduler may pick this thread.
+func (t *Thread) Runnable() bool {
+	return t.State == ThReady && !t.Stopped
+}
+
+// Mutex is Fluke's kernel-supported, cross-process mutex.
+type Mutex struct {
+	Header
+	Locked  bool
+	Holder  *Thread
+	Waiters WaitQueue
+}
+
+// Cond is Fluke's kernel-supported condition variable.
+type Cond struct {
+	Header
+	Waiters WaitQueue
+}
+
+// Region wraps an exportable mmu.Region; hard faults on it queue on
+// FaultWaiters until a pager populates the page.
+type Region struct {
+	Header
+	R *mmu.Region
+	// FaultWaiters holds threads waiting for a user-mode pager to
+	// populate a page of this region. Threads re-classify the fault on
+	// wakeup, so a single queue per region suffices.
+	FaultWaiters WaitQueue
+	// PendingFaults are fault notifications queued for the pager, one
+	// per (page) offset, delivered over the pager port.
+	PendingFaults []uint32
+}
+
+// Mapping wraps an imported window of a Region in a destination space.
+type Mapping struct {
+	Header
+	M *mmu.Mapping
+	// Dst is the space the mapping is installed in (the mapping object
+	// handle itself may live elsewhere).
+	Dst *Space
+}
+
+// Port is the server-side endpoint of IPC connections.
+type Port struct {
+	Header
+	Set *Portset
+	// Connectors are client threads waiting for a server to accept.
+	Connectors WaitQueue
+	// FaultRegion, when non-nil, marks this port as the pager port for
+	// that region: connection requests carry page-fault descriptors.
+	FaultRegion *Region
+}
+
+// Portset is a set of ports a server thread waits on.
+type Portset struct {
+	Header
+	Ports []*Port
+	// Servers are threads in ipc_wait_receive / ipc_setup_wait.
+	Servers WaitQueue
+}
+
+// AddPort links p into the set.
+func (ps *Portset) AddPort(p *Port) sys.Errno {
+	if p.Set != nil {
+		return sys.EBUSY
+	}
+	p.Set = ps
+	ps.Ports = append(ps.Ports, p)
+	return sys.EOK
+}
+
+// RemovePort unlinks p.
+func (ps *Portset) RemovePort(p *Port) sys.Errno {
+	for i, x := range ps.Ports {
+		if x == p {
+			ps.Ports = append(ps.Ports[:i], ps.Ports[i+1:]...)
+			p.Set = nil
+			return sys.EOK
+		}
+	}
+	return sys.ESRCH
+}
+
+// PendingPort returns a port in the set with a waiting connector, or nil.
+func (ps *Portset) PendingPort() *Port {
+	for _, p := range ps.Ports {
+		if p.Connectors.Len() > 0 || (p.FaultRegion != nil && len(p.FaultRegion.PendingFaults) > 0) {
+			return p
+		}
+	}
+	return nil
+}
+
+// Ref is a cross-process handle on another object.
+type Ref struct {
+	Header
+	Target Obj
+}
+
+// Space associates memory and threads (paper Table 2). It owns the handle
+// table mapping virtual addresses to kernel objects.
+type Space struct {
+	Header
+	AS      *mmu.AddrSpace
+	Objects map[uint32]Obj
+	Threads []*Thread
+	// ReapWaiters holds threads in space_reap_wait on this space.
+	ReapWaiters WaitQueue
+}
+
+// NewSpace creates an empty space over the given address space.
+func NewSpace(as *mmu.AddrSpace) *Space {
+	s := &Space{AS: as, Objects: make(map[uint32]Obj)}
+	s.Header = Header{Type: sys.ObjSpace, Owner: s}
+	return s
+}
+
+// Insert binds an object to handle va in the space. The handle must be
+// word-aligned and unused.
+func (s *Space) Insert(va uint32, o Obj) sys.Errno {
+	if va%4 != 0 {
+		return sys.EINVAL
+	}
+	if _, exists := s.Objects[va]; exists {
+		return sys.EBUSY
+	}
+	h := o.Hdr()
+	h.VA = va
+	h.Owner = s
+	s.Objects[va] = o
+	return sys.EOK
+}
+
+// Remove unbinds the handle at va.
+func (s *Space) Remove(va uint32) {
+	delete(s.Objects, va)
+}
+
+// At returns the object bound at va, or nil. Note: the *kernel's* handle
+// resolution additionally requires the page holding va to be mapped (see
+// core's objAt), which is what makes "short" syscalls fault and restart.
+func (s *Space) At(va uint32) Obj {
+	return s.Objects[va]
+}
+
+// ObjectsOfType counts live objects of type t in the space.
+func (s *Space) ObjectsOfType(t sys.ObjType) int {
+	n := 0
+	for _, o := range s.Objects {
+		if o.Hdr().Type == t && !o.Hdr().Dead {
+			n++
+		}
+	}
+	return n
+}
+
+// TypeOf returns the dynamic object type.
+func TypeOf(o Obj) sys.ObjType { return o.Hdr().Type }
+
+// New constructs an object of the given type with a zero-value body.
+// Space and Thread objects need richer setup and are created by the
+// kernel, not here.
+func New(t sys.ObjType) (Obj, sys.Errno) {
+	switch t {
+	case sys.ObjMutex:
+		return &Mutex{Header: Header{Type: t}}, sys.EOK
+	case sys.ObjCond:
+		return &Cond{Header: Header{Type: t}}, sys.EOK
+	case sys.ObjPort:
+		return &Port{Header: Header{Type: t}}, sys.EOK
+	case sys.ObjPortset:
+		return &Portset{Header: Header{Type: t}}, sys.EOK
+	case sys.ObjRef:
+		return &Ref{Header: Header{Type: t}}, sys.EOK
+	case sys.ObjRegion:
+		return &Region{Header: Header{Type: t}}, sys.EOK
+	case sys.ObjMapping:
+		return &Mapping{Header: Header{Type: t}}, sys.EOK
+	default:
+		// Space and Thread creation is kernel-mediated.
+		return nil, sys.EINVAL
+	}
+}

@@ -1,0 +1,252 @@
+package obj
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/sys"
+)
+
+func newSpace() *Space {
+	return NewSpace(mmu.NewAddrSpace(mem.NewAllocator(64)))
+}
+
+func TestWaitQueueFIFO(t *testing.T) {
+	var q WaitQueue
+	a, b, c := &Thread{ID: 1}, &Thread{ID: 2}, &Thread{ID: 3}
+	q.Enqueue(a)
+	q.Enqueue(b)
+	q.Enqueue(c)
+	if q.Len() != 3 || q.Peek() != a {
+		t.Fatalf("Len=%d Peek=%v", q.Len(), q.Peek())
+	}
+	for _, want := range []*Thread{a, b, c} {
+		got := q.Dequeue()
+		if got != want {
+			t.Fatalf("dequeued %d, want %d", got.ID, want.ID)
+		}
+		if got.WaitQ != nil {
+			t.Fatal("dequeued thread still linked to queue")
+		}
+	}
+	if q.Dequeue() != nil {
+		t.Fatal("empty dequeue returned thread")
+	}
+}
+
+func TestWaitQueueRemove(t *testing.T) {
+	var q WaitQueue
+	a, b := &Thread{ID: 1}, &Thread{ID: 2}
+	q.Enqueue(a)
+	q.Enqueue(b)
+	if !q.Remove(a) || a.WaitQ != nil {
+		t.Fatal("Remove(a) failed")
+	}
+	if q.Remove(a) {
+		t.Fatal("double remove succeeded")
+	}
+	if q.Dequeue() != b {
+		t.Fatal("wrong head after remove")
+	}
+}
+
+func TestDoubleEnqueuePanics(t *testing.T) {
+	var q1, q2 WaitQueue
+	a := &Thread{ID: 1}
+	q1.Enqueue(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double enqueue did not panic")
+		}
+	}()
+	q2.Enqueue(a)
+}
+
+func TestSpaceHandleTable(t *testing.T) {
+	s := newSpace()
+	m, e := New(sys.ObjMutex)
+	if e != sys.EOK {
+		t.Fatal(e)
+	}
+	if e := s.Insert(0x1000, m); e != sys.EOK {
+		t.Fatal(e)
+	}
+	if got := s.At(0x1000); got != m {
+		t.Fatal("At did not return inserted object")
+	}
+	if m.Hdr().VA != 0x1000 || m.Hdr().Owner != s {
+		t.Fatal("header not updated on insert")
+	}
+	// Duplicate handle rejected.
+	c, _ := New(sys.ObjCond)
+	if e := s.Insert(0x1000, c); e != sys.EBUSY {
+		t.Fatalf("duplicate insert = %v, want EBUSY", e)
+	}
+	// Unaligned handle rejected.
+	if e := s.Insert(0x1001, c); e != sys.EINVAL {
+		t.Fatalf("unaligned insert = %v, want EINVAL", e)
+	}
+	s.Remove(0x1000)
+	if s.At(0x1000) != nil {
+		t.Fatal("object survives Remove")
+	}
+}
+
+func TestNewCoversUserCreatableTypes(t *testing.T) {
+	creatable := []sys.ObjType{
+		sys.ObjMutex, sys.ObjCond, sys.ObjMapping, sys.ObjRegion,
+		sys.ObjPort, sys.ObjPortset, sys.ObjRef,
+	}
+	for _, ot := range creatable {
+		o, e := New(ot)
+		if e != sys.EOK {
+			t.Fatalf("New(%v) = %v", ot, e)
+		}
+		if TypeOf(o) != ot {
+			t.Fatalf("New(%v) has type %v", ot, TypeOf(o))
+		}
+	}
+	// Space and Thread are kernel-mediated.
+	if _, e := New(sys.ObjSpace); e != sys.EINVAL {
+		t.Fatal("New(space) should be EINVAL")
+	}
+	if _, e := New(sys.ObjThread); e != sys.EINVAL {
+		t.Fatal("New(thread) should be EINVAL")
+	}
+}
+
+func TestPortsetMembership(t *testing.T) {
+	ps := &Portset{Header: Header{Type: sys.ObjPortset}}
+	p1 := &Port{Header: Header{Type: sys.ObjPort}}
+	p2 := &Port{Header: Header{Type: sys.ObjPort}}
+	if e := ps.AddPort(p1); e != sys.EOK {
+		t.Fatal(e)
+	}
+	if e := ps.AddPort(p1); e != sys.EBUSY {
+		t.Fatalf("re-add = %v, want EBUSY", e)
+	}
+	if e := ps.AddPort(p2); e != sys.EOK {
+		t.Fatal(e)
+	}
+	if e := ps.RemovePort(p1); e != sys.EOK || p1.Set != nil {
+		t.Fatal("remove failed")
+	}
+	if e := ps.RemovePort(p1); e != sys.ESRCH {
+		t.Fatalf("double remove = %v, want ESRCH", e)
+	}
+}
+
+func TestPendingPort(t *testing.T) {
+	ps := &Portset{}
+	p := &Port{}
+	ps.AddPort(p)
+	if ps.PendingPort() != nil {
+		t.Fatal("pending on empty port")
+	}
+	cl := &Thread{ID: 9}
+	p.Connectors.Enqueue(cl)
+	if ps.PendingPort() != p {
+		t.Fatal("pending connector not seen")
+	}
+	p.Connectors.Remove(cl)
+	// Pager fault notifications also count as pending work.
+	r := &Region{}
+	p.FaultRegion = r
+	if ps.PendingPort() != nil {
+		t.Fatal("no faults queued yet")
+	}
+	r.PendingFaults = append(r.PendingFaults, 0x1000)
+	if ps.PendingPort() != p {
+		t.Fatal("pending fault not seen")
+	}
+}
+
+func TestThreadRunnable(t *testing.T) {
+	th := &Thread{State: ThReady}
+	if !th.Runnable() {
+		t.Fatal("ready thread not runnable")
+	}
+	th.Stopped = true
+	if th.Runnable() {
+		t.Fatal("stopped thread runnable")
+	}
+	th.Stopped = false
+	th.State = ThBlocked
+	if th.Runnable() {
+		t.Fatal("blocked thread runnable")
+	}
+}
+
+func TestObjectsOfType(t *testing.T) {
+	s := newSpace()
+	for i := uint32(0); i < 3; i++ {
+		m, _ := New(sys.ObjMutex)
+		s.Insert(0x1000+i*4, m)
+	}
+	c, _ := New(sys.ObjCond)
+	s.Insert(0x2000, c)
+	if n := s.ObjectsOfType(sys.ObjMutex); n != 3 {
+		t.Fatalf("mutex count %d, want 3", n)
+	}
+	if n := s.ObjectsOfType(sys.ObjCond); n != 1 {
+		t.Fatalf("cond count %d, want 1", n)
+	}
+	s.At(0x1000).Hdr().Dead = true
+	if n := s.ObjectsOfType(sys.ObjMutex); n != 2 {
+		t.Fatalf("mutex count after death %d, want 2", n)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if ThReady.String() != "ready" || ThDead.String() != "dead" {
+		t.Fatal("thread state names")
+	}
+	if IPCIdle.String() != "idle" || IPCSend.String() != "send" || IPCRecv.String() != "recv" {
+		t.Fatal("ipc phase names")
+	}
+}
+
+// Property: any interleaving of enqueue/dequeue/remove keeps the queue
+// consistent: Len matches, no thread is on two queues, dequeued order is a
+// subsequence of enqueue order.
+func TestPropertyWaitQueueConsistency(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var q WaitQueue
+		next := uint32(0)
+		inQ := map[uint32]bool{}
+		var order []uint32
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // enqueue fresh thread
+				th := &Thread{ID: next}
+				next++
+				q.Enqueue(th)
+				inQ[th.ID] = true
+				order = append(order, th.ID)
+			case 1: // dequeue
+				if th := q.Dequeue(); th != nil {
+					if !inQ[th.ID] {
+						return false
+					}
+					delete(inQ, th.ID)
+				}
+			case 2: // remove head-ish (peek then remove)
+				if th := q.Peek(); th != nil {
+					if !q.Remove(th) {
+						return false
+					}
+					delete(inQ, th.ID)
+				}
+			}
+			if q.Len() != len(inQ) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

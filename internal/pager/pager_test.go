@@ -1,0 +1,116 @@
+package pager_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/pager"
+	"repro/internal/prog"
+	"repro/internal/sys"
+)
+
+// setup builds a kernel with a pager-backed region mapped at base in a
+// client space, with the pager living in the same space.
+func setup(t *testing.T, cfg core.Config, pages int, base uint32) (*core.Kernel, *obj.Space, *pager.Pager) {
+	t.Helper()
+	k := core.New(cfg)
+	s := k.NewSpace()
+	reg := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(uint32(pages)*mem.PageSize, false)}
+	k.BindFresh(s, reg)
+	if _, err := k.MapInto(s, reg, base, 0, uint32(pages)*mem.PageSize, mmu.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pager.Install(k, s, reg, pager.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, s, p
+}
+
+func TestPagerServesSequentialTouches(t *testing.T) {
+	for _, cfg := range core.Configurations() {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			const base = 0x0200_0000
+			const pages = 6
+			k, s, p := setup(t, cfg, pages, base)
+			// Client walks one byte per page, writing then reading.
+			b := prog.New(0x0001_0000)
+			b.Movi(6, 0). // page index
+					Label("loop").
+					Movi(5, pages)
+			b.Beq(6, 5, "done")
+			b.Movi(4, base).
+				Movi(3, 12).Shl(2, 6, 3). // r2 = idx << 12
+				Add(4, 4, 2).
+				Movi(5, 0xA5).Stb(4, 0, 5).
+				Ldb(5, 4, 0).
+				Addi(6, 6, 1).
+				Jmp("loop").
+				Label("done").Halt()
+			th, err := k.SpawnProgram(s, 0x0001_0000, b.MustAssemble(), 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k.RunFor(2_000_000_000)
+			if !th.Exited {
+				t.Fatalf("client stuck: state=%v pc=%#x r0=%d pager=%v",
+					th.State, th.Regs.PC, th.Regs.R[0], p.Thread.State)
+			}
+			if got := p.PresentPages(); got != pages {
+				t.Fatalf("pages served = %d, want %d", got, pages)
+			}
+			hard := k.Stats.FaultCount[core.FaultKey{Class: mmu.FaultHard, Side: core.FaultSame}]
+			if hard < pages {
+				t.Fatalf("hard faults %d < %d", hard, pages)
+			}
+		})
+	}
+}
+
+func TestPagerRemedyTimeRecorded(t *testing.T) {
+	const base = 0x0200_0000
+	k, s, _ := setup(t, core.Config{Model: core.ModelProcess}, 2, base)
+	b := prog.New(0x0001_0000)
+	b.Movi(4, base).Ldb(5, 4, 0).Halt()
+	th, err := k.SpawnProgram(s, 0x0001_0000, b.MustAssemble(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(1_000_000_000)
+	if !th.Exited {
+		t.Fatal("client stuck")
+	}
+	key := core.FaultKey{Class: mmu.FaultHard, Side: core.FaultSame}
+	if k.Stats.FaultCount[key] == 0 {
+		t.Fatal("no hard fault")
+	}
+	remedy := float64(k.Stats.FaultRemedy[key]) / float64(k.Stats.FaultCount[key]) / 200
+	// Table 3 target: ~118 µs for a client-side hard fault. Accept a
+	// generous band here; EXPERIMENTS.md records the precise value.
+	if remedy < 60 || remedy > 400 {
+		t.Fatalf("hard fault remedy = %.1f µs, outside plausible band", remedy)
+	}
+}
+
+func TestPagerDiesOnPortsetDestroy(t *testing.T) {
+	const base = 0x0200_0000
+	k, _, p := setup(t, core.Config{Model: core.ModelInterrupt}, 2, base)
+	k.RunFor(1_000_000) // pager blocks accepting
+	if p.Thread.State != obj.ThBlocked {
+		t.Fatalf("pager state %v", p.Thread.State)
+	}
+	// Destroying the portset wakes the pager, which observes the error
+	// and exits.
+	p.Portset.Dead = true
+	for p.Portset.Servers.Len() > 0 {
+		k.WakeThread(p.Portset.Servers.Peek())
+	}
+	k.RunFor(10_000_000)
+	if !p.Thread.Exited {
+		t.Fatalf("pager did not exit: %v pc=%#x", p.Thread.State, p.Thread.Regs.PC)
+	}
+}

@@ -1,0 +1,76 @@
+package prog
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// TestAllEmittersEncode drives every raw emitter once and checks the
+// decoded opcode stream.
+func TestAllEmittersEncode(t *testing.T) {
+	b := New(0x1000)
+	b.Nop().
+		Movi(1, 7).
+		Mov(2, 1).
+		Add(3, 1, 2).
+		Sub(3, 3, 1).
+		Mul(4, 1, 2).
+		Xor(4, 4, 4).
+		And(5, 1, 2).
+		Or(5, 5, 1).
+		Shl(6, 1, 2).
+		Shr(6, 6, 2).
+		Addi(1, 1, 3).
+		Ld(2, 1, 0).
+		St(1, 4, 2).
+		Ldb(2, 1, 0).
+		Stb(1, 4, 2).
+		Label("x").
+		Beq(1, 2, "x").
+		Bne(1, 2, "x").
+		Blt(1, 2, "x").
+		Bge(1, 2, "x").
+		Jmp("x").
+		Call("x").
+		Ret().
+		Halt()
+	img := b.MustAssemble()
+	wantOps := []cpu.Opcode{
+		cpu.OpNop, cpu.OpMovi, cpu.OpMov, cpu.OpAdd, cpu.OpSub, cpu.OpMul,
+		cpu.OpXor, cpu.OpAnd, cpu.OpOr, cpu.OpShl, cpu.OpShr, cpu.OpAddi,
+		cpu.OpLd, cpu.OpSt, cpu.OpLdb, cpu.OpStb,
+		cpu.OpBeq, cpu.OpBne, cpu.OpBlt, cpu.OpBge,
+		cpu.OpJmp, cpu.OpCall, cpu.OpRet, cpu.OpHalt,
+	}
+	if len(img) != len(wantOps)*cpu.InstrSize {
+		t.Fatalf("image %d bytes, want %d instrs", len(img), len(wantOps))
+	}
+	for i, want := range wantOps {
+		in := decode(img, i)
+		if in.Op != want {
+			t.Fatalf("instr %d = %v, want %v", i, in.Op, want)
+		}
+	}
+	// All label fixups point at "x" (instruction 16).
+	target := b.Addr("x")
+	if target != 0x1000+16*cpu.InstrSize {
+		t.Fatalf("label at %#x", target)
+	}
+	for i := 16; i <= 21; i++ {
+		if in := decode(img, i); in.Imm != target {
+			t.Fatalf("instr %d target %#x, want %#x", i, in.Imm, target)
+		}
+	}
+}
+
+func TestSizeAndBase(t *testing.T) {
+	b := New(0x2000)
+	if b.Base() != 0x2000 || b.Size() != 0 {
+		t.Fatal("fresh builder geometry")
+	}
+	b.Nop().Nop()
+	if b.Size() != 2*cpu.InstrSize {
+		t.Fatalf("Size=%d", b.Size())
+	}
+}

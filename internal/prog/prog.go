@@ -1,0 +1,223 @@
+// Package prog is the user-level program builder for the simulated CPU: a
+// tiny assembler with labels plus stubs for every Fluke system call. The
+// workloads (flukeperf, memtest, the gcc pipeline), the user-mode pager,
+// and the examples are all written with it.
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+)
+
+type fixup struct {
+	instr int
+	label string
+}
+
+// Builder assembles a program for loading at a fixed base address.
+type Builder struct {
+	base   uint32
+	instrs []cpu.Instr
+	labels map[string]int
+	fixups []fixup
+}
+
+// New returns a builder for a program loaded at base (must be 8-byte
+// aligned).
+func New(base uint32) *Builder {
+	if base%cpu.InstrSize != 0 {
+		panic(fmt.Sprintf("prog: unaligned base %#x", base))
+	}
+	return &Builder{base: base, labels: make(map[string]int)}
+}
+
+// Base returns the load address.
+func (b *Builder) Base() uint32 { return b.base }
+
+// PC returns the address of the next instruction to be emitted.
+func (b *Builder) PC() uint32 { return b.base + uint32(len(b.instrs))*cpu.InstrSize }
+
+// Size returns the assembled size in bytes.
+func (b *Builder) Size() uint32 { return uint32(len(b.instrs)) * cpu.InstrSize }
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("prog: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.instrs)
+	return b
+}
+
+// Addr returns the absolute address of a previously defined label.
+func (b *Builder) Addr(name string) uint32 {
+	i, ok := b.labels[name]
+	if !ok {
+		panic(fmt.Sprintf("prog: unknown label %q", name))
+	}
+	return b.base + uint32(i)*cpu.InstrSize
+}
+
+func (b *Builder) emit(in cpu.Instr) *Builder {
+	b.instrs = append(b.instrs, in)
+	return b
+}
+
+func (b *Builder) emitLabelImm(in cpu.Instr, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{instr: len(b.instrs), label: label})
+	return b.emit(in)
+}
+
+// Raw instruction emitters.
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(cpu.Instr{Op: cpu.OpNop}) }
+
+// Halt terminates the thread with exit code R1.
+func (b *Builder) Halt() *Builder { return b.emit(cpu.Instr{Op: cpu.OpHalt}) }
+
+// Movi loads an immediate: rd = imm.
+func (b *Builder) Movi(rd int, imm uint32) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpMovi, Rd: rd, Imm: imm})
+}
+
+// Mov copies a register: rd = rs.
+func (b *Builder) Mov(rd, rs int) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpMov, Rd: rd, Rs: rs})
+}
+
+// Add emits rd = rs + rt.
+func (b *Builder) Add(rd, rs, rt int) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpAdd, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Sub emits rd = rs - rt.
+func (b *Builder) Sub(rd, rs, rt int) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpSub, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Mul emits rd = rs * rt.
+func (b *Builder) Mul(rd, rs, rt int) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpMul, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Xor emits rd = rs ^ rt.
+func (b *Builder) Xor(rd, rs, rt int) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpXor, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// And emits rd = rs & rt.
+func (b *Builder) And(rd, rs, rt int) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpAnd, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Or emits rd = rs | rt.
+func (b *Builder) Or(rd, rs, rt int) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpOr, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Shl emits rd = rs << rt.
+func (b *Builder) Shl(rd, rs, rt int) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpShl, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Shr emits rd = rs >> rt.
+func (b *Builder) Shr(rd, rs, rt int) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpShr, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Addi emits rd = rs + imm.
+func (b *Builder) Addi(rd, rs int, imm uint32) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpAddi, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Ld emits rd = mem32[rs+imm].
+func (b *Builder) Ld(rd, rs int, imm uint32) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpLd, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// St emits mem32[rs+imm] = rt.
+func (b *Builder) St(rs int, imm uint32, rt int) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpSt, Rs: rs, Rt: rt, Imm: imm})
+}
+
+// Ldb emits rd = mem8[rs+imm].
+func (b *Builder) Ldb(rd, rs int, imm uint32) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpLdb, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Stb emits mem8[rs+imm] = rt.
+func (b *Builder) Stb(rs int, imm uint32, rt int) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpStb, Rs: rs, Rt: rt, Imm: imm})
+}
+
+// Beq branches to label when rs == rt.
+func (b *Builder) Beq(rs, rt int, label string) *Builder {
+	return b.emitLabelImm(cpu.Instr{Op: cpu.OpBeq, Rs: rs, Rt: rt}, label)
+}
+
+// Bne branches to label when rs != rt.
+func (b *Builder) Bne(rs, rt int, label string) *Builder {
+	return b.emitLabelImm(cpu.Instr{Op: cpu.OpBne, Rs: rs, Rt: rt}, label)
+}
+
+// Blt branches to label when rs < rt (unsigned).
+func (b *Builder) Blt(rs, rt int, label string) *Builder {
+	return b.emitLabelImm(cpu.Instr{Op: cpu.OpBlt, Rs: rs, Rt: rt}, label)
+}
+
+// Bge branches to label when rs >= rt (unsigned).
+func (b *Builder) Bge(rs, rt int, label string) *Builder {
+	return b.emitLabelImm(cpu.Instr{Op: cpu.OpBge, Rs: rs, Rt: rt}, label)
+}
+
+// Jmp jumps to label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emitLabelImm(cpu.Instr{Op: cpu.OpJmp}, label)
+}
+
+// Call calls the function at label (return address in LR).
+func (b *Builder) Call(label string) *Builder {
+	return b.emitLabelImm(cpu.Instr{Op: cpu.OpCall}, label)
+}
+
+// Ret returns to LR.
+func (b *Builder) Ret() *Builder { return b.emit(cpu.Instr{Op: cpu.OpRet}) }
+
+// Syscall emits a call into the syscall entry page for syscall n. The
+// caller sets argument registers first.
+func (b *Builder) Syscall(n int) *Builder {
+	return b.emit(cpu.Instr{Op: cpu.OpCall, Imm: cpu.SyscallEntry(n)})
+}
+
+// Assemble resolves labels and returns the image bytes (little-endian).
+func (b *Builder) Assemble() ([]byte, error) {
+	instrs := make([]cpu.Instr, len(b.instrs))
+	copy(instrs, b.instrs)
+	for _, f := range b.fixups {
+		idx, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("prog: undefined label %q", f.label)
+		}
+		instrs[f.instr].Imm = b.base + uint32(idx)*cpu.InstrSize
+	}
+	out := make([]byte, 0, len(instrs)*cpu.InstrSize)
+	for _, in := range instrs {
+		w0, w1 := in.Encode()
+		out = append(out,
+			byte(w0), byte(w0>>8), byte(w0>>16), byte(w0>>24),
+			byte(w1), byte(w1>>8), byte(w1>>16), byte(w1>>24))
+	}
+	return out, nil
+}
+
+// MustAssemble is Assemble panicking on error (for tests and fixed
+// workloads).
+func (b *Builder) MustAssemble() []byte {
+	out, err := b.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package prog
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/sys"
+)
+
+func TestAssembleResolvesLabels(t *testing.T) {
+	b := New(0x1000)
+	b.Movi(0, 5).
+		Label("loop").
+		Addi(0, 0, 0xFFFFFFFF). // decrement
+		Bne(0, 7, "loop").      // R7 is 0 here? (LR) — compare against R1=0
+		Halt()
+	img, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != 4*cpu.InstrSize {
+		t.Fatalf("image size %d", len(img))
+	}
+	// The Bne target must be the absolute address of "loop".
+	w0 := uint32(img[16]) | uint32(img[17])<<8 | uint32(img[18])<<16 | uint32(img[19])<<24
+	imm := uint32(img[20]) | uint32(img[21])<<8 | uint32(img[22])<<16 | uint32(img[23])<<24
+	in := cpu.Decode(w0, imm)
+	if in.Op != cpu.OpBne || in.Imm != 0x1000+cpu.InstrSize {
+		t.Fatalf("decoded %v imm=%#x, want bne to %#x", in.Op, in.Imm, 0x1000+cpu.InstrSize)
+	}
+}
+
+func TestUndefinedLabelFails(t *testing.T) {
+	b := New(0)
+	b.Jmp("nowhere")
+	if _, err := b.Assemble(); err == nil {
+		t.Fatal("undefined label assembled")
+	}
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate label")
+		}
+	}()
+	b := New(0)
+	b.Label("x").Label("x")
+}
+
+func TestUnalignedBasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unaligned base")
+		}
+	}()
+	New(3)
+}
+
+func TestAddrAndPC(t *testing.T) {
+	b := New(0x2000)
+	b.Nop()
+	b.Label("here")
+	if b.Addr("here") != 0x2000+cpu.InstrSize {
+		t.Fatalf("Addr = %#x", b.Addr("here"))
+	}
+	if b.PC() != 0x2000+cpu.InstrSize {
+		t.Fatalf("PC = %#x", b.PC())
+	}
+}
+
+func TestSyscallStubEncodesEntry(t *testing.T) {
+	b := New(0)
+	b.MutexLock(0x4000)
+	img := b.MustAssemble()
+	// Second instruction is the CALL into the syscall page.
+	w0 := uint32(img[8]) | uint32(img[9])<<8 | uint32(img[10])<<16 | uint32(img[11])<<24
+	imm := uint32(img[12]) | uint32(img[13])<<8 | uint32(img[14])<<16 | uint32(img[15])<<24
+	in := cpu.Decode(w0, imm)
+	if in.Op != cpu.OpCall || in.Imm != cpu.SyscallEntry(sys.NMutexLock) {
+		t.Fatalf("stub = %v %#x", in.Op, in.Imm)
+	}
+}

@@ -1,0 +1,151 @@
+package prog
+
+import "repro/internal/sys"
+
+// Syscall stubs with immediate arguments. Arguments follow the kernel
+// convention: args in R1..R5, status in R0, extra results in R1.. . Stubs
+// that take registers instead of immediates are suffixed R.
+
+// Null emits the null syscall.
+func (b *Builder) Null() *Builder { return b.Syscall(sys.NNull) }
+
+// ThreadSelf emits thread_self (handle in R1, id in R2 after the call).
+func (b *Builder) ThreadSelf() *Builder { return b.Syscall(sys.NThreadSelf) }
+
+// ClockGet emits clock_get (µs lo/hi in R1/R2 after the call).
+func (b *Builder) ClockGet() *Builder { return b.Syscall(sys.NClockGet) }
+
+// SchedYield emits sched_yield.
+func (b *Builder) SchedYield() *Builder { return b.Syscall(sys.NSchedYield) }
+
+// Create emits the create common op for type ot at handle va; extra
+// type-specific args must already be in R2..R5.
+func (b *Builder) Create(ot sys.ObjType, va uint32) *Builder {
+	return b.Movi(1, va).Syscall(sys.CommonOpNum(ot, sys.OpCreate))
+}
+
+// Destroy emits the destroy common op for the object of type ot at va.
+func (b *Builder) Destroy(ot sys.ObjType, va uint32) *Builder {
+	return b.Movi(1, va).Syscall(sys.CommonOpNum(ot, sys.OpDestroy))
+}
+
+// GetState emits the get_state common op: object at va, buffer at buf.
+func (b *Builder) GetState(ot sys.ObjType, va, buf uint32) *Builder {
+	return b.Movi(1, va).Movi(2, buf).Syscall(sys.CommonOpNum(ot, sys.OpGetState))
+}
+
+// SetState emits the set_state common op: object at va, buffer at buf.
+func (b *Builder) SetState(ot sys.ObjType, va, buf uint32) *Builder {
+	return b.Movi(1, va).Movi(2, buf).Syscall(sys.CommonOpNum(ot, sys.OpSetState))
+}
+
+// MutexCreate creates a mutex at handle va.
+func (b *Builder) MutexCreate(va uint32) *Builder { return b.Create(sys.ObjMutex, va) }
+
+// MutexLock locks the mutex at va.
+func (b *Builder) MutexLock(va uint32) *Builder {
+	return b.Movi(1, va).Syscall(sys.NMutexLock)
+}
+
+// MutexUnlock unlocks the mutex at va.
+func (b *Builder) MutexUnlock(va uint32) *Builder {
+	return b.Movi(1, va).Syscall(sys.NMutexUnlock)
+}
+
+// MutexTrylock try-locks the mutex at va.
+func (b *Builder) MutexTrylock(va uint32) *Builder {
+	return b.Movi(1, va).Syscall(sys.NMutexTrylock)
+}
+
+// CondCreate creates a condition variable at handle va.
+func (b *Builder) CondCreate(va uint32) *Builder { return b.Create(sys.ObjCond, va) }
+
+// CondWait waits on the cond at condVA releasing the mutex at mutexVA.
+func (b *Builder) CondWait(condVA, mutexVA uint32) *Builder {
+	return b.Movi(1, condVA).Movi(2, mutexVA).Syscall(sys.NCondWait)
+}
+
+// CondSignal signals the cond at va.
+func (b *Builder) CondSignal(va uint32) *Builder {
+	return b.Movi(1, va).Syscall(sys.NCondSignal)
+}
+
+// CondBroadcast broadcasts the cond at va.
+func (b *Builder) CondBroadcast(va uint32) *Builder {
+	return b.Movi(1, va).Syscall(sys.NCondBroadcast)
+}
+
+// ThreadSleepUS sleeps for us microseconds (zeroing the deadline
+// roll-forward registers per the calling convention).
+func (b *Builder) ThreadSleepUS(us uint32) *Builder {
+	return b.Movi(1, us).Movi(2, 0).Movi(3, 0).Syscall(sys.NThreadSleep)
+}
+
+// IRQWait waits for virtual interrupt line (zeroing the arming register).
+func (b *Builder) IRQWait(line uint32) *Builder {
+	return b.Movi(1, line).Movi(2, 0).Syscall(sys.NIRQWait)
+}
+
+// RegionSearch scans [start, start+len) for a bound handle.
+func (b *Builder) RegionSearch(start, length uint32) *Builder {
+	return b.Movi(1, start).Movi(2, length).Syscall(sys.NRegionSearch)
+}
+
+// MemAllocate populates npages of the region at regionVA from byte offset
+// off.
+func (b *Builder) MemAllocate(regionVA, off, npages uint32) *Builder {
+	return b.Movi(1, regionVA).Movi(2, off).Movi(3, npages).Syscall(sys.NMemAllocate)
+}
+
+// --- IPC stubs ---
+
+// IPCClientConnectSend connects via the port reference at refVA and sends
+// words from buf.
+func (b *Builder) IPCClientConnectSend(buf, words, refVA uint32) *Builder {
+	return b.Movi(1, buf).Movi(2, words).Movi(3, refVA).Syscall(sys.NIPCClientConnectSend)
+}
+
+// IPCClientConnectSendOverReceive performs a full RPC: send words from
+// buf, receive up to rwords into rbuf.
+func (b *Builder) IPCClientConnectSendOverReceive(buf, words, refVA, rbuf, rwords uint32) *Builder {
+	return b.Movi(1, buf).Movi(2, words).Movi(3, refVA).Movi(4, rbuf).Movi(5, rwords).
+		Syscall(sys.NIPCClientConnectSendOverReceive)
+}
+
+// IPCClientSend sends words from buf on the current connection.
+func (b *Builder) IPCClientSend(buf, words uint32) *Builder {
+	return b.Movi(1, buf).Movi(2, words).Syscall(sys.NIPCClientSend)
+}
+
+// IPCClientReceive receives up to words into buf.
+func (b *Builder) IPCClientReceive(buf, words uint32) *Builder {
+	return b.Movi(1, buf).Movi(2, words).Syscall(sys.NIPCClientReceive)
+}
+
+// IPCClientDisconnect closes the connection.
+func (b *Builder) IPCClientDisconnect() *Builder {
+	return b.Syscall(sys.NIPCClientDisconnect)
+}
+
+// IPCWaitReceive waits on the portset at psVA and receives up to words
+// into buf.
+func (b *Builder) IPCWaitReceive(buf, words, psVA uint32) *Builder {
+	return b.Movi(1, buf).Movi(2, words).Movi(3, psVA).Syscall(sys.NIPCWaitReceive)
+}
+
+// IPCReplyWaitReceive replies with words from buf, then waits on the
+// portset at psVA for the next request into rbuf/rwords.
+func (b *Builder) IPCReplyWaitReceive(buf, words, psVA, rbuf, rwords uint32) *Builder {
+	return b.Movi(1, buf).Movi(2, words).Movi(3, psVA).Movi(4, rbuf).Movi(5, rwords).
+		Syscall(sys.NIPCReplyWaitReceive)
+}
+
+// IPCReply replies with words from buf and disconnects.
+func (b *Builder) IPCReply(buf, words uint32) *Builder {
+	return b.Movi(1, buf).Movi(2, words).Syscall(sys.NIPCReply)
+}
+
+// IPCSendOneway sends a connectionless message.
+func (b *Builder) IPCSendOneway(buf, words, refVA uint32) *Builder {
+	return b.Movi(1, buf).Movi(2, words).Movi(3, refVA).Syscall(sys.NIPCSendOneway)
+}

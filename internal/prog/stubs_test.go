@@ -1,0 +1,98 @@
+package prog
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/sys"
+)
+
+// decode extracts instruction i from an assembled image.
+func decode(img []byte, i int) cpu.Instr {
+	o := i * cpu.InstrSize
+	w0 := uint32(img[o]) | uint32(img[o+1])<<8 | uint32(img[o+2])<<16 | uint32(img[o+3])<<24
+	w1 := uint32(img[o+4]) | uint32(img[o+5])<<8 | uint32(img[o+6])<<16 | uint32(img[o+7])<<24
+	return cpu.Decode(w0, w1)
+}
+
+// lastCallTarget returns the syscall number of the final CALL in the
+// program built by fn.
+func lastCallTarget(t *testing.T, fn func(b *Builder)) int {
+	t.Helper()
+	b := New(0)
+	fn(b)
+	img := b.MustAssemble()
+	n := len(img) / cpu.InstrSize
+	in := decode(img, n-1)
+	if in.Op != cpu.OpCall {
+		t.Fatalf("last instruction %v, want call", in.Op)
+	}
+	num := cpu.SyscallNum(in.Imm)
+	if num < 0 {
+		t.Fatalf("call target %#x is not a syscall entry", in.Imm)
+	}
+	return num
+}
+
+// TestStubTargets pins every stub to its syscall number.
+func TestStubTargets(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(b *Builder)
+		want int
+	}{
+		{"Null", func(b *Builder) { b.Null() }, sys.NNull},
+		{"ThreadSelf", func(b *Builder) { b.ThreadSelf() }, sys.NThreadSelf},
+		{"ClockGet", func(b *Builder) { b.ClockGet() }, sys.NClockGet},
+		{"SchedYield", func(b *Builder) { b.SchedYield() }, sys.NSchedYield},
+		{"MutexCreate", func(b *Builder) { b.MutexCreate(4) }, sys.CommonOpNum(sys.ObjMutex, sys.OpCreate)},
+		{"MutexLock", func(b *Builder) { b.MutexLock(4) }, sys.NMutexLock},
+		{"MutexUnlock", func(b *Builder) { b.MutexUnlock(4) }, sys.NMutexUnlock},
+		{"MutexTrylock", func(b *Builder) { b.MutexTrylock(4) }, sys.NMutexTrylock},
+		{"CondCreate", func(b *Builder) { b.CondCreate(4) }, sys.CommonOpNum(sys.ObjCond, sys.OpCreate)},
+		{"CondWait", func(b *Builder) { b.CondWait(4, 8) }, sys.NCondWait},
+		{"CondSignal", func(b *Builder) { b.CondSignal(4) }, sys.NCondSignal},
+		{"CondBroadcast", func(b *Builder) { b.CondBroadcast(4) }, sys.NCondBroadcast},
+		{"ThreadSleepUS", func(b *Builder) { b.ThreadSleepUS(9) }, sys.NThreadSleep},
+		{"IRQWait", func(b *Builder) { b.IRQWait(1) }, sys.NIRQWait},
+		{"RegionSearch", func(b *Builder) { b.RegionSearch(0, 64) }, sys.NRegionSearch},
+		{"MemAllocate", func(b *Builder) { b.MemAllocate(4, 0, 1) }, sys.NMemAllocate},
+		{"Destroy", func(b *Builder) { b.Destroy(sys.ObjPort, 4) }, sys.CommonOpNum(sys.ObjPort, sys.OpDestroy)},
+		{"GetState", func(b *Builder) { b.GetState(sys.ObjThread, 4, 8) }, sys.CommonOpNum(sys.ObjThread, sys.OpGetState)},
+		{"SetState", func(b *Builder) { b.SetState(sys.ObjThread, 4, 8) }, sys.CommonOpNum(sys.ObjThread, sys.OpSetState)},
+		{"IPCClientConnectSend", func(b *Builder) { b.IPCClientConnectSend(0, 1, 4) }, sys.NIPCClientConnectSend},
+		{"IPCClientConnectSendOverReceive", func(b *Builder) { b.IPCClientConnectSendOverReceive(0, 1, 4, 8, 1) }, sys.NIPCClientConnectSendOverReceive},
+		{"IPCClientSend", func(b *Builder) { b.IPCClientSend(0, 1) }, sys.NIPCClientSend},
+		{"IPCClientReceive", func(b *Builder) { b.IPCClientReceive(0, 1) }, sys.NIPCClientReceive},
+		{"IPCClientDisconnect", func(b *Builder) { b.IPCClientDisconnect() }, sys.NIPCClientDisconnect},
+		{"IPCWaitReceive", func(b *Builder) { b.IPCWaitReceive(0, 1, 4) }, sys.NIPCWaitReceive},
+		{"IPCReplyWaitReceive", func(b *Builder) { b.IPCReplyWaitReceive(0, 1, 4, 8, 1) }, sys.NIPCReplyWaitReceive},
+		{"IPCReply", func(b *Builder) { b.IPCReply(0, 1) }, sys.NIPCReply},
+		{"IPCSendOneway", func(b *Builder) { b.IPCSendOneway(0, 1, 4) }, sys.NIPCSendOneway},
+	}
+	for _, c := range cases {
+		if got := lastCallTarget(t, c.fn); got != c.want {
+			t.Errorf("%s calls %s, want %s", c.name, sys.Name(got), sys.Name(c.want))
+		}
+	}
+}
+
+// TestThreadSleepZeroesRollForwardRegs pins the calling convention the
+// kernel's deadline roll-forward relies on.
+func TestThreadSleepZeroesRollForwardRegs(t *testing.T) {
+	b := New(0)
+	b.ThreadSleepUS(123)
+	img := b.MustAssemble()
+	// movi r1,123 ; movi r2,0 ; movi r3,0 ; call
+	checks := []struct {
+		idx int
+		rd  int
+		imm uint32
+	}{{0, 1, 123}, {1, 2, 0}, {2, 3, 0}}
+	for _, c := range checks {
+		in := decode(img, c.idx)
+		if in.Op != cpu.OpMovi || in.Rd != c.rd || in.Imm != c.imm {
+			t.Fatalf("instr %d = %v r%d imm=%d", c.idx, in.Op, in.Rd, in.Imm)
+		}
+	}
+}

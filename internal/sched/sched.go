@@ -1,0 +1,113 @@
+// Package sched implements the kernel scheduler substrate: fixed-priority
+// run queues with round-robin within a priority level, plus the preemption
+// bookkeeping the five kernel configurations of the paper (Table 4) hook
+// into.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/obj"
+)
+
+// NumPriorities is the number of priority levels. Higher number = more
+// urgent. The Table 6 high-priority latency thread runs at MaxPriority.
+const NumPriorities = 32
+
+// Priority aliases.
+const (
+	MinPriority     = 0
+	DefaultPriority = 8
+	MaxPriority     = NumPriorities - 1
+)
+
+// DefaultQuantum is the round-robin time slice in cycles (10 ms at
+// 200 cycles/µs), in the spirit of a '90s kernel tick-based scheduler.
+const DefaultQuantum = 10 * 1000 * 200
+
+// RunQueue holds runnable threads ordered by priority, FIFO within a
+// level.
+type RunQueue struct {
+	levels [NumPriorities][]*obj.Thread
+	count  int
+}
+
+// NewRunQueue returns an empty run queue.
+func NewRunQueue() *RunQueue { return &RunQueue{} }
+
+func checkPrio(p int) {
+	if p < 0 || p >= NumPriorities {
+		panic(fmt.Sprintf("sched: priority %d out of range", p))
+	}
+}
+
+// Enqueue appends t at the tail of its priority level.
+func (rq *RunQueue) Enqueue(t *obj.Thread) {
+	checkPrio(t.Priority)
+	rq.levels[t.Priority] = append(rq.levels[t.Priority], t)
+	rq.count++
+}
+
+// EnqueueFront puts t at the head of its priority level (a preempted
+// thread that has not consumed its quantum).
+func (rq *RunQueue) EnqueueFront(t *obj.Thread) {
+	checkPrio(t.Priority)
+	rq.levels[t.Priority] = append([]*obj.Thread{t}, rq.levels[t.Priority]...)
+	rq.count++
+}
+
+// Pick removes and returns the highest-priority runnable thread, or nil.
+// Threads that are stopped or no longer ready are dropped from the queue
+// as they are encountered.
+func (rq *RunQueue) Pick() *obj.Thread {
+	for p := NumPriorities - 1; p >= 0; p-- {
+		for len(rq.levels[p]) > 0 {
+			t := rq.levels[p][0]
+			copy(rq.levels[p], rq.levels[p][1:])
+			rq.levels[p][len(rq.levels[p])-1] = nil
+			rq.levels[p] = rq.levels[p][:len(rq.levels[p])-1]
+			rq.count--
+			if t.Runnable() {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// TopPriority returns the priority of the most urgent queued runnable
+// thread and true, or 0 and false if the queue is empty.
+func (rq *RunQueue) TopPriority() (int, bool) {
+	for p := NumPriorities - 1; p >= 0; p-- {
+		for _, t := range rq.levels[p] {
+			if t.Runnable() {
+				return p, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Remove unlinks t wherever it is queued. It reports whether t was found.
+func (rq *RunQueue) Remove(t *obj.Thread) bool {
+	for p := range rq.levels {
+		for i, x := range rq.levels[p] {
+			if x == t {
+				copy(rq.levels[p][i:], rq.levels[p][i+1:])
+				rq.levels[p][len(rq.levels[p])-1] = nil
+				rq.levels[p] = rq.levels[p][:len(rq.levels[p])-1]
+				rq.count--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Len returns the number of queued threads (including any stale entries
+// not yet skipped by Pick).
+func (rq *RunQueue) Len() int { return rq.count }
+
+// WakePolicy decides whether a newly runnable thread at priority p should
+// preempt the currently running thread at priority cur.
+func WakePolicy(p, cur int) bool { return p > cur }

@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/obj"
+)
+
+func th(id uint32, prio int) *obj.Thread {
+	return &obj.Thread{ID: id, Priority: prio, State: obj.ThReady}
+}
+
+func TestPickHighestPriority(t *testing.T) {
+	rq := NewRunQueue()
+	rq.Enqueue(th(1, 5))
+	rq.Enqueue(th(2, 20))
+	rq.Enqueue(th(3, 10))
+	if got := rq.Pick(); got.ID != 2 {
+		t.Fatalf("picked %d, want 2", got.ID)
+	}
+	if got := rq.Pick(); got.ID != 3 {
+		t.Fatalf("picked %d, want 3", got.ID)
+	}
+	if got := rq.Pick(); got.ID != 1 {
+		t.Fatalf("picked %d, want 1", got.ID)
+	}
+	if rq.Pick() != nil {
+		t.Fatal("empty queue returned a thread")
+	}
+}
+
+func TestFIFOWithinLevel(t *testing.T) {
+	rq := NewRunQueue()
+	for i := uint32(1); i <= 4; i++ {
+		rq.Enqueue(th(i, 7))
+	}
+	for i := uint32(1); i <= 4; i++ {
+		if got := rq.Pick(); got.ID != i {
+			t.Fatalf("picked %d, want %d", got.ID, i)
+		}
+	}
+}
+
+func TestEnqueueFront(t *testing.T) {
+	rq := NewRunQueue()
+	rq.Enqueue(th(1, 7))
+	rq.EnqueueFront(th(2, 7))
+	if got := rq.Pick(); got.ID != 2 {
+		t.Fatalf("picked %d, want preempted thread 2 first", got.ID)
+	}
+}
+
+func TestStoppedThreadsSkipped(t *testing.T) {
+	rq := NewRunQueue()
+	a := th(1, 9)
+	b := th(2, 9)
+	a.Stopped = true
+	rq.Enqueue(a)
+	rq.Enqueue(b)
+	if got := rq.Pick(); got.ID != 2 {
+		t.Fatalf("picked %d, want 2 (1 stopped)", got.ID)
+	}
+	if rq.Pick() != nil {
+		t.Fatal("stopped thread was picked")
+	}
+}
+
+func TestBlockedThreadsSkipped(t *testing.T) {
+	rq := NewRunQueue()
+	a := th(1, 9)
+	rq.Enqueue(a)
+	a.State = obj.ThBlocked
+	if rq.Pick() != nil {
+		t.Fatal("blocked thread was picked")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	rq := NewRunQueue()
+	a, b := th(1, 3), th(2, 3)
+	rq.Enqueue(a)
+	rq.Enqueue(b)
+	if !rq.Remove(a) {
+		t.Fatal("Remove(a) = false")
+	}
+	if rq.Remove(a) {
+		t.Fatal("second Remove(a) = true")
+	}
+	if got := rq.Pick(); got.ID != 2 {
+		t.Fatalf("picked %d, want 2", got.ID)
+	}
+}
+
+func TestTopPriority(t *testing.T) {
+	rq := NewRunQueue()
+	if _, ok := rq.TopPriority(); ok {
+		t.Fatal("TopPriority on empty queue ok")
+	}
+	s := th(9, 31)
+	s.Stopped = true
+	rq.Enqueue(s)
+	rq.Enqueue(th(1, 4))
+	p, ok := rq.TopPriority()
+	if !ok || p != 4 {
+		t.Fatalf("TopPriority = %d,%v want 4,true (31 is stopped)", p, ok)
+	}
+}
+
+func TestWakePolicy(t *testing.T) {
+	if !WakePolicy(10, 5) {
+		t.Fatal("higher priority should preempt")
+	}
+	if WakePolicy(5, 5) {
+		t.Fatal("equal priority should not preempt")
+	}
+	if WakePolicy(4, 5) {
+		t.Fatal("lower priority should not preempt")
+	}
+}
+
+func TestPriorityRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range priority did not panic")
+		}
+	}()
+	rq := NewRunQueue()
+	rq.Enqueue(th(1, NumPriorities))
+}
+
+// Property: Pick drains threads in nonincreasing priority order.
+func TestPropertyPickOrdering(t *testing.T) {
+	f := func(prios []uint8) bool {
+		rq := NewRunQueue()
+		for i, p := range prios {
+			rq.Enqueue(th(uint32(i), int(p)%NumPriorities))
+		}
+		last := NumPriorities
+		for {
+			x := rq.Pick()
+			if x == nil {
+				break
+			}
+			if x.Priority > last {
+				return false
+			}
+			last = x.Priority
+		}
+		return rq.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every enqueued runnable thread is eventually picked exactly
+// once.
+func TestPropertyNoLossNoDup(t *testing.T) {
+	f := func(prios []uint8) bool {
+		rq := NewRunQueue()
+		for i, p := range prios {
+			rq.Enqueue(th(uint32(i), int(p)%NumPriorities))
+		}
+		seen := map[uint32]bool{}
+		for {
+			x := rq.Pick()
+			if x == nil {
+				break
+			}
+			if seen[x.ID] {
+				return false
+			}
+			seen[x.ID] = true
+		}
+		return len(seen) == len(prios)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

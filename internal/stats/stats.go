@@ -1,0 +1,166 @@
+// Package stats provides the small measurement utilities the benchmark
+// harness shares with the tools: latency recorders and fixed-width table
+// rendering in the style of the paper's tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Latency accumulates latency samples in microseconds.
+type Latency struct {
+	samples []float64
+}
+
+// Add records one sample.
+func (l *Latency) Add(us float64) { l.samples = append(l.samples, us) }
+
+// Count returns the number of samples.
+func (l *Latency) Count() int { return len(l.samples) }
+
+// Avg returns the mean, or 0 with no samples.
+func (l *Latency) Avg() float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / float64(len(l.samples))
+}
+
+// Max returns the largest sample, or 0.
+func (l *Latency) Max() float64 {
+	m := 0.0
+	for _, s := range l.samples {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (l *Latency) Min() float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	m := math.Inf(1)
+	for _, s := range l.samples {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank.
+func (l *Latency) Percentile(p float64) float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), l.samples...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// Table renders fixed-width tables like the paper's.
+type Table struct {
+	Title   string
+	header  []string
+	rows    [][]string
+	aligned bool
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// FormatFloat renders a float with sensible precision for table cells
+// (3 significant-ish digits, like the paper's "18.9", "5.14", "7430").
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len(c)
+			if i == 0 {
+				b.WriteString(c)
+				b.WriteString(strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}

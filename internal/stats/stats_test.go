@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyBasics(t *testing.T) {
+	var l Latency
+	if l.Avg() != 0 || l.Max() != 0 || l.Min() != 0 || l.Count() != 0 {
+		t.Fatal("empty latency not zero")
+	}
+	for _, v := range []float64{5, 15, 10} {
+		l.Add(v)
+	}
+	if l.Count() != 3 {
+		t.Fatalf("count %d", l.Count())
+	}
+	if l.Avg() != 10 {
+		t.Fatalf("avg %v", l.Avg())
+	}
+	if l.Max() != 15 || l.Min() != 5 {
+		t.Fatalf("max %v min %v", l.Max(), l.Min())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var l Latency
+	for i := 1; i <= 100; i++ {
+		l.Add(float64(i))
+	}
+	if p := l.Percentile(50); p != 50 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := l.Percentile(99); p != 99 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := l.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %v", p)
+	}
+}
+
+func TestPropertyAvgBetweenMinMax(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var l Latency
+		for _, v := range vals {
+			l.Add(float64(v))
+		}
+		return l.Min() <= l.Avg()+1e-9 && l.Avg() <= l.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		5.138:  "5.14",
+		18.94:  "18.9",
+		7430.2: "7430",
+		118.4:  "118",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X", "Config", "avg", "max")
+	tb.Row("Process NP", 28.9, 7430.0)
+	tb.Row("Process FP", 5.14, 19.6)
+	out := tb.String()
+	if !strings.Contains(out, "Table X") || !strings.Contains(out, "Process NP") {
+		t.Fatalf("table output missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "28.9") || !strings.Contains(out, "5.14") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+}

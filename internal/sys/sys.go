@@ -1,0 +1,450 @@
+// Package sys defines the Fluke system-call API surface: syscall numbers,
+// names, and interruptibility categories (paper Table 1), the nine
+// primitive object types (paper Table 2), user-visible error codes, and
+// the kernel-internal result codes handlers use to signal blocking,
+// faulting, and preemption to the dispatch layer.
+//
+// The package is pure data — it imports nothing from the kernel — so both
+// the kernel core and user-level libraries (workloads, the pager, the
+// checkpointer) can share it.
+package sys
+
+import "fmt"
+
+// ObjType enumerates the nine primitive object types the Fluke kernel
+// exports (paper Table 2).
+type ObjType uint8
+
+const (
+	ObjMutex ObjType = iota
+	ObjCond
+	ObjMapping
+	ObjRegion
+	ObjPort
+	ObjPortset
+	ObjSpace
+	ObjThread
+	ObjRef
+
+	// NumObjTypes is the number of primitive object types.
+	NumObjTypes = 9
+)
+
+var objTypeNames = [NumObjTypes]string{
+	"mutex", "cond", "mapping", "region", "port", "portset", "space", "thread", "ref",
+}
+
+func (t ObjType) String() string {
+	if int(t) < len(objTypeNames) {
+		return objTypeNames[t]
+	}
+	return fmt.Sprintf("objtype%d", uint8(t))
+}
+
+// ObjTypeDescriptions gives the Table 2 one-line description per type.
+var ObjTypeDescriptions = [NumObjTypes]string{
+	ObjMutex:   "A kernel-supported mutex which is safe for sharing between processes.",
+	ObjCond:    "A kernel-supported condition variable.",
+	ObjMapping: "Encapsulates an imported region of memory; associated with a Space (destination) and Region (source).",
+	ObjRegion:  "Encapsulates an exportable region of memory; associated with a Space.",
+	ObjPort:    "Server-side endpoint of an IPC.",
+	ObjPortset: "A set of Ports on which a server thread waits.",
+	ObjSpace:   "Associates memory and threads.",
+	ObjThread:  "A thread of control, associated with a Space.",
+	ObjRef:     "A cross-process handle on a Mapping, Region, Port, Thread or Space.",
+}
+
+// CommonOp enumerates the six operations every object type supports
+// (paper §4.3: create, destroy, "rename", "point-a-reference-at",
+// "getobjstate", "setobjstate").
+type CommonOp uint8
+
+const (
+	OpCreate CommonOp = iota
+	OpDestroy
+	OpRename
+	OpReference
+	OpGetState
+	OpSetState
+
+	// NumCommonOps is the number of common operations per type.
+	NumCommonOps = 6
+)
+
+var commonOpNames = [NumCommonOps]string{
+	"create", "destroy", "rename", "reference", "get_state", "set_state",
+}
+
+func (o CommonOp) String() string {
+	if int(o) < len(commonOpNames) {
+		return commonOpNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Category classifies a system call by its potential length (paper
+// Table 1).
+type Category uint8
+
+const (
+	// Trivial system calls always run to completion without sleeping.
+	Trivial Category = iota
+	// Short system calls usually run to completion immediately but may
+	// encounter page faults, roll back, and restart.
+	Short
+	// Long system calls can be expected to sleep indefinitely.
+	Long
+	// MultiStage system calls can sleep indefinitely and can be
+	// interrupted at intermediate points in the operation.
+	MultiStage
+)
+
+func (c Category) String() string {
+	switch c {
+	case Trivial:
+		return "Trivial"
+	case Short:
+		return "Short"
+	case Long:
+		return "Long"
+	case MultiStage:
+		return "Multi-stage"
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+// Syscall numbers. The layout is:
+//
+//	[0,8)    the eight trivial calls
+//	[8,62)   the 54 common object operations (9 types x 6 ops)
+//	[62,76)  the 14 type-specific short calls
+//	[76,84)  the eight long calls
+//	[84,107) the 23 multi-stage calls
+//
+// matching the paper's Table 1 inventory exactly:
+// 8 trivial + 68 short + 8 long + 23 multi-stage = 107.
+const (
+	// Trivial.
+	NNull = iota
+	NThreadSelf
+	NSpaceSelf
+	NClockGet
+	NCPUSelf
+	NAPIVersion
+	NThreadPrioritySelf
+	NPerfRead
+
+	// CommonBase is where the 9x6 common object operations begin.
+	CommonBase // == 8
+)
+
+// CommonOpNum returns the syscall number of a common operation on a type.
+func CommonOpNum(t ObjType, op CommonOp) int {
+	return CommonBase + int(t)*NumCommonOps + int(op)
+}
+
+// CommonOpOf inverts CommonOpNum; ok is false if num is not a common op.
+func CommonOpOf(num int) (t ObjType, op CommonOp, ok bool) {
+	if num < CommonBase || num >= ShortSpecificBase {
+		return 0, 0, false
+	}
+	n := num - CommonBase
+	return ObjType(n / NumCommonOps), CommonOp(n % NumCommonOps), true
+}
+
+// ShortSpecificBase is where the 14 type-specific short calls begin.
+const ShortSpecificBase = CommonBase + NumObjTypes*NumCommonOps // == 62
+
+// Type-specific short calls.
+const (
+	NMutexTrylock = ShortSpecificBase + iota
+	NMutexUnlock
+	NCondSignal
+	NCondBroadcast
+	NThreadInterrupt
+	NThreadStop
+	NThreadResume
+	NThreadSetPriority
+	NSchedYield
+	NRegionProtect
+	NPortsetAdd
+	NPortsetRemove
+	NMemAllocate
+	NMemFree
+)
+
+// LongBase is where the eight long calls begin.
+const LongBase = NMemFree + 1 // == 76
+
+// Long calls.
+const (
+	NMutexLock = LongBase + iota
+	NThreadWait
+	NThreadSleep
+	NThreadSuspendSelf
+	NClockAlarmWait
+	NIRQWait
+	NPortsetWait
+	NSpaceReapWait
+)
+
+// MultiBase is where the 23 multi-stage calls begin.
+const MultiBase = NSpaceReapWait + 1 // == 84
+
+// Multi-stage calls.
+const (
+	NCondWait = MultiBase + iota
+	NRegionSearch
+
+	// Client-side IPC.
+	NIPCClientConnectSend
+	NIPCClientConnectSendOverReceive
+	NIPCClientSend
+	NIPCClientSendOverReceive
+	NIPCClientOverReceive
+	NIPCClientReceive
+	NIPCClientDisconnect
+	NIPCClientAlert
+
+	// Server-side IPC.
+	NIPCSetupWait
+	NIPCServerReceive
+	NIPCServerOverReceive
+	NIPCServerSend
+	NIPCServerSendOverReceive
+	NIPCServerAckSend
+	NIPCServerAckSendOverReceive
+	NIPCServerAckSendWaitReceive
+	NIPCServerDisconnect
+
+	// Connectionless / combined forms.
+	NIPCReply
+	NIPCReplyWaitReceive
+	NIPCSendOneway
+	NIPCWaitReceive
+)
+
+// NumSyscalls is the size of the syscall table: 107, as in paper Table 1.
+const NumSyscalls = NIPCWaitReceive + 1
+
+// Info describes one syscall table entry.
+type Info struct {
+	Num  int
+	Name string
+	Cat  Category
+}
+
+// table is built at init.
+var table [NumSyscalls]Info
+
+func register(num int, name string, cat Category) {
+	if table[num].Name != "" {
+		panic(fmt.Sprintf("sys: duplicate syscall %d (%s vs %s)", num, table[num].Name, name))
+	}
+	table[num] = Info{Num: num, Name: name, Cat: cat}
+}
+
+func init() {
+	register(NNull, "null", Trivial)
+	register(NThreadSelf, "thread_self", Trivial)
+	register(NSpaceSelf, "space_self", Trivial)
+	register(NClockGet, "clock_get", Trivial)
+	register(NCPUSelf, "cpu_self", Trivial)
+	register(NAPIVersion, "api_version", Trivial)
+	register(NThreadPrioritySelf, "thread_priority_self", Trivial)
+	register(NPerfRead, "perf_read", Trivial)
+
+	for t := ObjType(0); t < NumObjTypes; t++ {
+		for op := CommonOp(0); op < NumCommonOps; op++ {
+			register(CommonOpNum(t, op), fmt.Sprintf("%s_%s", t, op), Short)
+		}
+	}
+
+	register(NMutexTrylock, "mutex_trylock", Short)
+	register(NMutexUnlock, "mutex_unlock", Short)
+	register(NCondSignal, "cond_signal", Short)
+	register(NCondBroadcast, "cond_broadcast", Short)
+	register(NThreadInterrupt, "thread_interrupt", Short)
+	register(NThreadStop, "thread_stop", Short)
+	register(NThreadResume, "thread_resume", Short)
+	register(NThreadSetPriority, "thread_set_priority", Short)
+	register(NSchedYield, "sched_yield", Short)
+	register(NRegionProtect, "region_protect", Short)
+	register(NPortsetAdd, "portset_add", Short)
+	register(NPortsetRemove, "portset_remove", Short)
+	register(NMemAllocate, "mem_allocate", Short)
+	register(NMemFree, "mem_free", Short)
+
+	register(NMutexLock, "mutex_lock", Long)
+	register(NThreadWait, "thread_wait", Long)
+	register(NThreadSleep, "thread_sleep", Long)
+	register(NThreadSuspendSelf, "thread_suspend_self", Long)
+	register(NClockAlarmWait, "clock_alarm_wait", Long)
+	register(NIRQWait, "irq_wait", Long)
+	register(NPortsetWait, "portset_wait", Long)
+	register(NSpaceReapWait, "space_reap_wait", Long)
+
+	register(NCondWait, "cond_wait", MultiStage)
+	register(NRegionSearch, "region_search", MultiStage)
+	register(NIPCClientConnectSend, "ipc_client_connect_send", MultiStage)
+	register(NIPCClientConnectSendOverReceive, "ipc_client_connect_send_over_receive", MultiStage)
+	register(NIPCClientSend, "ipc_client_send", MultiStage)
+	register(NIPCClientSendOverReceive, "ipc_client_send_over_receive", MultiStage)
+	register(NIPCClientOverReceive, "ipc_client_over_receive", MultiStage)
+	register(NIPCClientReceive, "ipc_client_receive", MultiStage)
+	register(NIPCClientDisconnect, "ipc_client_disconnect", MultiStage)
+	register(NIPCClientAlert, "ipc_client_alert", MultiStage)
+	register(NIPCSetupWait, "ipc_setup_wait", MultiStage)
+	register(NIPCServerReceive, "ipc_server_receive", MultiStage)
+	register(NIPCServerOverReceive, "ipc_server_over_receive", MultiStage)
+	register(NIPCServerSend, "ipc_server_send", MultiStage)
+	register(NIPCServerSendOverReceive, "ipc_server_send_over_receive", MultiStage)
+	register(NIPCServerAckSend, "ipc_server_ack_send", MultiStage)
+	register(NIPCServerAckSendOverReceive, "ipc_server_ack_send_over_receive", MultiStage)
+	register(NIPCServerAckSendWaitReceive, "ipc_server_ack_send_wait_receive", MultiStage)
+	register(NIPCServerDisconnect, "ipc_server_disconnect", MultiStage)
+	register(NIPCReply, "ipc_reply", MultiStage)
+	register(NIPCReplyWaitReceive, "ipc_reply_wait_receive", MultiStage)
+	register(NIPCSendOneway, "ipc_send_oneway", MultiStage)
+	register(NIPCWaitReceive, "ipc_wait_receive", MultiStage)
+
+	for i, in := range table {
+		if in.Name == "" {
+			panic(fmt.Sprintf("sys: syscall %d unregistered", i))
+		}
+	}
+}
+
+// Lookup returns the table entry for a syscall number.
+func Lookup(num int) (Info, bool) {
+	if num < 0 || num >= NumSyscalls {
+		return Info{}, false
+	}
+	return table[num], true
+}
+
+// Name returns the syscall's name, or "sys<num>".
+func Name(num int) string {
+	if in, ok := Lookup(num); ok {
+		return in.Name
+	}
+	return fmt.Sprintf("sys%d", num)
+}
+
+// All returns a copy of the full syscall table in numeric order.
+func All() []Info {
+	out := make([]Info, NumSyscalls)
+	copy(out[:], table[:])
+	return out
+}
+
+// CountByCategory returns the number of syscalls per category — the
+// paper's Table 1 row values.
+func CountByCategory() map[Category]int {
+	m := make(map[Category]int, 4)
+	for _, in := range table {
+		m[in.Cat]++
+	}
+	return m
+}
+
+// KErr is a kernel-internal result code, used only between syscall
+// handlers and the dispatch/execution layer. These codes are never seen by
+// user code: "Return values in the kernel are only used for kernel-internal
+// exception processing; results intended to be seen by user code are
+// returned by modifying the thread's saved user-mode register state"
+// (paper §5.1).
+type KErr uint8
+
+const (
+	// KOK: the handler completed (successfully or with a user-visible
+	// error already written to the register save area).
+	KOK KErr = iota
+	// KWouldBlock: the thread has been placed on a wait queue with its
+	// user register state rolled forward to a consistent restart point.
+	// The dispatch layer unwinds; the registers are the continuation.
+	KWouldBlock
+	// KPreempted: the thread hit a preemption point with its registers
+	// rolled forward; it remains runnable but the kernel stack unwinds
+	// so a higher-priority thread can run.
+	KPreempted
+	// KFault: the handler touched unmapped user memory. The faulting
+	// address and access are recorded in the thread; registers are
+	// rolled forward so the operation restarts cleanly after the fault
+	// is remedied.
+	KFault
+	// KDead: the current thread was destroyed during the call.
+	KDead
+	// KIntr: a pending thread_interrupt was consumed at a block point;
+	// the dispatch layer completes the call with EINTR. The registers
+	// name a valid restart point, so user code may simply retry.
+	KIntr
+)
+
+func (e KErr) String() string {
+	switch e {
+	case KOK:
+		return "KOK"
+	case KWouldBlock:
+		return "KWouldBlock"
+	case KPreempted:
+		return "KPreempted"
+	case KFault:
+		return "KFault"
+	case KDead:
+		return "KDead"
+	case KIntr:
+		return "KIntr"
+	}
+	return fmt.Sprintf("KErr(%d)", uint8(e))
+}
+
+// Errno is a user-visible system call result, returned in R0.
+type Errno uint32
+
+const (
+	// EOK: success.
+	EOK Errno = iota
+	// EINVAL: bad argument.
+	EINVAL
+	// ESRCH: no object of the required type at the given handle address.
+	ESRCH
+	// EFAULT: unresolvable (fatal) memory fault on a syscall argument.
+	EFAULT
+	// ENOMEM: out of physical memory.
+	ENOMEM
+	// EINTR: the operation was interrupted by thread_interrupt; the
+	// registers name the restart point, so the caller may simply retry.
+	EINTR
+	// EWOULDBLOCK: a non-blocking attempt (mutex_trylock) failed.
+	EWOULDBLOCK
+	// ESTATE: object in the wrong state for the operation.
+	ESTATE
+	// ENOTCONN: IPC operation without an established connection.
+	ENOTCONN
+	// ECONN: already connected.
+	ECONN
+	// EDEAD: peer thread or object died during the operation.
+	EDEAD
+	// EPERM: operation not permitted.
+	EPERM
+	// EBUSY: object busy (e.g., destroying a mutex with waiters).
+	EBUSY
+	// ENOTFOUND: region_search found nothing in the given range.
+	ENOTFOUND
+)
+
+func (e Errno) String() string {
+	names := [...]string{
+		"EOK", "EINVAL", "ESRCH", "EFAULT", "ENOMEM", "EINTR",
+		"EWOULDBLOCK", "ESTATE", "ENOTCONN", "ECONN", "EDEAD", "EPERM",
+		"EBUSY", "ENOTFOUND",
+	}
+	if int(e) < len(names) {
+		return names[e]
+	}
+	return fmt.Sprintf("Errno(%d)", uint32(e))
+}
+
+// APIVersionValue is returned by the api_version trivial syscall.
+const APIVersionValue = 0x0F_1999 // Fluke '99

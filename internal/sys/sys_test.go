@@ -1,0 +1,161 @@
+package sys
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable1Counts pins the API inventory to the paper's Table 1:
+// 8 trivial, 68 short, 8 long, 23 multi-stage, 107 total.
+func TestTable1Counts(t *testing.T) {
+	c := CountByCategory()
+	want := map[Category]int{Trivial: 8, Short: 68, Long: 8, MultiStage: 23}
+	for cat, n := range want {
+		if c[cat] != n {
+			t.Errorf("%v count = %d, want %d", cat, c[cat], n)
+		}
+	}
+	if NumSyscalls != 107 {
+		t.Errorf("NumSyscalls = %d, want 107", NumSyscalls)
+	}
+	total := 0
+	for _, n := range c {
+		total += n
+	}
+	if total != NumSyscalls {
+		t.Errorf("sum of categories = %d, want %d", total, NumSyscalls)
+	}
+}
+
+func TestTable1Percentages(t *testing.T) {
+	// Paper: 7% / 64% / 7% / 22%.
+	c := CountByCategory()
+	pct := func(n int) int { return (n*100 + NumSyscalls/2) / NumSyscalls }
+	if p := pct(c[Trivial]); p != 7 {
+		t.Errorf("trivial %% = %d, want 7", p)
+	}
+	if p := pct(c[Short]); p != 64 {
+		t.Errorf("short %% = %d, want 64", p)
+	}
+	if p := pct(c[Long]); p != 7 {
+		t.Errorf("long %% = %d, want 7", p)
+	}
+	if p := pct(c[MultiStage]); p != 21 && p != 22 {
+		t.Errorf("multi-stage %% = %d, want ~22", p)
+	}
+}
+
+func TestAllNamesUniqueAndNonEmpty(t *testing.T) {
+	seen := map[string]int{}
+	for _, in := range All() {
+		if in.Name == "" {
+			t.Fatalf("syscall %d has empty name", in.Num)
+		}
+		if prev, dup := seen[in.Name]; dup {
+			t.Fatalf("name %q used by %d and %d", in.Name, prev, in.Num)
+		}
+		seen[in.Name] = in.Num
+	}
+}
+
+func TestCommonOpNumRoundTrip(t *testing.T) {
+	for ot := ObjType(0); ot < NumObjTypes; ot++ {
+		for op := CommonOp(0); op < NumCommonOps; op++ {
+			n := CommonOpNum(ot, op)
+			gt, gop, ok := CommonOpOf(n)
+			if !ok || gt != ot || gop != op {
+				t.Fatalf("CommonOpOf(CommonOpNum(%v,%v)) = %v,%v,%v", ot, op, gt, gop, ok)
+			}
+			in, _ := Lookup(n)
+			if in.Cat != Short {
+				t.Fatalf("common op %s is %v, want Short", in.Name, in.Cat)
+			}
+		}
+	}
+	if _, _, ok := CommonOpOf(NNull); ok {
+		t.Fatal("CommonOpOf accepted a trivial call")
+	}
+	if _, _, ok := CommonOpOf(NMutexLock); ok {
+		t.Fatal("CommonOpOf accepted a long call")
+	}
+}
+
+func TestPaperExampleCategories(t *testing.T) {
+	// Table 1's example rows.
+	cases := []struct {
+		num  int
+		name string
+		cat  Category
+	}{
+		{NThreadSelf, "thread_self", Trivial},
+		{NMutexTrylock, "mutex_trylock", Short},
+		{NMutexLock, "mutex_lock", Long},
+		{NCondWait, "cond_wait", MultiStage},
+		{NRegionSearch, "region_search", MultiStage},
+		{NIPCClientConnectSend, "ipc_client_connect_send", MultiStage},
+	}
+	for _, c := range cases {
+		in, ok := Lookup(c.num)
+		if !ok || in.Name != c.name || in.Cat != c.cat {
+			t.Errorf("syscall %d = %+v, want %s/%v", c.num, in, c.name, c.cat)
+		}
+	}
+}
+
+func TestAllMultiStageAreIPCExceptCondWaitAndRegionSearch(t *testing.T) {
+	// Paper §4.2: "Except for cond_wait and region_search ... all of the
+	// multi-stage calls in the Fluke API are IPC-related."
+	for _, in := range All() {
+		if in.Cat != MultiStage {
+			continue
+		}
+		if in.Name == "cond_wait" || in.Name == "region_search" {
+			continue
+		}
+		if !strings.HasPrefix(in.Name, "ipc_") {
+			t.Errorf("multi-stage syscall %q is not IPC-related", in.Name)
+		}
+	}
+}
+
+func TestLookupBounds(t *testing.T) {
+	if _, ok := Lookup(-1); ok {
+		t.Fatal("Lookup(-1) ok")
+	}
+	if _, ok := Lookup(NumSyscalls); ok {
+		t.Fatal("Lookup(NumSyscalls) ok")
+	}
+	if Name(-5) != "sys-5" {
+		t.Fatalf("Name(-5) = %q", Name(-5))
+	}
+}
+
+func TestObjTypeStringsAndDescriptions(t *testing.T) {
+	for ot := ObjType(0); ot < NumObjTypes; ot++ {
+		if ot.String() == "" || strings.HasPrefix(ot.String(), "objtype") {
+			t.Errorf("ObjType %d has no name", ot)
+		}
+		if ObjTypeDescriptions[ot] == "" {
+			t.Errorf("ObjType %v has no description", ot)
+		}
+	}
+}
+
+func TestKErrAndErrnoStrings(t *testing.T) {
+	for e := KErr(0); e <= KIntr; e++ {
+		if strings.HasPrefix(e.String(), "KErr(") {
+			t.Errorf("KErr %d unnamed", e)
+		}
+	}
+	for e := Errno(0); e <= ENOTFOUND; e++ {
+		if strings.HasPrefix(e.String(), "Errno(") {
+			t.Errorf("Errno %d unnamed", e)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Trivial.String() != "Trivial" || MultiStage.String() != "Multi-stage" {
+		t.Fatal("category names wrong")
+	}
+}

@@ -1,0 +1,161 @@
+// Package trace is the kernel's typed event tracer: a fixed-capacity ring
+// of timestamped events the kernel emits at syscall, scheduling, fault,
+// and IPC boundaries. Tracing is allocation-free after setup and costs
+// one branch when disabled, so it can stay attached during benchmarks.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sys"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// SyscallEnter: A = syscall number, B = 1 if a kernel-internal
+	// re-dispatch of a continuation.
+	SyscallEnter Kind = iota
+	// SyscallExit: A = syscall number, B = kernel-internal result code.
+	SyscallExit
+	// CtxSwitch: A = incoming thread ID.
+	CtxSwitch
+	// Fault: A = faulting VA, B = class (mmu.FaultClass) | side<<8.
+	Fault
+	// Wake: A = woken thread ID.
+	Wake
+	// Preempt: A = 0 user boundary, 1 explicit point, 2 in-kernel (FP).
+	Preempt
+	// ThreadExit: A = exit code.
+	ThreadExit
+	// IRQ: A = line.
+	IRQ
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SyscallEnter:
+		return "sys+"
+	case SyscallExit:
+		return "sys-"
+	case CtxSwitch:
+		return "switch"
+	case Fault:
+		return "fault"
+	case Wake:
+		return "wake"
+	case Preempt:
+		return "preempt"
+	case ThreadExit:
+		return "exit"
+	case IRQ:
+		return "irq"
+	}
+	return fmt.Sprintf("kind%d", uint8(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	Time uint64 // virtual cycles
+	TID  uint32 // current thread (0 = scheduler context)
+	Kind Kind
+	A, B uint32
+}
+
+// String renders an event one-per-line, times in µs.
+func (e Event) String() string {
+	detail := ""
+	switch e.Kind {
+	case SyscallEnter:
+		detail = sys.Name(int(e.A))
+		if e.B == 1 {
+			detail += " (redispatch)"
+		}
+	case SyscallExit:
+		detail = fmt.Sprintf("%s -> %v", sys.Name(int(e.A)), sys.KErr(e.B))
+	case CtxSwitch, Wake:
+		detail = fmt.Sprintf("t%d", e.A)
+	case Fault:
+		side := "client"
+		if e.B>>8 != 0 {
+			side = "server"
+		}
+		class := [...]string{"fatal", "soft", "hard"}[e.B&0xFF]
+		detail = fmt.Sprintf("%#x %s/%s", e.A, class, side)
+	case Preempt:
+		detail = [...]string{"user-boundary", "explicit-point", "in-kernel"}[e.A]
+	case ThreadExit:
+		detail = fmt.Sprintf("code=%#x", e.A)
+	case IRQ:
+		detail = fmt.Sprintf("line %d", e.A)
+	}
+	return fmt.Sprintf("[%12.2fus] t%-3d %-7s %s", float64(e.Time)/200, e.TID, e.Kind, detail)
+}
+
+// Ring is a bounded event buffer; when full, the oldest events are
+// overwritten and counted as dropped.
+type Ring struct {
+	buf     []Event
+	next    int
+	filled  bool
+	dropped uint64
+}
+
+// NewRing creates a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Add records an event.
+func (r *Ring) Add(e Event) {
+	if r.filled {
+		r.dropped++
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+// Events returns the retained events in chronological order.
+func (r *Ring) Events() []Event {
+	if !r.filled {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dropped returns how many events were overwritten.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	if r.filled {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Dump renders all retained events.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "... %d earlier events dropped ...\n", d)
+	}
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingOrderAndWrap(t *testing.T) {
+	r := NewRing(4)
+	for i := uint32(1); i <= 6; i++ {
+		r.Add(Event{Time: uint64(i), Kind: Wake, A: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len=%d", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped=%d", r.Dropped())
+	}
+	ev := r.Events()
+	for i, e := range ev {
+		if e.A != uint32(i+3) {
+			t.Fatalf("events %v not chronological", ev)
+		}
+	}
+}
+
+func TestRingBelowCapacity(t *testing.T) {
+	r := NewRing(8)
+	r.Add(Event{Kind: IRQ, A: 3})
+	r.Add(Event{Kind: CtxSwitch, A: 9})
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Kind != IRQ || ev[1].Kind != CtxSwitch {
+		t.Fatalf("events %v", ev)
+	}
+	if r.Dropped() != 0 {
+		t.Fatal("phantom drops")
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Time: 200, TID: 3, Kind: SyscallEnter, A: 0}, "null"},
+		{Event{Kind: SyscallEnter, A: 0, B: 1}, "redispatch"},
+		{Event{Kind: SyscallExit, A: 76, B: 1}, "KWouldBlock"},
+		{Event{Kind: Fault, A: 0x1000, B: 1}, "soft/client"},
+		{Event{Kind: Fault, A: 0x1000, B: 2 | 1<<8}, "hard/server"},
+		{Event{Kind: Preempt, A: 1}, "explicit-point"},
+		{Event{Kind: IRQ, A: 5}, "line 5"},
+		{Event{Kind: ThreadExit, A: 7}, "code=0x7"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); !strings.Contains(got, c.want) {
+			t.Errorf("%v rendered %q, want substring %q", c.e.Kind, got, c.want)
+		}
+	}
+}
+
+func TestDumpMentionsDrops(t *testing.T) {
+	r := NewRing(2)
+	for i := 0; i < 5; i++ {
+		r.Add(Event{Kind: Wake})
+	}
+	if !strings.Contains(r.Dump(), "3 earlier events dropped") {
+		t.Fatalf("dump: %q", r.Dump())
+	}
+}
+
+// Property: the ring retains exactly the last min(n, cap) events, in
+// order.
+func TestPropertyRingRetention(t *testing.T) {
+	f := func(capacity uint8, n uint8) bool {
+		c := int(capacity%32) + 1
+		r := NewRing(c)
+		for i := 0; i < int(n); i++ {
+			r.Add(Event{A: uint32(i)})
+		}
+		ev := r.Events()
+		want := int(n)
+		if want > c {
+			want = c
+		}
+		if len(ev) != want {
+			return false
+		}
+		for i, e := range ev {
+			if e.A != uint32(int(n)-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

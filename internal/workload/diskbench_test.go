@@ -1,0 +1,53 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestDiskbenchCompletesAllConfigs(t *testing.T) {
+	for _, cfg := range core.Configurations() {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			k := core.New(cfg)
+			w, err := workload.NewDiskbench(k, workload.SmallDiskbenchScale())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.Run(testBudget); err != nil {
+				t.Fatal(err)
+			}
+			// Every request is at least two IPC connects.
+			if k.Stats.Syscalls < 50 {
+				t.Fatalf("suspiciously few syscalls: %d", k.Stats.Syscalls)
+			}
+		})
+	}
+}
+
+func TestDiskbenchModelEquivalence(t *testing.T) {
+	times := map[string]uint64{}
+	for _, cfg := range core.Configurations() {
+		k := core.New(cfg)
+		w, err := workload.NewDiskbench(k, workload.SmallDiskbenchScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cyc, err := w.Run(testBudget)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		times[cfg.Name()] = cyc
+	}
+	// All configurations complete the same logical work; their runtimes
+	// must be within a modest band of one another.
+	base := times["Process NP"]
+	for name, cyc := range times {
+		ratio := float64(cyc) / float64(base)
+		if ratio < 0.8 || ratio > 1.3 {
+			t.Errorf("%s runtime ratio %.2f vs Process NP", name, ratio)
+		}
+	}
+}

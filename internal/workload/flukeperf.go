@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/sys"
+)
+
+// Guest memory layout for flukeperf.
+const (
+	fpCode    = 0x0001_0000
+	fpData    = 0x0004_0000
+	fpDataLen = 16 * mem.PageSize
+	fpBigSend = 0x0100_0000
+	fpBigRecv = 0x0200_0000
+	fpSearch  = 0x4000_0000 // empty range scanned by region_search
+
+	// Handle slots and buffers inside the data window.
+	fpMtx     = fpData + 0x10
+	fpMtx2    = fpData + 0x14
+	fpCnd     = fpData + 0x18
+	fpEchoRef = fpData + 0x1C
+	fpSinkRef = fpData + 0x20
+	fpTurn    = fpData + 0x100
+	fpSBuf    = fpData + 0x200
+	fpRBuf    = fpData + 0x240
+	fpEBuf    = fpData + 0x280
+)
+
+// FlukeperfScale sets the iteration counts of the microbenchmark suite.
+type FlukeperfScale struct {
+	Nulls        int
+	MutexPairs   int
+	PingPong     int
+	RPCs         int
+	BigTransfers int
+	BigWords     uint32 // words per large IPC transfer
+	Searches     int
+}
+
+// DefaultFlukeperfScale mirrors the role of the paper's full suite: "a
+// large number of kernel calls and context switches" plus a few large,
+// long-running IPC operations "ideal for inducing preemption latencies"
+// (§5.3). The single 3 MB transfer burst is what bounds NP preemption
+// latency; region_search bounds PP latency.
+func DefaultFlukeperfScale() FlukeperfScale {
+	return FlukeperfScale{
+		Nulls:        50_000,
+		MutexPairs:   30_000,
+		PingPong:     20_000,
+		RPCs:         20_000,
+		BigTransfers: 2,
+		BigWords:     3 << 20 / 4, // 3 MB
+		Searches:     8,
+	}
+}
+
+// SmallFlukeperfScale is a fast variant for tests and testing.B loops.
+func SmallFlukeperfScale() FlukeperfScale {
+	return FlukeperfScale{
+		Nulls:        500,
+		MutexPairs:   300,
+		PingPong:     50,
+		RPCs:         50,
+		BigTransfers: 1,
+		BigWords:     16 << 10 / 4, // 16 KB
+		Searches:     1,
+	}
+}
+
+// counted emits a counted loop over body using R6 as the counter; body
+// must preserve R6 (syscall stubs do). A non-positive count emits
+// nothing (the loop body is a do-while).
+func counted(b *prog.Builder, label string, n int, body func()) {
+	if n <= 0 {
+		return
+	}
+	b.Movi(6, 0).Label(label)
+	body()
+	b.Addi(6, 6, 1).Movi(5, uint32(n)).Blt(6, 5, label)
+}
+
+// pretouch emits a loop touching one byte per page of [base, base+size).
+func pretouch(b *prog.Builder, label string, base, size uint32) {
+	b.Movi(6, base).Label(label).
+		Movi(5, 1).Stb(6, 0, 5).
+		Addi(6, 6, mem.PageSize).
+		Movi(5, base+size).
+		Blt(6, 5, label)
+}
+
+// NewFlukeperf builds the flukeperf suite on k.
+func NewFlukeperf(k *core.Kernel, sc FlukeperfScale) (*Workload, error) {
+	s := k.NewSpace()
+	data := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(fpDataLen, true)}
+	k.BindFresh(s, data)
+	if _, err := k.MapInto(s, data, fpData, 0, fpDataLen, mmu.PermRW); err != nil {
+		return nil, err
+	}
+	bigBytes := mem.PageRound(sc.BigWords * 4)
+	for _, base := range []uint32{fpBigSend, fpBigRecv} {
+		r := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(bigBytes, true)}
+		k.BindFresh(s, r)
+		if _, err := k.MapInto(s, r, base, 0, bigBytes, mmu.PermRW); err != nil {
+			return nil, err
+		}
+	}
+
+	// IPC plumbing: echo and sink services.
+	newSvc := func(refVA uint32) (uint32, error) {
+		po, _ := obj.New(sys.ObjPort)
+		pso, _ := obj.New(sys.ObjPortset)
+		port := po.(*obj.Port)
+		ps := pso.(*obj.Portset)
+		k.BindFresh(s, port)
+		psVA := k.BindFresh(s, ps)
+		ps.AddPort(port)
+		ref := &obj.Ref{Header: obj.Header{Type: sys.ObjRef}, Target: port}
+		if err := k.Bind(s, refVA, ref); err != nil {
+			return 0, err
+		}
+		return psVA, nil
+	}
+	echoPS, err := newSvc(fpEchoRef)
+	if err != nil {
+		return nil, err
+	}
+	sinkPS, err := newSvc(fpSinkRef)
+	if err != nil {
+		return nil, err
+	}
+
+	// Synchronization objects.
+	for _, h := range []struct {
+		va uint32
+		ot sys.ObjType
+	}{{fpMtx, sys.ObjMutex}, {fpMtx2, sys.ObjMutex}, {fpCnd, sys.ObjCond}} {
+		o, _ := obj.New(h.ot)
+		if err := k.Bind(s, h.va, o); err != nil {
+			return nil, err
+		}
+	}
+
+	b := prog.New(fpCode)
+
+	// --- main: the driver thread ---
+	b.Label("main")
+	counted(b, "nulls", sc.Nulls, func() { b.Null() })
+	counted(b, "mutexes", sc.MutexPairs, func() { b.MutexLock(fpMtx).MutexUnlock(fpMtx) })
+	// Request payload for the small RPCs.
+	for i := uint32(0); i < 8; i++ {
+		b.Movi(4, fpSBuf+i*4).Movi(5, 100+i).St(4, 0, 5)
+	}
+	counted(b, "rpcs", sc.RPCs, func() {
+		b.IPCClientConnectSendOverReceive(fpSBuf, 8, fpEchoRef, fpRBuf, 8).
+			IPCClientDisconnect()
+	})
+	pretouch(b, "touch_send", fpBigSend, bigBytes)
+	counted(b, "bigs", sc.BigTransfers, func() {
+		b.IPCClientConnectSend(fpBigSend, sc.BigWords, fpSinkRef).
+			IPCClientDisconnect()
+	})
+	counted(b, "searches", sc.Searches, func() {
+		b.RegionSearch(fpSearch, 16<<20)
+	})
+	b.Halt()
+
+	// --- ping-pong pair: cond-variable turn taking ---
+	pingpong := func(name string, myTurn, nextTurn uint32) {
+		b.Label(name).Movi(6, 0).
+			Label(name+".outer").
+			MutexLock(fpMtx2).
+			Label(name+".wait").
+			Movi(4, fpTurn).Ld(5, 4, 0).
+			Movi(2, myTurn)
+		b.Beq(5, 2, name+".go")
+		b.CondWait(fpCnd, fpMtx2).
+			Jmp(name+".wait").
+			Label(name+".go").
+			Movi(4, fpTurn).Movi(5, nextTurn).St(4, 0, 5).
+			CondBroadcast(fpCnd).
+			MutexUnlock(fpMtx2).
+			Addi(6, 6, 1).Movi(5, uint32(sc.PingPong)).Blt(6, 5, name+".outer").
+			Halt()
+	}
+	pingpong("ppA", 0, 1)
+	pingpong("ppB", 1, 0)
+
+	// --- echo server: small-RPC service loop ---
+	b.Label("echo").
+		IPCWaitReceive(fpEBuf, 8, echoPS).
+		Label("echo.loop").
+		IPCReplyWaitReceive(fpEBuf, 8, echoPS, fpEBuf, 8).
+		Jmp("echo.loop")
+
+	// --- sink server: drains the large transfers ---
+	b.Label("sink")
+	pretouch(b, "touch_recv", fpBigRecv, bigBytes)
+	b.Label("sink.loop").
+		IPCWaitReceive(fpBigRecv, sc.BigWords, sinkPS).
+		Jmp("sink.loop")
+
+	img, err := b.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := k.LoadImage(s, fpCode, img); err != nil {
+		return nil, err
+	}
+	spawn := func(label string, prio int) *obj.Thread {
+		t := k.NewThread(s, prio)
+		t.Regs.PC = b.Addr(label)
+		k.StartThread(t)
+		return t
+	}
+	// Servers slightly above the clients so they drain promptly.
+	spawn("echo", 9)
+	spawn("sink", 9)
+	main := spawn("main", 8)
+	ppA := spawn("ppA", 8)
+	ppB := spawn("ppB", 8)
+
+	return &Workload{Name: "flukeperf", K: k, Done: []*obj.Thread{main, ppA, ppB}}, nil
+}
+
+var _ = fmt.Sprintf // reserved for debug helpers

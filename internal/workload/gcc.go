@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/sys"
+)
+
+// GCC pipeline layout (per stage space).
+const (
+	gccCode = 0x0001_0000
+	gccData = 0x0004_0000
+	gccIn   = gccData + 0x1000
+	gccNext = gccData + 0x10 // handle slot for the next-stage port ref
+)
+
+// GCCScale parameterizes the synthetic compile pipeline.
+type GCCScale struct {
+	Files  int // translation units pushed through the pipeline
+	Words  int // words per unit
+	Passes int // compute passes per unit per stage
+}
+
+// DefaultGCCScale gives a mostly-user-mode workload with light IPC, the
+// Table 5 role of the real gcc run ("running the front end, the C
+// preprocessor, C compiler, assembler and linker").
+func DefaultGCCScale() GCCScale { return GCCScale{Files: 40, Words: 256, Passes: 40} }
+
+// SmallGCCScale is a fast variant for tests.
+func SmallGCCScale() GCCScale { return GCCScale{Files: 4, Words: 64, Passes: 4} }
+
+// gccStageNames mirror the real tool pipeline.
+var gccStageNames = []string{"cpp", "cc1", "as", "ld"}
+
+// NewGCC builds the synthetic compile pipeline: a driver space feeding
+// "files" through four stage spaces (cpp -> cc1 -> as -> ld) connected by
+// oneway IPC, each stage doing Passes compute sweeps over every unit.
+// This substitutes for the paper's gcc run (see DESIGN.md §1): what
+// matters for Table 5 is the kernel/user time ratio, not the compiler.
+func NewGCC(k *core.Kernel, sc GCCScale) (*Workload, error) {
+	if sc.Files <= 0 || sc.Words <= 0 || sc.Words*4 > 8*mem.PageSize {
+		return nil, fmt.Errorf("gcc: bad scale %+v", sc)
+	}
+	nStages := len(gccStageNames)
+	spaces := make([]*obj.Space, nStages+1) // [0] = driver
+	ports := make([]*obj.Port, nStages)
+	psVAs := make([]uint32, nStages)
+	for i := 0; i <= nStages; i++ {
+		s := k.NewSpace()
+		spaces[i] = s
+		data := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(16*mem.PageSize, true)}
+		k.BindFresh(s, data)
+		if _, err := k.MapInto(s, data, gccData, 0, 16*mem.PageSize, mmu.PermRW); err != nil {
+			return nil, err
+		}
+	}
+	// Each stage i owns a port+portset; the previous hop gets a ref.
+	for i := 0; i < nStages; i++ {
+		po, _ := obj.New(sys.ObjPort)
+		pso, _ := obj.New(sys.ObjPortset)
+		port := po.(*obj.Port)
+		ps := pso.(*obj.Portset)
+		k.BindFresh(spaces[i+1], port)
+		psVAs[i] = k.BindFresh(spaces[i+1], ps)
+		ps.AddPort(port)
+		ports[i] = port
+		ref := &obj.Ref{Header: obj.Header{Type: sys.ObjRef}, Target: port}
+		if err := k.Bind(spaces[i], gccNext, ref); err != nil {
+			return nil, err
+		}
+	}
+
+	words := uint32(sc.Words)
+	var done []*obj.Thread
+
+	// Driver: fill the unit once, then push Files copies downstream.
+	drv := prog.New(gccCode)
+	drv.Movi(6, 0).Label("fill").
+		Movi(5, 2).Shl(4, 6, 5).Addi(4, 4, gccIn). // addr = gccIn + 4*i
+		St(4, 0, 6).
+		Addi(6, 6, 1).Movi(5, words).Blt(6, 5, "fill")
+	counted(drv, "push", sc.Files, func() {
+		drv.IPCSendOneway(gccIn, words, gccNext)
+	})
+	drv.Halt()
+	dth, err := k.SpawnProgram(spaces[0], gccCode, drv.MustAssemble(), 8)
+	if err != nil {
+		return nil, err
+	}
+	done = append(done, dth)
+
+	// Stages: receive a unit, grind over it, forward it.
+	for i := 0; i < nStages; i++ {
+		last := i == nStages-1
+		st := prog.New(gccCode)
+		st.Movi(6, 0).Label("unit").
+			IPCWaitReceive(gccIn, words, psVAs[i]).
+			// Release the inbound connection before forwarding: the
+			// upstream oneway may not have disconnected yet.
+			Syscall(sys.NIPCServerDisconnect).
+			// Compute: Passes sweeps of multiply-accumulate over the
+			// unit. R2 = pass counter, R4 = ptr, R5 = end, R3 = acc.
+			Movi(2, 0).
+			Label("pass").
+			Movi(4, gccIn).Movi(5, gccIn+words*4).Movi(3, 0).
+			Label("word").
+			Ld(1, 4, 0).Mul(3, 3, 1).Add(3, 3, 1).
+			Addi(4, 4, 4).Blt(4, 5, "word").
+			Addi(2, 2, 1).Movi(5, uint32(sc.Passes)).Blt(2, 5, "pass").
+			// Stash the digest into the unit so downstream work differs.
+			Movi(4, gccIn).St(4, 0, 3)
+		if !last {
+			st.IPCSendOneway(gccIn, words, gccNext)
+		}
+		st.Addi(6, 6, 1).Movi(5, uint32(sc.Files)).Blt(6, 5, "unit").
+			Halt()
+		th, err := k.SpawnProgram(spaces[i+1], gccCode, st.MustAssemble(), 8)
+		if err != nil {
+			return nil, err
+		}
+		done = append(done, th)
+	}
+	return &Workload{Name: "gcc", K: k, Done: done}, nil
+}

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/pager"
+	"repro/internal/prog"
+	"repro/internal/sys"
+)
+
+// Memtest layout.
+const (
+	mtCode = 0x0001_0000
+	mtBase = 0x0200_0000
+)
+
+// MemtestBytes is the paper's memtest working-set size: 16 MB (§5.3).
+const MemtestBytes = 16 << 20
+
+// NewMemtest builds the paper's memtest workload on k: a thread that
+// "accesses [bytes] of memory one byte at a time sequentially ... under a
+// memory manager which allocates memory on demand, exercising kernel
+// fault handling and the exception IPC facility" (§5.3). Every page of
+// the working set takes a hard fault served by the user-mode pager.
+func NewMemtest(k *core.Kernel, bytes uint32) (*Workload, error) {
+	bytes = mem.PageRound(bytes)
+	s := k.NewSpace()
+	reg := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(bytes, false)}
+	k.BindFresh(s, reg)
+	if _, err := k.MapInto(s, reg, mtBase, 0, bytes, mmu.PermRW); err != nil {
+		return nil, err
+	}
+	if _, err := pager.Install(k, s, reg, pager.DefaultConfig()); err != nil {
+		return nil, err
+	}
+
+	b := prog.New(mtCode)
+	// R6 = cursor, R5 = end, R3 = scratch: 3 instructions per byte.
+	b.Movi(6, mtBase).
+		Movi(5, mtBase+bytes).
+		Label("loop").
+		Ldb(3, 6, 0).
+		Addi(6, 6, 1).
+		Blt(6, 5, "loop").
+		Halt()
+	th, err := k.SpawnProgram(s, mtCode, b.MustAssemble(), 8)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Name: "memtest", K: k, Done: []*obj.Thread{th}}, nil
+}

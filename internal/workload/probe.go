@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/obj"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/sys"
+)
+
+// Probe is the Table 6 measurement apparatus: "a second, high-priority
+// kernel thread which is scheduled every millisecond", whose observed
+// preemption latencies are recorded, along with the number of times it
+// ran and the number of times "it could not be scheduled because it was
+// still running or queued from the previous interval" (§5.3).
+type Probe struct {
+	Lat    stats.Latency
+	Runs   uint64
+	Misses uint64
+
+	Thread *obj.Thread
+
+	k       *core.Kernel
+	wq      obj.WaitQueue
+	sched   uint64 // virtual time of the pending scheduling event
+	pending bool
+	stopped bool
+}
+
+// DefaultProbePeriod is 1 ms in cycles.
+const DefaultProbePeriod = uint64(clock.CyclesPerMillisecond)
+
+// DefaultProbeWork is the probe's per-activation work: 10 µs.
+const DefaultProbeWork = uint64(10 * clock.CyclesPerMicrosecond)
+
+// InstallProbe starts the periodic high-priority kernel thread on k. The
+// probe runs at maximum priority in its own (empty) space.
+func InstallProbe(k *core.Kernel, periodCycles, workCycles uint64) *Probe {
+	if periodCycles == 0 {
+		periodCycles = DefaultProbePeriod
+	}
+	if workCycles == 0 {
+		workCycles = DefaultProbeWork
+	}
+	p := &Probe{k: k}
+	s := k.NewSpace()
+	th := k.NewThread(s, sched.MaxPriority)
+	p.Thread = th
+	th.HostFn = func() sys.KErr {
+		for {
+			if p.pending {
+				p.Lat.Add(clock.Micros(k.Clock.Now() - p.sched))
+				p.Runs++
+				p.pending = false
+				k.ChargeKernel(workCycles)
+			}
+			if kerr := k.Block(&p.wq, false); kerr != sys.KOK {
+				return kerr
+			}
+		}
+	}
+	k.StartThread(th)
+
+	var tick func(now uint64)
+	tick = func(now uint64) {
+		if p.stopped {
+			return
+		}
+		k.Clock.After(periodCycles, tick)
+		if th.State == obj.ThBlocked && th.WaitQ == &p.wq {
+			p.sched = k.Clock.Now()
+			p.pending = true
+			k.WakeThread(th)
+		} else {
+			// Still running or queued from the previous interval.
+			p.Misses++
+		}
+	}
+	k.Clock.After(periodCycles, tick)
+	return p
+}
+
+// Stop ends the periodic scheduling and destroys the probe thread.
+func (p *Probe) Stop() {
+	p.stopped = true
+	p.k.DestroyThread(p.Thread)
+}

@@ -1,0 +1,59 @@
+// Package workload implements the three applications of the paper's
+// Table 5 evaluation — flukeperf, memtest, and gcc — plus the
+// high-priority periodic probe thread of Table 6, all as guest programs
+// (or kernel threads) running on the simulated Fluke kernel.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/obj"
+)
+
+// Workload is a configured guest application ready to run on its kernel.
+type Workload struct {
+	Name string
+	K    *core.Kernel
+	// Done lists the threads that must exit for the run to count as
+	// complete (service threads may run forever).
+	Done []*obj.Thread
+}
+
+// Run executes the workload until its Done threads exit (with a
+// virtual-cycle budget as a backstop, so a wedged workload reports an
+// error instead of hanging — service threads and measurement timers may
+// keep the system from ever quiescing on their own) and returns the
+// elapsed virtual cycles.
+func (w *Workload) Run(budget uint64) (uint64, error) {
+	start := w.K.Clock.Now()
+	end := start + budget
+	if end < start {
+		end = ^uint64(0)
+	}
+	allDone := func() bool {
+		for _, t := range w.Done {
+			if !t.Exited {
+				return false
+			}
+		}
+		return true
+	}
+	w.K.RunUntil(func() bool { return w.K.Clock.Now() >= end || allDone() })
+	for _, t := range w.Done {
+		if !t.Exited {
+			return 0, fmt.Errorf("workload %s: thread %d did not finish (state=%v pc=%#x r0=%d)",
+				w.Name, t.ID, t.State, t.Regs.PC, t.Regs.R[0])
+		}
+	}
+	return w.K.Clock.Now() - start, nil
+}
+
+// MustRun is Run panicking on failure (benchmark harness use).
+func (w *Workload) MustRun(budget uint64) uint64 {
+	n, err := w.Run(budget)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -163,6 +163,39 @@ func BenchmarkNullSyscall(b *testing.B) {
 	}
 }
 
+// BenchmarkNullSyscallMetricsOverhead measures the wall-clock cost the
+// metrics registry adds to the hottest path (the null syscall): "off"
+// pays only the k.Metrics == nil branch at each instrumented site, "on"
+// pays the counter increments and one histogram observation per call.
+// Virtual time is identical in both (TestMetricsDoNotPerturbVirtualTime).
+func BenchmarkNullSyscallMetricsOverhead(b *testing.B) {
+	for _, enabled := range []bool{false, true} {
+		name := "off"
+		if enabled {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			const calls = 20_000 // amortize kernel + registry setup
+			for i := 0; i < b.N; i++ {
+				k := core.New(core.Config{Model: core.ModelProcess})
+				if enabled {
+					k.EnableMetrics()
+				}
+				s := k.NewSpace()
+				pb := prog.New(0x0001_0000)
+				pb.Movi(6, 0).Label("loop").
+					Null().
+					Addi(6, 6, 1).Movi(5, calls).Blt(6, 5, "loop").
+					Halt()
+				if _, err := k.SpawnProgram(s, 0x0001_0000, pb.MustAssemble(), 8); err != nil {
+					b.Fatal(err)
+				}
+				k.Run()
+			}
+		})
+	}
+}
+
 // BenchmarkIPCRoundTrip measures the simulator's full RPC path (connect,
 // 8-word request, turnaround, 8-word reply, disconnect) — wall-clock
 // cost per simulated RPC.

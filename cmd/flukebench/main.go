@@ -49,6 +49,7 @@ func main() {
 				fail(err)
 			}
 			fmt.Println(experiments.Table3Render(rows))
+			fmt.Println(experiments.Table3MetricsAppendix(rows))
 		})
 	}
 	if show(*t5) {
@@ -62,6 +63,7 @@ func main() {
 				fail(err)
 			}
 			fmt.Println(experiments.Table5Render(rows))
+			fmt.Println(experiments.Table5MetricsAppendix(rows))
 		})
 	}
 	if show(*t6) {

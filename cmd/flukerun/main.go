@@ -6,6 +6,7 @@
 //
 //	flukerun -workload flukeperf -model interrupt -preempt pp
 //	flukerun -workload memtest -mb 16 -model process -preempt fp -probe
+//	flukerun -workload flukeperf -fast -metrics -trace-out run.json
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/mmu"
 	"repro/internal/sys"
@@ -31,6 +33,8 @@ func main() {
 	traceLines := flag.Bool("trace", false, "trace every syscall completion as it happens")
 	traceBuf := flag.Int("tracebuf", 0, "dump the last N typed kernel trace events after the run")
 	topN := flag.Int("top", 10, "show the N most frequent syscalls")
+	metricsFlag := flag.Bool("metrics", false, "attach the kernel metrics registry and print its snapshot")
+	traceOut := flag.String("trace-out", "", "write the kernel trace as Perfetto/Chrome trace_event JSON to FILE")
 	flag.Parse()
 
 	cfg := core.Config{}
@@ -60,9 +64,19 @@ func main() {
 	}
 
 	k := core.New(cfg)
+	var m *core.KernelMetrics
+	if *metricsFlag {
+		m = k.EnableMetrics()
+	}
 	var ring *trace.Ring
 	if *traceBuf > 0 {
 		ring = trace.NewRing(*traceBuf)
+		k.Tracer = ring
+	} else if *traceOut != "" {
+		// The exporter needs the typed event ring even when the user
+		// didn't ask for a textual dump; 256Ki events is a few seconds
+		// of flukeperf.
+		ring = trace.NewRing(1 << 18)
 		k.Tracer = ring
 	}
 	var (
@@ -107,7 +121,7 @@ func main() {
 	}
 
 	fmt.Printf("workload %s on %s: %.2f virtual ms (%d cycles)\n",
-		w.Name, cfg.Name(), float64(cycles)/200_000, cycles)
+		w.Name, cfg.Name(), float64(cycles)/(clock.CyclesPerMicrosecond*1000), cycles)
 	s := &k.Stats
 	fmt.Printf("  syscalls        %12d\n", s.Syscalls)
 	fmt.Printf("  restarts        %12d\n", s.Restarts)
@@ -127,14 +141,14 @@ func main() {
 				}
 				fmt.Printf("  %s %s faults: %d (avg remedy %.1f µs, avg rollback %.2f µs)\n",
 					sideName, cl, n,
-					float64(s.FaultRemedy[key])/float64(n)/200,
-					float64(s.FaultRollback[key])/float64(n)/200)
+					float64(s.FaultRemedy[key])/float64(n)/clock.CyclesPerMicrosecond,
+					float64(s.FaultRollback[key])/float64(n)/clock.CyclesPerMicrosecond)
 			}
 		}
 	}
 	if p != nil {
-		fmt.Printf("  probe: avg %.2f µs, max %.1f µs, runs %d, missed %d\n",
-			p.Lat.Avg(), p.Lat.Max(), p.Runs, p.Misses)
+		fmt.Printf("  probe: avg %.2f µs, p50 %.2f, p95 %.2f, p99 %.2f, max %.1f µs, runs %d, missed %d\n",
+			p.Lat.Avg(), p.Lat.P50(), p.Lat.P95(), p.Lat.P99(), p.Lat.Max(), p.Runs, p.Misses)
 		p.Stop()
 	}
 
@@ -156,9 +170,27 @@ func main() {
 	for _, t := range tops {
 		fmt.Printf("    %-40s %10d\n", sys.Name(t.n), t.c)
 	}
-	if ring != nil {
+	if m != nil {
+		fmt.Print(m.Registry.Render("kernel metrics"))
+	}
+	if ring != nil && *traceBuf > 0 {
 		fmt.Println("kernel trace (most recent events):")
 		fmt.Print(ring.Dump())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := ring.ExportJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d trace events (%d dropped) to %s — open in https://ui.perfetto.dev or chrome://tracing\n",
+			ring.Len(), ring.Dropped(), *traceOut)
 	}
 }
 

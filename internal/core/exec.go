@@ -192,6 +192,10 @@ func (k *Kernel) ctxSwitch(t *obj.Thread) {
 	t.State = obj.ThRunning
 	k.current = t
 	k.emit(trace.CtxSwitch, t.ID, 0)
+	if k.Metrics != nil {
+		k.Metrics.CtxSwitches.Inc()
+	}
+	k.observePreemptLatency()
 	k.needResched = false
 	k.armSliceTimer()
 }
@@ -202,12 +206,15 @@ func (k *Kernel) armSliceTimer() {
 	}
 	k.sliceTimer = k.Clock.After(k.cfg.Quantum, func(uint64) {
 		k.Stats.TimerIRQs++
+		if k.Metrics != nil {
+			k.Metrics.TimerIRQs.Inc()
+		}
 		cur := k.current
 		if cur == nil {
 			return
 		}
 		if p, ok := k.runq.TopPriority(); ok && p >= cur.Priority {
-			k.needResched = true
+			k.noteResched()
 		}
 	})
 }
@@ -292,6 +299,9 @@ func (k *Kernel) stepHost(t *obj.Thread) bool {
 // preemptUser handles preemption at a user-mode instruction boundary.
 func (k *Kernel) preemptUser(t *obj.Thread) bool {
 	k.Stats.PreemptsUser++
+	if k.Metrics != nil {
+		k.Metrics.PreemptsUser.Inc()
+	}
 	k.emit(trace.Preempt, 0, 0)
 	k.needResched = false
 	t.State = obj.ThReady
@@ -333,6 +343,9 @@ func (k *Kernel) ChargeKernel(cycles uint64) {
 			cycles -= n
 			if k.needResched && t.State == obj.ThRunning {
 				k.Stats.PreemptsKernel++
+				if k.Metrics != nil {
+					k.Metrics.PreemptsKernel.Inc()
+				}
 				k.emit(trace.Preempt, 2, 0)
 				k.needResched = false
 				t.State = obj.ThReady
@@ -375,6 +388,7 @@ func (k *Kernel) doSyscall(t *obj.Thread, num int, fromUser bool) bool {
 	}
 	k.Stats.Syscalls++
 	k.Stats.SyscallsByNum[num]++
+	episodeStart := k.Clock.Now()
 	redispatch := uint32(0)
 	if !fromUser {
 		redispatch = 1
@@ -382,6 +396,9 @@ func (k *Kernel) doSyscall(t *obj.Thread, num int, fromUser bool) bool {
 	k.emit(trace.SyscallEnter, uint32(num), redispatch)
 	if t.InSyscall {
 		k.Stats.Restarts++
+		if k.Metrics != nil {
+			k.Metrics.RestartsTotal.Inc()
+		}
 	}
 	t.InSyscall = true
 	k.inHandler = true
@@ -398,6 +415,9 @@ func (k *Kernel) doSyscall(t *obj.Thread, num int, fromUser bool) bool {
 		t.EntryCycles = 0
 		k.ChargeKernel(exit)
 		k.inHandler = false
+		if k.Metrics != nil {
+			k.Metrics.SyscallLatency[num].Observe(k.Clock.Now() - episodeStart)
+		}
 		k.trace(t, num, "ok")
 		return true
 	case sys.KIntr:
@@ -406,6 +426,9 @@ func (k *Kernel) doSyscall(t *obj.Thread, num int, fromUser bool) bool {
 		t.EntryCycles = 0
 		k.ChargeKernel(exit)
 		k.inHandler = false
+		if k.Metrics != nil {
+			k.Metrics.SyscallLatency[num].Observe(k.Clock.Now() - episodeStart)
+		}
 		k.trace(t, num, "eintr")
 		return true
 	case sys.KWouldBlock, sys.KPreempted, sys.KDead:
@@ -449,6 +472,7 @@ func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
 	case mmu.FaultSoft:
 		k.Stats.FaultCount[key]++
 		k.Stats.FaultRollback[key] += t.EntryCycles
+		k.countFaultRestart(class, side, t.EntryCycles)
 		t.EntryCycles = 0
 		start := k.Clock.Now()
 		remedy := uint64(CycSoftFaultRemedy)
@@ -466,11 +490,13 @@ func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
 			return false
 		}
 		k.Stats.FaultRemedy[key] += k.Clock.Now() - start
+		k.countFaultRemedy(class, side, k.Clock.Now()-start)
 		return true
 
 	case mmu.FaultHard:
 		k.Stats.FaultCount[key]++
 		k.Stats.FaultRollback[key] += t.EntryCycles
+		k.countFaultRestart(class, side, t.EntryCycles)
 		t.EntryCycles = 0
 		port, _ := m.Region.Pager.(*obj.Port)
 		if port == nil || port.FaultRegion == nil || port.Dead {
@@ -507,6 +533,9 @@ func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
 
 	default: // fatal
 		k.Stats.FaultCount[key]++
+		if k.Metrics != nil {
+			k.Metrics.FaultsFatal.Inc()
+		}
 		k.exitThread(t, uint32(0xFFFF_0E02))
 		return false
 	}
@@ -522,6 +551,9 @@ func (k *Kernel) queueFault(reg *obj.Region, port *obj.Port, off uint32) {
 		}
 	}
 	reg.PendingFaults = append(reg.PendingFaults, off)
+	if k.Metrics != nil {
+		k.Metrics.PagerNotices.Inc()
+	}
 	if port.Set != nil {
 		k.wakeOne(&port.Set.Servers)
 	}
@@ -583,6 +615,7 @@ func (k *Kernel) wakeThread(t *obj.Thread) {
 			key.Side = FaultCross
 		}
 		k.Stats.FaultRemedy[key] += k.Clock.Now() - t.FaultStart
+		k.countFaultRemedy(key.Class, key.Side, k.Clock.Now()-t.FaultStart)
 		t.FaultStart = 0
 	}
 	if t.State == obj.ThBlocked {
@@ -590,6 +623,9 @@ func (k *Kernel) wakeThread(t *obj.Thread) {
 	}
 	if t.Runnable() {
 		k.emit(trace.Wake, t.ID, 0)
+		if k.Metrics != nil {
+			k.Metrics.Wakes.Inc()
+		}
 		k.runq.Enqueue(t)
 		k.maybeResched(t)
 	}
@@ -616,7 +652,7 @@ func (k *Kernel) wakeAll(q *obj.WaitQueue) int {
 
 func (k *Kernel) maybeResched(t *obj.Thread) {
 	if k.current != nil && t.Priority > k.current.Priority {
-		k.needResched = true
+		k.noteResched()
 	}
 }
 
@@ -657,6 +693,9 @@ func (k *Kernel) PreemptPoint() sys.KErr {
 		return sys.KOK
 	}
 	k.Stats.PreemptsPoint++
+	if k.Metrics != nil {
+		k.Metrics.PreemptsPoint.Inc()
+	}
 	k.emit(trace.Preempt, 1, 0)
 	return k.yieldCPU(true)
 }
@@ -674,6 +713,9 @@ func (k *Kernel) exitThread(t *obj.Thread, code uint32) {
 	t.ExitCode = code
 	t.State = obj.ThDead
 	k.emit(trace.ThreadExit, code, 0)
+	if k.Metrics != nil {
+		k.Metrics.ThreadsLive.Add(-1)
+	}
 	if t.WaitQ != nil {
 		t.WaitQ.Remove(t)
 	}
@@ -773,4 +815,7 @@ func (k *Kernel) SetPC(t *obj.Thread, sysno int) {
 // work charged before this point will not be redone by a restart.
 func (k *Kernel) CommitProgress(t *obj.Thread) {
 	t.EntryCycles = 0
+	if k.Metrics != nil {
+		k.Metrics.Commits.Inc()
+	}
 }

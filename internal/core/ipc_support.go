@@ -26,13 +26,19 @@ const copyCommitWords = 768
 // transfers".
 func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
 	t := k.current
-	pending := uint64(0)     // uncharged copy cycles
+	if k.Metrics != nil {
+		k.Metrics.IPCTransfers.Inc()
+	}
+	words := uint32(0)       // copied but not yet charged/counted
 	sincePoint := uint32(0)  // bytes since last preemption point
 	sinceCommit := uint32(0) // words since last progress commit
 	flush := func() {
-		if pending > 0 {
-			k.ChargeKernel(pending)
-			pending = 0
+		if words > 0 {
+			k.ChargeKernel(uint64(words) * CycCopyWord)
+			if k.Metrics != nil {
+				k.Metrics.IPCBytes.Add(uint64(words) * 4)
+			}
+			words = 0
 		}
 	}
 	for src.Regs.R[2] > 0 && dst.Regs.R[2] > 0 {
@@ -49,8 +55,8 @@ func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
 		src.Regs.R[2]--
 		dst.Regs.R[1] += 4
 		dst.Regs.R[2]--
-		pending += CycCopyWord
-		if pending >= copyChargeBatch*CycCopyWord {
+		words++
+		if words >= copyChargeBatch {
 			flush()
 		}
 		sinceCommit++

@@ -117,6 +117,15 @@ type Kernel struct {
 	// internal/trace). Attach before running; costs one branch when nil.
 	Tracer *trace.Ring
 
+	// Metrics, when non-nil, receives hot-path instrument updates (see
+	// EnableMetrics). Like the tracer it costs one branch when nil and
+	// never perturbs virtual time.
+	Metrics *KernelMetrics
+
+	// reschedSince is the virtual time of the oldest unserviced
+	// reschedule request, feeding Metrics.PreemptLatency (0 = none).
+	reschedSince uint64
+
 	// stacksInUse tracks live kernel stacks for the memory accountant:
 	// one per CPU in the interrupt model, one per live thread in the
 	// process model.
@@ -223,6 +232,10 @@ func (k *Kernel) makeThread(s *obj.Space, priority int) *obj.Thread {
 	k.nextTID++
 	s.Threads = append(s.Threads, t)
 	k.threads[t.ID] = t
+	if k.Metrics != nil {
+		k.Metrics.ThreadsCreated.Inc()
+		k.Metrics.ThreadsLive.Add(1)
+	}
 	if k.cfg.Model == ModelProcess {
 		k.newKctx(t)
 		k.stacksInUse++

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/mmu"
+	"repro/internal/sys"
+)
+
+// This file wires the metrics registry (internal/metrics) into the
+// kernel's hot paths. Every instrument is registered up front in
+// NewKernelMetrics, so the paths in exec.go / ipc_support.go only ever
+// dereference pre-built pointers — with no registry attached
+// (k.Metrics == nil) each site costs a single branch, and the simulated
+// timeline is bit-identical either way because metrics never charge
+// cycles (pinned by TestMetricsDoNotPerturbVirtualTime).
+
+// NumFaultCauses is the number of Table 3 exception-cause classes:
+// {soft, hard} × {client-side, server-side}.
+const NumFaultCauses = 4
+
+// FaultCauseNames are the class names in causeIndex order.
+var FaultCauseNames = [NumFaultCauses]string{
+	"soft.client", "soft.server", "hard.client", "hard.server",
+}
+
+// causeIndex maps a restartable fault to its Table 3 cause class.
+// Fatal faults have no restart semantics and are counted separately.
+func causeIndex(class mmu.FaultClass, side FaultSide) int {
+	i := 0
+	if class == mmu.FaultHard {
+		i = 2
+	}
+	if side == FaultCross {
+		i++
+	}
+	return i
+}
+
+// KernelMetrics is the kernel's instrument bundle: every counter, gauge,
+// and histogram the hot paths update, pre-registered so updates are
+// pointer dereferences. Attach with Kernel.EnableMetrics (or build one
+// on a shared registry with NewKernelMetrics and assign k.Metrics).
+type KernelMetrics struct {
+	Registry *metrics.Registry
+
+	// SyscallLatency has one log2-cycle histogram per syscall number,
+	// observing entry-to-completion time of each completed dispatch
+	// episode (in the process model that includes any time parked on
+	// the thread's kernel stack — the user-visible call latency).
+	SyscallLatency [sys.NumSyscalls]*metrics.Histogram
+
+	// Restarts counts restartable kernel-internal exceptions by Table 3
+	// cause class; after each, the operation re-runs from its
+	// rolled-forward registers. RollbackCycles accumulates the work
+	// discarded (Table 3 "Cost to Rollback" numerator), RemedyCycles the
+	// time to service the fault ("Cost to Remedy").
+	Restarts       [NumFaultCauses]*metrics.Counter
+	RollbackCycles [NumFaultCauses]*metrics.Counter
+	RemedyCycles   [NumFaultCauses]*metrics.Counter
+	RestartsTotal  *metrics.Counter // syscall re-entries after any fault
+	FaultsFatal    *metrics.Counter
+
+	CtxSwitches *metrics.Counter
+	Wakes       *metrics.Counter
+	TimerIRQs   *metrics.Counter
+
+	// PreemptLatency observes, at each context switch, the cycles from
+	// the moment a reschedule was requested (higher-priority wake or
+	// quantum expiry) to the switch that serviced it — the in-kernel
+	// view of Table 6's probe latency.
+	PreemptLatency *metrics.Histogram
+	PreemptsUser   *metrics.Counter
+	PreemptsPoint  *metrics.Counter
+	PreemptsKernel *metrics.Counter
+
+	IPCBytes     *metrics.Counter // payload bytes moved by CopyWords
+	IPCTransfers *metrics.Counter // CopyWords invocations
+	Commits      *metrics.Counter // roll-forward progress commits
+
+	PagerNotices *metrics.Counter // hard-fault notifications queued to pagers
+
+	ThreadsLive    *metrics.Gauge
+	ThreadsCreated *metrics.Counter
+}
+
+// NewKernelMetrics registers the kernel's instruments on reg (a fresh
+// registry if nil) and returns the bundle. All allocation happens here.
+func NewKernelMetrics(reg *metrics.Registry) *KernelMetrics {
+	if reg == nil {
+		reg = metrics.New()
+	}
+	m := &KernelMetrics{Registry: reg}
+	for n := 0; n < sys.NumSyscalls; n++ {
+		m.SyscallLatency[n] = reg.Histogram("syscall.latency." + sys.Name(n))
+	}
+	for i, name := range FaultCauseNames {
+		m.Restarts[i] = reg.Counter("fault.restarts." + name)
+		m.RollbackCycles[i] = reg.Counter("fault.rollback_cycles." + name)
+		m.RemedyCycles[i] = reg.Counter("fault.remedy_cycles." + name)
+	}
+	m.RestartsTotal = reg.Counter("syscall.restarts")
+	m.FaultsFatal = reg.Counter("fault.fatal")
+	m.CtxSwitches = reg.Counter("sched.context_switches")
+	m.Wakes = reg.Counter("sched.wakes")
+	m.TimerIRQs = reg.Counter("sched.timer_irqs")
+	m.PreemptLatency = reg.Histogram("sched.preempt_latency")
+	m.PreemptsUser = reg.Counter("sched.preempts.user_boundary")
+	m.PreemptsPoint = reg.Counter("sched.preempts.explicit_point")
+	m.PreemptsKernel = reg.Counter("sched.preempts.in_kernel")
+	m.IPCBytes = reg.Counter("ipc.bytes")
+	m.IPCTransfers = reg.Counter("ipc.transfers")
+	m.Commits = reg.Counter("ipc.rollforward_commits")
+	m.PagerNotices = reg.Counter("pager.fault_notices")
+	m.ThreadsLive = reg.Gauge("threads.live")
+	m.ThreadsCreated = reg.Counter("threads.created")
+	return m
+}
+
+// RestartsByCause returns the restart counts in FaultCauseNames order —
+// the Table 3 cross-check surface.
+func (m *KernelMetrics) RestartsByCause() [NumFaultCauses]uint64 {
+	var out [NumFaultCauses]uint64
+	for i, c := range m.Restarts {
+		out[i] = c.Value()
+	}
+	return out
+}
+
+// EnableMetrics attaches a fresh metrics bundle to the kernel (idempotent:
+// an already-attached bundle is returned unchanged). Enable before
+// running; threads created earlier are not retroactively counted.
+func (k *Kernel) EnableMetrics() *KernelMetrics {
+	if k.Metrics == nil {
+		k.Metrics = NewKernelMetrics(nil)
+	}
+	return k.Metrics
+}
+
+// noteResched flags a pending reschedule and stamps the request time for
+// the preemption-latency histogram (first request wins until serviced).
+func (k *Kernel) noteResched() {
+	k.needResched = true
+	if k.Metrics != nil && k.reschedSince == 0 {
+		k.reschedSince = k.Clock.Now()
+	}
+}
+
+// observePreemptLatency closes an open reschedule-request window at a
+// context switch.
+func (k *Kernel) observePreemptLatency() {
+	if k.Metrics != nil && k.reschedSince != 0 {
+		k.Metrics.PreemptLatency.Observe(k.Clock.Now() - k.reschedSince)
+		k.reschedSince = 0
+	}
+}
+
+// countFaultRestart records a restartable fault's cause-class restart
+// and the rolled-back cycles it discards.
+func (k *Kernel) countFaultRestart(class mmu.FaultClass, side FaultSide, rollback uint64) {
+	if k.Metrics == nil {
+		return
+	}
+	ci := causeIndex(class, side)
+	k.Metrics.Restarts[ci].Inc()
+	k.Metrics.RollbackCycles[ci].Add(rollback)
+}
+
+// countFaultRemedy records cycles spent servicing a fault of the given
+// cause class.
+func (k *Kernel) countFaultRemedy(class mmu.FaultClass, side FaultSide, cycles uint64) {
+	if k.Metrics == nil {
+		return
+	}
+	k.Metrics.RemedyCycles[causeIndex(class, side)].Add(cycles)
+}

@@ -80,6 +80,39 @@ func TestTable3Shape(t *testing.T) {
 	}
 }
 
+// TestTable3MetricsAgree is the acceptance check for the metrics
+// registry's Table 3 cross-check: for every one of the four
+// exception-cause classes, the fault.restarts.* counter from the
+// instrumented run reports exactly the restart count the experiment's
+// own Stats bookkeeping reports.
+func TestTable3MetricsAgree(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want the four cause classes", len(rows))
+	}
+	for _, r := range rows {
+		if r.MetricRestarts != r.Faults {
+			t.Errorf("%s: metrics counted %d restarts, experiment counted %d",
+				r.Cause, r.MetricRestarts, r.Faults)
+		}
+		if r.MetricRestarts == 0 {
+			t.Errorf("%s: metrics restart counter never incremented", r.Cause)
+		}
+	}
+	out := Table3MetricsAppendix(rows).String()
+	if strings.Contains(out, "NO") {
+		t.Errorf("appendix reports disagreement:\n%s", out)
+	}
+	for _, want := range []string{"fault.restarts", "yes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("appendix missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestTable5Shape checks the paper's qualitative Table 5 findings on the
 // fast scale: FP is the slowest configuration on every workload, the
 // interrupt model has an advantage on flukeperf, and memtest/gcc are

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/mem"
@@ -26,12 +27,16 @@ import (
 // fault; "Cost to Rollback" is the work thrown away and redone because
 // the operation restarts from its rolled-forward registers.
 
-// Table3Row is one measured flavour.
+// Table3Row is one measured flavour. Faults comes from the experiment's
+// own Stats bookkeeping; MetricRestarts is the same quantity as counted
+// by the metrics registry's fault.restarts.* counter for the flavour's
+// cause class — the two must agree (pinned by TestTable3MetricsAgree).
 type Table3Row struct {
-	Cause      string
-	RemedyUS   float64
-	RollbackUS float64
-	Faults     uint64
+	Cause          string
+	RemedyUS       float64
+	RollbackUS     float64
+	Faults         uint64
+	MetricRestarts uint64
 }
 
 const (
@@ -62,6 +67,7 @@ func runTable3Flavor(hard, serverSide bool) (Table3Row, error) {
 	row := Table3Row{Cause: name}
 
 	k := core.New(core.Config{Model: core.ModelProcess, Preempt: core.PreemptNone})
+	m := k.EnableMetrics()
 	sCli := k.NewSpace()
 	sSrv := k.NewSpace()
 
@@ -166,8 +172,16 @@ func runTable3Flavor(hard, serverSide bool) (Table3Row, error) {
 		return row, fmt.Errorf("table3 %s: no %v/%v fault recorded", name, class, side)
 	}
 	row.Faults = n
-	row.RemedyUS = float64(k.Stats.FaultRemedy[key]) / float64(n) / 200
-	row.RollbackUS = float64(k.Stats.FaultRollback[key]) / float64(n) / 200
+	row.RemedyUS = float64(k.Stats.FaultRemedy[key]) / float64(n) / clock.CyclesPerMicrosecond
+	row.RollbackUS = float64(k.Stats.FaultRollback[key]) / float64(n) / clock.CyclesPerMicrosecond
+	ci := 0
+	if hard {
+		ci = 2
+	}
+	if serverSide {
+		ci++
+	}
+	row.MetricRestarts = m.RestartsByCause()[ci]
 	return row, nil
 }
 
@@ -201,6 +215,22 @@ func Table3Render(rows []Table3Row) *stats.Table {
 			rb = "none"
 		}
 		t.Row(r.Cause, r.RemedyUS, rb)
+	}
+	return t
+}
+
+// Table3MetricsAppendix cross-checks the experiment's fault bookkeeping
+// against the kernel metrics registry: the fault.restarts.* counter for
+// each cause class must report exactly the faults the experiment saw.
+func Table3MetricsAppendix(rows []Table3Row) *stats.Table {
+	t := stats.NewTable("Table 3 appendix: restart counters from the metrics registry",
+		"Actual Cause of Exception", "Faults (experiment)", "fault.restarts.* (metrics)", "Agree")
+	for _, r := range rows {
+		agree := "yes"
+		if r.Faults != r.MetricRestarts {
+			agree = "NO"
+		}
+		t.Row(r.Cause, r.Faults, r.MetricRestarts, agree)
 	}
 	return t
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -39,11 +40,17 @@ func FastTable5Scale() Table5Scale {
 	}
 }
 
-// Table5Cell is one workload / configuration measurement.
+// Table5Cell is one workload / configuration measurement. The kernel
+// activity counters come from the metrics registry attached to the run's
+// kernel and feed Table5MetricsAppendix.
 type Table5Cell struct {
 	Config     string
 	VirtualMS  float64
 	Normalized float64
+
+	CtxSwitches uint64
+	Restarts    uint64
+	IPCBytes    uint64
 }
 
 // Table5Result holds one column (workload) of the table.
@@ -67,6 +74,7 @@ func Table5(sc Table5Scale) ([]Table5Result, error) {
 		var base float64
 		for _, cfg := range core.Configurations() {
 			k := core.New(cfg)
+			m := k.EnableMetrics()
 			w, err := mk[name](k)
 			if err != nil {
 				return nil, fmt.Errorf("table5 %s %s: %w", name, cfg.Name(), err)
@@ -75,11 +83,17 @@ func Table5(sc Table5Scale) ([]Table5Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("table5 %s %s: %w", name, cfg.Name(), err)
 			}
-			ms := float64(cycles) / 200_000
+			ms := float64(cycles) / (clock.CyclesPerMicrosecond * 1000)
 			if cfg.Name() == "Process NP" {
 				base = ms
 			}
-			res.Cells = append(res.Cells, Table5Cell{Config: cfg.Name(), VirtualMS: ms})
+			res.Cells = append(res.Cells, Table5Cell{
+				Config:      cfg.Name(),
+				VirtualMS:   ms,
+				CtxSwitches: m.CtxSwitches.Value(),
+				Restarts:    m.RestartsTotal.Value(),
+				IPCBytes:    m.IPCBytes.Value(),
+			})
 		}
 		for i := range res.Cells {
 			res.Cells[i].Normalized = res.Cells[i].VirtualMS / base
@@ -106,6 +120,21 @@ func Table5Render(results []Table5Result) *stats.Table {
 			cells = append(cells, v)
 		}
 		t.Row(cells...)
+	}
+	return t
+}
+
+// Table5MetricsAppendix tabulates the kernel activity counters behind
+// each Table 5 cell — why the configurations differ, not just by how
+// much: preemption shows up as extra context switches, fault pressure as
+// restarts, and the IPC-bound workloads as bytes through CopyWords.
+func Table5MetricsAppendix(results []Table5Result) *stats.Table {
+	t := stats.NewTable("Table 5 appendix: kernel activity counters per run (from the metrics registry)",
+		"Workload", "Configuration", "ctx switches", "restarts", "IPC bytes")
+	for _, r := range results {
+		for _, c := range r.Cells {
+			t.Row(r.Workload, c.Config, c.CtxSwitches, c.Restarts, c.IPCBytes)
+		}
 	}
 	return t
 }

@@ -14,10 +14,15 @@ import (
 // many times it ran, and how many scheduling events it missed because the
 // previous activation had not completed.
 
-// Table6Row is one configuration's latency measurement.
+// Table6Row is one configuration's latency measurement. The percentiles
+// come from the probe's memoized latency distribution and extend the
+// paper's avg/max with tail shape.
 type Table6Row struct {
 	Config string
 	AvgUS  float64
+	P50US  float64
+	P95US  float64
+	P99US  float64
 	MaxUS  float64
 	Runs   uint64
 	Misses uint64
@@ -41,6 +46,9 @@ func Table6(sc workload.FlukeperfScale) ([]Table6Row, error) {
 		rows = append(rows, Table6Row{
 			Config: cfg.Name(),
 			AvgUS:  p.Lat.Avg(),
+			P50US:  p.Lat.P50(),
+			P95US:  p.Lat.P95(),
+			P99US:  p.Lat.P99(),
 			MaxUS:  p.Lat.Max(),
 			Runs:   p.Runs,
 			Misses: p.Misses,
@@ -52,9 +60,9 @@ func Table6(sc workload.FlukeperfScale) ([]Table6Row, error) {
 // Table6Render formats the rows like the paper.
 func Table6Render(rows []Table6Row) *stats.Table {
 	t := stats.NewTable("Table 6: Effect of execution model on preemption latency (flukeperf)",
-		"Configuration", "latency avg (µs)", "latency max (µs)", "runs", "missed")
+		"Configuration", "avg (µs)", "p50", "p95", "p99", "max (µs)", "runs", "missed")
 	for _, r := range rows {
-		t.Row(r.Config, r.AvgUS, r.MaxUS, r.Runs, r.Misses)
+		t.Row(r.Config, r.AvgUS, r.P50US, r.P95US, r.P99US, r.MaxUS, r.Runs, r.Misses)
 	}
 	return t
 }

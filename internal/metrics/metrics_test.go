@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("a") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for _, v := range []uint64{0, 1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1106 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 1000 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+	// Bucket layout: 0 -> bucket 0, 1 -> bucket 1, [2,3] -> bucket 2.
+	if h.Bucket(0) != 1 || h.Bucket(1) != 1 || h.Bucket(2) != 2 {
+		t.Fatalf("buckets %d %d %d", h.Bucket(0), h.Bucket(1), h.Bucket(2))
+	}
+}
+
+// Property: Quantile is a true upper bound of the nearest-rank value, no
+// looser than 2x, and clamped to the observed max.
+func TestPropertyQuantileBounds(t *testing.T) {
+	f := func(vals []uint32, qv uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		q := float64(qv%101) / 100
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(uint64(v))
+		}
+		got := h.Quantile(q)
+		if got > h.Max() {
+			return false
+		}
+		// Exact nearest-rank for comparison.
+		sorted := append([]uint32(nil), vals...)
+		for i := range sorted {
+			for j := i + 1; j < len(sorted); j++ {
+				if sorted[j] < sorted[i] {
+					sorted[i], sorted[j] = sorted[j], sorted[i]
+				}
+			}
+		}
+		// Same nearest-rank convention as Histogram.Quantile.
+		rank := int(math.Ceil(q * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+		exact := uint64(sorted[rank-1])
+		// Upper bound, and within one power of two.
+		return got >= exact && (exact == 0 || got < 2*exact+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotDeterministicAndRendered(t *testing.T) {
+	r := New()
+	r.Counter("z.second").Add(2)
+	r.Counter("a.first").Inc()
+	r.Gauge("threads.live").Set(3)
+	h := r.Histogram("lat")
+	h.Observe(200) // 1 µs
+	h.Observe(400)
+	r.Histogram("empty") // registered but never observed
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a.first" || s.Counters[1].Name != "z.second" {
+		t.Fatalf("counters %+v", s.Counters)
+	}
+	if len(s.Histograms) != 2 {
+		t.Fatalf("histograms %+v", s.Histograms)
+	}
+	out := r.Render("snap")
+	for _, want := range []string{"a.first", "z.second", "threads.live", "lat"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "empty") {
+		t.Fatalf("render includes empty histogram:\n%s", out)
+	}
+}
+
+func TestRenderEmptyRegistry(t *testing.T) {
+	if out := New().Render("nothing"); !strings.Contains(out, "no metrics") {
+		t.Fatalf("empty render: %q", out)
+	}
+}
+
+// instrumented mimics a kernel-side metrics bundle: a nil pointer means
+// metrics are disabled and every hot-path site degrades to one branch.
+type instrumented struct {
+	c Counter
+	h Histogram
+}
+
+var sink uint64
+
+// BenchmarkDisabledBranch measures the cost a hot path pays when no
+// registry is attached: the nil check alone.
+func BenchmarkDisabledBranch(b *testing.B) {
+	var m *instrumented
+	for i := 0; i < b.N; i++ {
+		if m != nil {
+			m.c.Inc()
+		}
+		sink++
+	}
+}
+
+// BenchmarkCounterInc measures the enabled-counter hot path.
+func BenchmarkCounterInc(b *testing.B) {
+	m := &instrumented{}
+	for i := 0; i < b.N; i++ {
+		if m != nil {
+			m.c.Inc()
+		}
+	}
+	sink = m.c.Value()
+}
+
+// BenchmarkHistogramObserve measures the enabled-histogram hot path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	m := &instrumented{}
+	for i := 0; i < b.N; i++ {
+		m.h.Observe(uint64(i))
+	}
+	sink = m.h.Count()
+}
+
+// TestUpdatesDoNotAllocate pins the allocation-free-after-setup
+// property: registration allocates, updates never do.
+func TestUpdatesDoNotAllocate(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	g := r.Gauge("g")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Add(1)
+		h.Observe(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path updates allocate: %v allocs/run", allocs)
+	}
+}

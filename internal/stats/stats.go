@@ -13,10 +13,14 @@ import (
 // Latency accumulates latency samples in microseconds.
 type Latency struct {
 	samples []float64
+	sorted  []float64 // memoized sorted copy; nil when samples changed since
 }
 
 // Add records one sample.
-func (l *Latency) Add(us float64) { l.samples = append(l.samples, us) }
+func (l *Latency) Add(us float64) {
+	l.samples = append(l.samples, us)
+	l.sorted = nil
+}
 
 // Count returns the number of samples.
 func (l *Latency) Count() int { return len(l.samples) }
@@ -58,22 +62,36 @@ func (l *Latency) Min() float64 {
 	return m
 }
 
-// Percentile returns the p-th percentile (0..100) by nearest-rank.
+// Percentile returns the p-th percentile (0..100) by nearest-rank. The
+// sorted sample view is computed once and memoized until the next Add,
+// so repeated percentile queries (P50/P95/P99 of the same recorder) sort
+// only once.
 func (l *Latency) Percentile(p float64) float64 {
 	if len(l.samples) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), l.samples...)
-	sort.Float64s(s)
-	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if l.sorted == nil {
+		l.sorted = append(make([]float64, 0, len(l.samples)), l.samples...)
+		sort.Float64s(l.sorted)
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(l.sorted))))
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > len(s) {
-		rank = len(s)
+	if rank > len(l.sorted) {
+		rank = len(l.sorted)
 	}
-	return s[rank-1]
+	return l.sorted[rank-1]
 }
+
+// P50 returns the median.
+func (l *Latency) P50() float64 { return l.Percentile(50) }
+
+// P95 returns the 95th percentile.
+func (l *Latency) P95() float64 { return l.Percentile(95) }
+
+// P99 returns the 99th percentile.
+func (l *Latency) P99() float64 { return l.Percentile(99) }
 
 // Table renders fixed-width tables like the paper's.
 type Table struct {
@@ -102,6 +120,9 @@ func (t *Table) Row(cells ...any) *Table {
 	t.rows = append(t.rows, row)
 	return t
 }
+
+// Rows returns the table's body rows (formatted cells, no header).
+func (t *Table) Rows() [][]string { return t.rows }
 
 // FormatFloat renders a float with sensible precision for table cells
 // (3 significant-ish digits, like the paper's "18.9", "5.14", "7430").

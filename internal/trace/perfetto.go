@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/sys"
+)
+
+// This file exports the typed event ring in Chrome trace_event JSON (the
+// "JSON Array Format" both chrome://tracing and ui.perfetto.dev open
+// natively): one track per thread ID, syscalls as complete ("X") spans
+// from enter to exit, everything else as thread-scoped instants.
+// Timestamps are virtual microseconds via clock.CyclesPerMicrosecond.
+
+// jsonEvent is one trace_event record — the field subset we emit.
+type jsonEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  uint32            `json:"pid"`
+	Tid  uint32            `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// jsonTrace is the trace_event JSON Object Format envelope.
+type jsonTrace struct {
+	TraceEvents     []jsonEvent `json:"traceEvents"`
+	DisplayTimeUnit string      `json:"displayTimeUnit"`
+}
+
+// exportPid is the single simulated kernel's process ID in the trace.
+const exportPid = 1
+
+// usOf converts a cycle timestamp to trace microseconds.
+func usOf(cycles uint64) float64 { return clock.Micros(cycles) }
+
+// instant builds a thread-scoped instant event.
+func instant(e Event, name string, args map[string]string) jsonEvent {
+	return jsonEvent{
+		Name: name, Cat: "kernel", Ph: "i", S: "t",
+		Ts: usOf(e.Time), Pid: exportPid, Tid: e.TID, Args: args,
+	}
+}
+
+// ExportJSON writes events (chronological, as returned by Ring.Events)
+// as Chrome trace_event JSON. SyscallEnter/SyscallExit pairs on the same
+// thread become complete spans; an exit whose enter fell off the ring
+// (or vice versa) degrades to an instant, so wrapped rings still export
+// a well-formed trace.
+func ExportJSON(w io.Writer, events []Event) error {
+	out := make([]jsonEvent, 0, len(events)+8)
+
+	// One thread_name metadata record per track.
+	tids := map[uint32]bool{}
+	for _, e := range events {
+		tids[e.TID] = true
+	}
+	sortedTids := make([]uint32, 0, len(tids))
+	for tid := range tids {
+		sortedTids = append(sortedTids, tid)
+	}
+	sort.Slice(sortedTids, func(i, j int) bool { return sortedTids[i] < sortedTids[j] })
+	for _, tid := range sortedTids {
+		name := fmt.Sprintf("thread %d", tid)
+		if tid == 0 {
+			name = "scheduler"
+		}
+		out = append(out, jsonEvent{
+			Name: "thread_name", Ph: "M", Pid: exportPid, Tid: tid,
+			Args: map[string]string{"name": name},
+		})
+	}
+
+	open := map[uint32][]Event{} // per-tid stack of unmatched SyscallEnter
+	for _, e := range events {
+		switch e.Kind {
+		case SyscallEnter:
+			open[e.TID] = append(open[e.TID], e)
+		case SyscallExit:
+			stack := open[e.TID]
+			if n := len(stack); n > 0 && stack[n-1].A == e.A {
+				enter := stack[n-1]
+				open[e.TID] = stack[:n-1]
+				args := map[string]string{"result": sys.KErr(e.B).String()}
+				if enter.B == 1 {
+					args["redispatch"] = "true"
+				}
+				out = append(out, jsonEvent{
+					Name: sys.Name(int(e.A)), Cat: "syscall", Ph: "X",
+					Ts: usOf(enter.Time), Dur: usOf(e.Time - enter.Time),
+					Pid: exportPid, Tid: e.TID, Args: args,
+				})
+			} else {
+				out = append(out, instant(e, "sys- "+sys.Name(int(e.A)),
+					map[string]string{"result": sys.KErr(e.B).String(), "note": "enter dropped from ring"}))
+			}
+		case CtxSwitch:
+			out = append(out, instant(e, "switch",
+				map[string]string{"incoming": fmt.Sprintf("t%d", e.A)}))
+		case Wake:
+			out = append(out, instant(e, "wake",
+				map[string]string{"woken": fmt.Sprintf("t%d", e.A)}))
+		case Fault:
+			side := "client"
+			if e.B>>8 != 0 {
+				side = "server"
+			}
+			class := [...]string{"fatal", "soft", "hard"}[e.B&0xFF]
+			out = append(out, instant(e, "fault "+class,
+				map[string]string{"va": fmt.Sprintf("%#x", e.A), "class": class, "side": side}))
+		case Preempt:
+			kind := [...]string{"user-boundary", "explicit-point", "in-kernel"}[e.A]
+			out = append(out, instant(e, "preempt", map[string]string{"at": kind}))
+		case ThreadExit:
+			out = append(out, instant(e, "exit",
+				map[string]string{"code": fmt.Sprintf("%#x", e.A)}))
+		case IRQ:
+			out = append(out, instant(e, fmt.Sprintf("irq %d", e.A), nil))
+		default:
+			out = append(out, instant(e, e.Kind.String(), nil))
+		}
+	}
+	// Syscalls still in flight when the ring was captured: instants, so
+	// the viewer shows them without an unbalanced begin.
+	for _, stack := range open {
+		for _, enter := range stack {
+			out = append(out, instant(enter, "sys+ "+sys.Name(int(enter.A)),
+				map[string]string{"note": "still in flight"}))
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+
+	return json.NewEncoder(w).Encode(jsonTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+// ExportJSON writes the ring's retained events in Chrome trace_event
+// JSON, ready for ui.perfetto.dev.
+func (r *Ring) ExportJSON(w io.Writer) error {
+	return ExportJSON(w, r.Events())
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/clock"
 	"repro/internal/sys"
 )
 
@@ -92,7 +93,7 @@ func (e Event) String() string {
 	case IRQ:
 		detail = fmt.Sprintf("line %d", e.A)
 	}
-	return fmt.Sprintf("[%12.2fus] t%-3d %-7s %s", float64(e.Time)/200, e.TID, e.Kind, detail)
+	return fmt.Sprintf("[%12.2fus] t%-3d %-7s %s", clock.Micros(e.Time), e.TID, e.Kind, detail)
 }
 
 // Ring is a bounded event buffer; when full, the oldest events are

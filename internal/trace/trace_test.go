@@ -69,6 +69,51 @@ func TestDumpMentionsDrops(t *testing.T) {
 	}
 }
 
+func TestRingExactCapacityBoundary(t *testing.T) {
+	r := NewRing(4)
+	for i := uint32(1); i <= 4; i++ {
+		r.Add(Event{Time: uint64(i), Kind: Wake, A: i})
+	}
+	// Exactly at capacity: everything retained, nothing dropped.
+	if r.Len() != 4 || r.Dropped() != 0 {
+		t.Fatalf("at capacity: Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+	if ev := r.Events(); len(ev) != 4 || ev[0].A != 1 || ev[3].A != 4 {
+		t.Fatalf("at capacity events %v", ev)
+	}
+	// One past capacity: the single oldest event is dropped.
+	r.Add(Event{Time: 5, Kind: Wake, A: 5})
+	if r.Len() != 4 || r.Dropped() != 1 {
+		t.Fatalf("past capacity: Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+	if ev := r.Events(); ev[0].A != 2 || ev[3].A != 5 {
+		t.Fatalf("past capacity events %v", ev)
+	}
+}
+
+func TestRingMultipleWraps(t *testing.T) {
+	const capacity, total = 4, 19 // 4 full wraps plus a partial lap
+	r := NewRing(capacity)
+	for i := uint32(1); i <= total; i++ {
+		r.Add(Event{Time: uint64(i), Kind: Wake, A: i})
+	}
+	if want := uint64(total - capacity); r.Dropped() != want {
+		t.Fatalf("Dropped=%d want %d", r.Dropped(), want)
+	}
+	if r.Len() != capacity {
+		t.Fatalf("Len=%d", r.Len())
+	}
+	ev := r.Events()
+	for i, e := range ev {
+		if e.A != uint32(total-capacity+1+i) {
+			t.Fatalf("after %d wraps events %v not chronological", total/capacity, ev)
+		}
+		if i > 0 && ev[i-1].Time >= e.Time {
+			t.Fatalf("times out of order: %v", ev)
+		}
+	}
+}
+
 // Property: the ring retains exactly the last min(n, cap) events, in
 // order.
 func TestPropertyRingRetention(t *testing.T) {

@@ -113,6 +113,14 @@ type Config struct {
 	// sched.DefaultQuantum.
 	Quantum uint64
 
+	// DisableFastPath turns off the simulator fast paths (software TLB,
+	// decoded-instruction cache, run-to-next-event batching, page-run
+	// IPC copies) and uses the reference per-instruction interpreter
+	// loop. Results are bit-identical either way — the equivalence tests
+	// compare both — so this exists only for that comparison and for
+	// debugging the fast paths themselves.
+	DisableFastPath bool
+
 	// TraceSyscalls, when set, receives one line per syscall completion
 	// (debugging aid).
 	TraceSyscalls func(line string)

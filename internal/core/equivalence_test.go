@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -68,8 +69,9 @@ func genThread(b *prog.Builder, rng *rand.Rand, label string, area uint32, actio
 }
 
 // runSeed builds the seeded two-thread program on cfg and returns the
-// final observable memory.
-func runSeed(t *testing.T, cfg core.Config, seed int64) []byte {
+// final observable memory and the kernel (for Stats / virtual-time
+// comparison).
+func runSeed(t *testing.T, cfg core.Config, seed int64) ([]byte, *core.Kernel) {
 	t.Helper()
 	e := newEnv(t, cfg)
 	bindIPC(t, e.k, e.s, e.s)
@@ -109,7 +111,7 @@ func runSeed(t *testing.T, cfg core.Config, seed int64) []byte {
 		}
 		out = append(out, m...)
 	}
-	return out
+	return out, e.k
 }
 
 func TestModelEquivalenceFuzz(t *testing.T) {
@@ -123,13 +125,47 @@ func TestModelEquivalenceFuzz(t *testing.T) {
 			var want []byte
 			var wantCfg string
 			for _, cfg := range core.Configurations() {
-				got := runSeed(t, cfg, seed)
+				got, _ := runSeed(t, cfg, seed)
 				if want == nil {
 					want, wantCfg = got, cfg.Name()
 					continue
 				}
 				if !bytes.Equal(got, want) {
 					t.Fatalf("%s result differs from %s (seed %d)", cfg.Name(), wantCfg, seed)
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathEquivalence pins the tentpole invariant: the simulator fast
+// paths (software TLB, decoded-instruction cache, run-to-next-event
+// batching, page-run IPC copies) are invisible to virtual time. Every
+// configuration must produce bit-identical observable memory, Stats, and
+// final clock with the caches on and off.
+func TestFastPathEquivalence(t *testing.T) {
+	seeds := []int64{1, 42, 31337}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, cfg := range core.Configurations() {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			for _, seed := range seeds {
+				fastMem, fastK := runSeed(t, cfg, seed)
+				slow := cfg
+				slow.DisableFastPath = true
+				slowMem, slowK := runSeed(t, slow, seed)
+				if !bytes.Equal(fastMem, slowMem) {
+					t.Fatalf("seed %d: observable memory differs with fast paths on vs off", seed)
+				}
+				if fastK.Clock.Now() != slowK.Clock.Now() {
+					t.Fatalf("seed %d: virtual time differs: fast=%d slow=%d",
+						seed, fastK.Clock.Now(), slowK.Clock.Now())
+				}
+				if !reflect.DeepEqual(fastK.Stats, slowK.Stats) {
+					t.Fatalf("seed %d: Stats differ with fast paths on vs off:\nfast: %+v\nslow: %+v",
+						seed, fastK.Stats, slowK.Stats)
 				}
 			}
 		})

@@ -226,6 +226,39 @@ func (k *Kernel) armSliceTimer() {
 // on the thread's own kernel-stack context and blocking parks in place, so
 // it returns only when the thread dies.
 
+// maxUserBatch bounds one StepN batch so the execution loop periodically
+// regains control even if no timer is pending (it always is: the slice
+// timer stays armed while a thread runs).
+const maxUserBatch = 1 << 20
+
+// userBudget returns how many cycles of user code may run before anything
+// observable can happen: the distance to the earliest timer deadline and
+// to the RunFor stop point. Executing a batch of instructions whose cycle
+// total first crosses this budget is indistinguishable from stepping one
+// instruction at a time — no timer can fire strictly inside the batch, so
+// the per-instruction resched checks hoist out of the hot loop.
+func (k *Kernel) userBudget() uint64 {
+	now := k.Clock.Now()
+	budget := uint64(maxUserBatch)
+	if d, ok := k.Clock.NextDeadline(); ok {
+		if d <= now {
+			return 1 // overdue timer fires on the next charge
+		}
+		if d-now < budget {
+			budget = d - now
+		}
+	}
+	if k.stopAt != 0 {
+		if k.stopAt <= now {
+			return 1
+		}
+		if k.stopAt-now < budget {
+			budget = k.stopAt - now
+		}
+	}
+	return budget
+}
+
 func (k *Kernel) runThread(t *obj.Thread) {
 	// fromUser tracks whether a user-mode instruction has executed since
 	// the thread was scheduled. A syscall trap taken without one is a
@@ -248,7 +281,23 @@ func (k *Kernel) runThread(t *obj.Thread) {
 			}
 			continue
 		}
-		cycles, trap := cpu.Step(&t.Regs, t.Space.AS)
+		var cycles, retired uint64
+		var trap cpu.Trap
+		if k.fastExec {
+			// Run to the next event. A pending resched request must be
+			// observed at the very next instruction boundary, exactly as
+			// the per-instruction loop would.
+			budget := uint64(1)
+			if !k.needResched {
+				budget = k.userBudget()
+			}
+			cycles, retired, trap = cpu.StepN(&t.Regs, t.Space.AS, budget)
+		} else {
+			cycles, trap = cpu.Step(&t.Regs, t.Space.AS)
+			if trap.Kind == cpu.TrapNone {
+				retired = 1
+			}
+		}
 		k.chargeUser(cycles)
 		if t.State != obj.ThRunning {
 			return
@@ -258,9 +307,12 @@ func (k *Kernel) runThread(t *obj.Thread) {
 				return
 			}
 		}
+		if retired > 0 {
+			fromUser = true
+		}
 		switch trap.Kind {
 		case cpu.TrapNone:
-			fromUser = true
+			// Batch budget exhausted at an instruction boundary.
 		case cpu.TrapSyscall:
 			if !k.doSyscall(t, trap.Sys, fromUser) {
 				return
@@ -545,12 +597,9 @@ func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
 // a server waiting on the pager's portset.
 func (k *Kernel) queueFault(reg *obj.Region, port *obj.Port, off uint32) {
 	k.ChargeKernel(CycFaultDeliver)
-	for _, o := range reg.PendingFaults {
-		if o == off {
-			return // already queued
-		}
+	if !reg.QueuePendingFault(off) {
+		return // already queued
 	}
-	reg.PendingFaults = append(reg.PendingFaults, off)
 	if k.Metrics != nil {
 		k.Metrics.PagerNotices.Inc()
 	}

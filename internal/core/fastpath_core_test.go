@@ -1,0 +1,138 @@
+package core_test
+
+// Core-level checks for the simulator fast paths: the page-run IPC copy
+// (CopyWords via DirectWindow) must preserve exact word-granularity
+// fault-out and roll-forward, and must observe fresh translations after a
+// pager populates the faulted page.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/sys"
+)
+
+// Extra handle slots for the pager's private port/portset.
+const (
+	pgPortVA = core.KObjBase + 0x410
+	pgPsVA   = core.KObjBase + 0x414
+)
+
+// TestIPCCopyFaultsIntoPagerBackedBuffer: the client streams four words
+// into a server receive buffer that straddles two untouched pages of a
+// pager-backed region. The bulk copy must fault out at the exact faulting
+// word, queue the fault for the pager, and — after mem_allocate populates
+// the page — restart with a fresh translation (the populated frame, not a
+// stale window). Two pages means the sequence happens twice per transfer.
+func TestIPCCopyFaultsIntoPagerBackedBuffer(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, cfg core.Config) {
+		k := core.New(cfg)
+		sSrv := k.NewSpace()
+		sCli := k.NewSpace()
+		bindIPC(t, k, sSrv, sCli)
+
+		mkData := func(s *obj.Space) {
+			r, err := k.NewBoundRegion(s, kernelDataHandle(), dataSize, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := k.MapInto(s, r, dataBase, 0, dataSize, mmu.PermRW); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mkData(sSrv)
+		mkData(sCli)
+
+		// The pager's own channel, separate from the IPC service port.
+		po, _ := obj.New(sys.ObjPort)
+		pso, _ := obj.New(sys.ObjPortset)
+		pgPort := po.(*obj.Port)
+		pgPs := pso.(*obj.Portset)
+		if err := k.Bind(sSrv, pgPortVA, pgPort); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Bind(sSrv, pgPsVA, pgPs); err != nil {
+			t.Fatal(err)
+		}
+		pgPs.AddPort(pgPort)
+
+		// A pager-backed region whose pages start absent.
+		const pBase = 0x0100_0000
+		reg, err := k.NewBoundRegion(sSrv, regVA, 8*mem.PageSize, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.AttachPager(reg, pgPort)
+		if _, err := k.MapInto(sSrv, reg, pBase, 0, 8*mem.PageSize, mmu.PermRW); err != nil {
+			t.Fatal(err)
+		}
+
+		// Receive buffer straddling the first two (absent) pages.
+		const rbuf = pBase + mem.PageSize - 8
+
+		srv := prog.New(codeBase)
+		srv.IPCWaitReceive(rbuf, 4, psVA).
+			Movi(4, rbuf).Movi(6, dataBase)
+		for i := uint32(0); i < 4; i++ {
+			srv.Ld(5, 4, i*4).St(6, i*4, 5)
+		}
+		srv.Halt()
+
+		const fmBuf = dataBase + 0x2000
+		pager := prog.New(codeBase + 0x8000)
+		pager.Label("loop").
+			IPCWaitReceive(fmBuf, 2, pgPsVA).
+			Movi(1, regVA).
+			Movi(4, fmBuf).Ld(2, 4, 0).
+			Movi(3, 1).
+			Syscall(sys.NMemAllocate).
+			Jmp("loop")
+
+		const cliBuf = dataBase + 0x1000
+		cli := prog.New(codeBase)
+		cli.Movi(4, cliBuf)
+		for i, v := range []uint32{0x11, 0x22, 0x33, 0x44} {
+			cli.Movi(5, v).St(4, uint32(i*4), 5)
+		}
+		cli.IPCClientConnectSend(cliBuf, 4, refVA).Halt()
+
+		if _, err := k.LoadImage(sSrv, pager.Base(), pager.MustAssemble()); err != nil {
+			t.Fatal(err)
+		}
+		pt := k.NewThread(sSrv, 15)
+		pt.Regs.PC = pager.Base()
+		k.StartThread(pt)
+		srvTh, err := k.SpawnProgram(sSrv, codeBase, srv.MustAssemble(), 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cliTh, err := k.SpawnProgram(sCli, codeBase, cli.MustAssemble(), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		k.RunFor(400_000_000)
+		if !cliTh.Exited || !srvTh.Exited {
+			t.Fatalf("client exited=%v server exited=%v (srv pc=%#x state=%v)",
+				cliTh.Exited, srvTh.Exited, srvTh.Regs.PC, srvTh.State)
+		}
+		got, err := k.ReadMem(sSrv, dataBase, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range []byte{0x11, 0x22, 0x33, 0x44} {
+			if got[i*4] != want {
+				t.Fatalf("received word %d = %#x, want %#x", i, got[i*4], want)
+			}
+		}
+		hard := k.Stats.FaultCount[core.FaultKey{Class: mmu.FaultHard, Side: core.FaultSame}] +
+			k.Stats.FaultCount[core.FaultKey{Class: mmu.FaultHard, Side: core.FaultCross}]
+		if hard < 2 {
+			t.Fatalf("hard faults = %d, want >= 2 (one per straddled page)", hard)
+		}
+	})
+}

@@ -66,7 +66,7 @@ func (k *Kernel) DeliverFault(t *obj.Thread, p *obj.Port) (bool, sys.Errno, sys.
 	if kerr := k.StoreUser32(t, t.Space, t.Regs.R[1]+4, ipc.FaultMsgMagic); kerr != sys.KOK {
 		return true, 0, kerr
 	}
-	reg.PendingFaults = reg.PendingFaults[1:]
+	reg.PopPendingFault()
 	t.Regs.R[1] += ipc.FaultMsgWords * 4
 	t.Regs.R[2] -= ipc.FaultMsgWords
 	k.CommitProgress(t)

@@ -130,6 +130,10 @@ type Kernel struct {
 	// one per CPU in the interrupt model, one per live thread in the
 	// process model.
 	stacksInUse int
+
+	// fastExec selects the batched StepN execution loop (see
+	// Config.DisableFastPath).
+	fastExec bool
 }
 
 // New creates a kernel with the given configuration. It panics on an
@@ -152,6 +156,7 @@ func New(cfg Config) *Kernel {
 	if cfg.Model == ModelInterrupt {
 		k.stacksInUse = 1 // one kernel stack per (single simulated) CPU
 	}
+	k.fastExec = !cfg.DisableFastPath
 	k.registerHandlers()
 	return k
 }
@@ -175,6 +180,9 @@ func (k *Kernel) NewSpace() *obj.Space {
 
 func (k *Kernel) newSpaceInternal() *obj.Space {
 	s := obj.NewSpace(mmu.NewAddrSpace(k.Alloc))
+	if k.cfg.DisableFastPath {
+		s.AS.SetFastPaths(false)
+	}
 	// Reserved handle window: eagerly-mapped demand-zero pages.
 	r := mmu.NewRegion(KObjPages*mem.PageSize, true)
 	m := &mmu.Mapping{Region: r, Base: KObjBase, Size: r.Size, Perm: mmu.PermRW}

@@ -357,12 +357,7 @@ func (k *Kernel) sysMemAllocate(t *obj.Thread) sys.KErr {
 		k.ChargeKernel(40) // frame grant bookkeeping
 		reg.R.Populate(po, f)
 		// Clear any pending pager notification for this page.
-		for j, pf := range reg.PendingFaults {
-			if pf == po {
-				reg.PendingFaults = append(reg.PendingFaults[:j], reg.PendingFaults[j+1:]...)
-				break
-			}
-		}
+		reg.ClearPendingFault(po)
 	}
 	k.wakeAll(&reg.FaultWaiters)
 	k.Return(t, sys.EOK)
@@ -392,23 +387,10 @@ func (k *Kernel) sysMemFree(t *obj.Thread) sys.KErr {
 	}
 	for i := uint32(0); i < n; i++ {
 		po := off + i*mem.PageSize
+		// Evict flushes stale translations (PTE, TLB, decoded pages) in
+		// every importing space through the region's watcher list.
 		if f := reg.R.Evict(po); f != nil {
 			k.Alloc.Free(f)
-		}
-	}
-	// Flush translations of the affected window wherever it is mapped.
-	for _, s := range k.spaces {
-		for _, m := range s.AS.Mappings() {
-			if m.Region != reg.R {
-				continue
-			}
-			lo, hi := m.RegionOff, m.RegionOff+m.Size
-			fo, fhi := off, off+n*mem.PageSize
-			if fo < hi && lo < fhi {
-				start := max32(fo, lo)
-				end := min32(fhi, hi)
-				s.AS.FlushRange(m.Base+(start-lo), end-start)
-			}
 		}
 	}
 	k.Return(t, sys.EOK)

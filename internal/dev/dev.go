@@ -205,6 +205,7 @@ func (d *BlockDevice) dmaWrite(off uint32, data []byte) error {
 		}
 		inPage := int(off) + i - int(po)
 		n := copy(f.Data[inPage:], data[i:])
+		f.Bump() // direct write: invalidate derived decodes
 		i += n
 	}
 	return nil

@@ -23,10 +23,21 @@ var ErrNoMemory = errors.New("mem: out of physical memory")
 
 // Frame is one physical page frame. The Data slice is the frame's contents;
 // it is always exactly PageSize bytes.
+//
+// Gen is the frame's store-generation counter: every writer of Data must
+// bump it (the MMU store paths do; DMA engines and other host-side writers
+// call Bump). Derived caches of frame *contents* — the decoded-instruction
+// cache — validate against Gen, so a stale decode can never be executed.
+// Gen is simulator bookkeeping only and never feeds virtual time.
 type Frame struct {
 	PFN  uint32 // physical frame number, unique per allocator
+	Gen  uint64 // store generation; bumped on every write to Data
 	Data []byte
 }
+
+// Bump invalidates content caches derived from this frame. Writers that
+// mutate Data directly (rather than through the MMU) must call it.
+func (f *Frame) Bump() { f.Gen++ }
 
 // Allocator hands out page frames from a fixed-size simulated physical
 // memory, modelling the 64 MB machine of the paper's evaluation by default.
@@ -59,6 +70,7 @@ func (a *Allocator) Alloc() (*Frame, error) {
 		a.free[n-1] = nil
 		a.free = a.free[:n-1]
 		clear(f.Data)
+		f.Bump() // recycled frame: contents changed, derived decodes are stale
 		a.inUse++
 		if a.inUse > a.peak {
 			a.peak = a.inUse

@@ -52,16 +52,11 @@ func (p Perm) String() string {
 	return string(s[:])
 }
 
-func needs(acc cpu.Access) Perm {
-	switch acc {
-	case cpu.Write:
-		return PermWrite
-	case cpu.Exec:
-		return PermExec
-	default:
-		return PermRead
-	}
-}
+// accPerm maps an access class to the protection bit it needs; indexing a
+// table is cheaper than a switch on the translation fast path.
+var accPerm = [3]Perm{cpu.Read: PermRead, cpu.Write: PermWrite, cpu.Exec: PermExec}
+
+func needs(acc cpu.Access) Perm { return accPerm[acc] }
 
 // Region is an exportable range of memory (Fluke's Region object state).
 // Pages are backed lazily: a page is either present (has a frame), demand-
@@ -74,6 +69,13 @@ type Region struct {
 	Pager      any    // opaque pager identity (a kernel Port); nil if none
 
 	frames []*mem.Frame
+
+	// watchers are the address spaces currently importing this region, one
+	// entry per installed mapping. PTEs (and TLB entries) are pure caches
+	// of the Mapping/Region state, so Populate and Evict flush the derived
+	// translations of the affected page through this list — no space can
+	// keep a translation to a replaced frame.
+	watchers []*AddrSpace
 }
 
 // NewRegion creates a region of size bytes (rounded up to pages).
@@ -99,24 +101,57 @@ func (r *Region) FrameAt(off uint32) *mem.Frame {
 
 // Populate installs a frame for the page containing offset off, replacing
 // any previous frame (which is returned so the caller can free it).
+// Derived translations of the page are flushed in every importing space.
 func (r *Region) Populate(off uint32, f *mem.Frame) *mem.Frame {
 	if off >= r.Size {
 		panic(fmt.Sprintf("mmu: Populate offset %#x beyond region size %#x", off, r.Size))
 	}
 	old := r.frames[off/mem.PageSize]
 	r.frames[off/mem.PageSize] = f
+	if old != f {
+		r.flushDerived(mem.PageTrunc(off))
+	}
 	return old
 }
 
 // Evict removes and returns the frame backing the page at off, if any.
 // Subsequent touches fault again (soft if demand-zero, hard if pager-backed).
+// Derived translations of the page are flushed in every importing space.
 func (r *Region) Evict(off uint32) *mem.Frame {
 	if off >= r.Size {
 		return nil
 	}
 	f := r.frames[off/mem.PageSize]
 	r.frames[off/mem.PageSize] = nil
+	if f != nil {
+		r.flushDerived(mem.PageTrunc(off))
+	}
 	return f
+}
+
+// flushDerived drops cached translations of the region page at off from
+// every space importing it.
+func (r *Region) flushDerived(off uint32) {
+	for _, as := range r.watchers {
+		for _, m := range as.mappings {
+			if m.Region == r && off >= m.RegionOff && off-m.RegionOff < m.Size {
+				as.FlushPage(m.Base + (off - m.RegionOff))
+			}
+		}
+	}
+}
+
+func (r *Region) addWatcher(as *AddrSpace) {
+	r.watchers = append(r.watchers, as)
+}
+
+func (r *Region) dropWatcher(as *AddrSpace) {
+	for i, w := range r.watchers {
+		if w == as {
+			r.watchers = append(r.watchers[:i], r.watchers[i+1:]...)
+			return
+		}
+	}
 }
 
 // PresentPages counts populated pages.
@@ -155,6 +190,34 @@ type pte struct {
 	perm  Perm
 }
 
+// The software TLB: a small direct-mapped cache consulted before the pt
+// map on every access, exactly as hardware TLBs cache hardware page
+// tables. Entries are a strict subset of pt (filled only from pt hits),
+// and every path that drops a PTE drops the matching TLB slot, so the TLB
+// can never hold a translation the page table lacks. A zeroed slot has
+// perm == 0 and therefore never hits.
+const (
+	tlbBits = 8
+	tlbSize = 1 << tlbBits
+	tlbMask = tlbSize - 1
+)
+
+type tlbEntry struct {
+	vpn   uint32
+	perm  Perm // 0 = invalid slot
+	frame *mem.Frame
+}
+
+// icSize is the number of direct-mapped decoded-instruction page slots
+// per address space (see DecodedPageFor).
+const icSize = 64
+
+type icEntry struct {
+	vpn   uint32
+	frame *mem.Frame
+	page  *cpu.DecodedPage
+}
+
 // FaultClass classifies a page fault (paper Table 3 terminology).
 type FaultClass uint8
 
@@ -189,6 +252,13 @@ type AddrSpace struct {
 	pt       map[uint32]pte // vpn -> pte
 	mappings []*Mapping
 	io       []ioWindow // device register windows (see mmio.go)
+
+	// tlb caches recent pt entries (see tlbEntry); icache caches decoded
+	// instructions per executable page. Both are invisible to virtual
+	// time: they change only wall-clock cost, never cycles or Stats.
+	tlb    [tlbSize]tlbEntry
+	icache [icSize]icEntry
+	noFast bool // caches disabled (equivalence testing)
 
 	// Faults counts translation faults taken through this space
 	// (diagnostics and tests).
@@ -226,6 +296,7 @@ func (as *AddrSpace) Map(m *Mapping) error {
 		}
 	}
 	as.mappings = append(as.mappings, m)
+	m.Region.addWatcher(as)
 	return nil
 }
 
@@ -235,6 +306,7 @@ func (as *AddrSpace) Unmap(m *Mapping) bool {
 	for i, ex := range as.mappings {
 		if ex == m {
 			as.mappings = append(as.mappings[:i], as.mappings[i+1:]...)
+			m.Region.dropWatcher(as)
 			as.FlushRange(m.Base, m.Size)
 			return true
 		}
@@ -262,21 +334,80 @@ func (as *AddrSpace) SetProtection(m *Mapping, p Perm) {
 	as.FlushRange(m.Base, m.Size)
 }
 
-// FlushRange drops cached PTEs covering [base, base+size).
+// FlushRange drops cached PTEs (and TLB/icache entries) covering
+// [base, base+size). When the range spans more pages than the page table
+// holds, it iterates the installed PTEs instead of every vpn in the range,
+// so flushing a huge sparsely-mapped window stays cheap.
 func (as *AddrSpace) FlushRange(base, size uint32) {
+	if size == 0 {
+		return
+	}
 	first := mem.VPN(base)
 	last := mem.VPN(base + size - 1)
-	for vpn := first; vpn <= last; vpn++ {
-		delete(as.pt, vpn)
-		if vpn == last { // guard wrap-around
-			break
+	pages := uint64(last-first) + 1
+	if pages > uint64(len(as.pt)) {
+		for vpn := range as.pt {
+			if vpn >= first && vpn <= last {
+				delete(as.pt, vpn)
+			}
+		}
+	} else {
+		for vpn := first; vpn <= last; vpn++ {
+			delete(as.pt, vpn)
+			if vpn == last { // guard wrap-around
+				break
+			}
+		}
+	}
+	if pages >= tlbSize {
+		clear(as.tlb[:])
+	} else {
+		for vpn := first; vpn <= last; vpn++ {
+			as.flushSlot(vpn)
+			if vpn == last { // guard wrap-around
+				break
+			}
+		}
+	}
+	if pages >= icSize {
+		clear(as.icache[:])
+	} else {
+		for vpn := first; vpn <= last; vpn++ {
+			if e := &as.icache[vpn%icSize]; e.page != nil && e.vpn == vpn {
+				*e = icEntry{}
+			}
+			if vpn == last { // guard wrap-around
+				break
+			}
 		}
 	}
 }
 
-// FlushPage drops the cached PTE for the page containing va.
+// flushSlot invalidates the TLB slot for vpn if it holds that vpn.
+func (as *AddrSpace) flushSlot(vpn uint32) {
+	if e := &as.tlb[vpn&tlbMask]; e.perm != 0 && e.vpn == vpn {
+		*e = tlbEntry{}
+	}
+}
+
+// FlushPage drops the cached PTE (and TLB/icache entries) for the page
+// containing va.
 func (as *AddrSpace) FlushPage(va uint32) {
-	delete(as.pt, mem.VPN(va))
+	vpn := mem.VPN(va)
+	delete(as.pt, vpn)
+	as.flushSlot(vpn)
+	if e := &as.icache[vpn%icSize]; e.page != nil && e.vpn == vpn {
+		*e = icEntry{}
+	}
+}
+
+// SetFastPaths enables or disables the TLB, decoded-instruction cache and
+// direct-window copy paths. Disabling (equivalence testing) also drops any
+// cached state; results must be bit-identical either way.
+func (as *AddrSpace) SetFastPaths(on bool) {
+	as.noFast = !on
+	clear(as.tlb[:])
+	clear(as.icache[:])
 }
 
 // Present reports whether the page containing va has a PTE granting acc.
@@ -326,18 +457,40 @@ func (as *AddrSpace) ResolveSoft(va uint32, acc cpu.Access) error {
 		}
 		m.Region.Populate(off, f)
 	}
-	as.pt[mem.VPN(va)] = pte{frame: f, perm: m.Perm}
+	vpn := mem.VPN(va)
+	as.flushSlot(vpn) // pt[vpn] changes below; keep TLB ⊆ pt
+	as.pt[vpn] = pte{frame: f, perm: m.Perm}
 	return nil
 }
 
-// translate returns the frame and in-page offset for va, or a fault.
+// translate returns the frame and in-page offset for va, or a fault. A
+// successful translation refills the TLB slot for the page (unless fast
+// paths are disabled), exactly as a hardware page-table walk would.
 func (as *AddrSpace) translate(va uint32, acc cpu.Access) (*mem.Frame, uint32, *cpu.Fault) {
-	e, ok := as.pt[mem.VPN(va)]
+	vpn := mem.VPN(va)
+	e, ok := as.pt[vpn]
 	if !ok || e.perm&needs(acc) == 0 {
 		as.Faults++
 		return nil, 0, &cpu.Fault{VA: va, Access: acc}
 	}
+	if !as.noFast {
+		as.tlb[vpn&tlbMask] = tlbEntry{vpn: vpn, perm: e.perm, frame: e.frame}
+	}
 	return e.frame, va & mem.PageMask, nil
+}
+
+// probe is a non-faulting, non-filling translate: it checks the TLB then
+// the pt map without counting Faults or changing any cache state. The fast
+// paths use it so their translation probes are invisible to diagnostics.
+func (as *AddrSpace) probe(va uint32, acc cpu.Access) *mem.Frame {
+	vpn := mem.VPN(va)
+	if e := &as.tlb[vpn&tlbMask]; e.vpn == vpn && e.perm&needs(acc) != 0 {
+		return e.frame
+	}
+	if e, ok := as.pt[vpn]; ok && e.perm&needs(acc) != 0 {
+		return e.frame
+	}
+	return nil
 }
 
 // Load32 implements cpu.Memory.
@@ -350,6 +503,11 @@ func (as *AddrSpace) Load32(va uint32) (uint32, *cpu.Fault) {
 	if va%4 != 0 {
 		as.Faults++
 		return 0, &cpu.Fault{VA: va, Access: cpu.Read}
+	}
+	vpn := mem.VPN(va)
+	if e := &as.tlb[vpn&tlbMask]; e.vpn == vpn && e.perm&PermRead != 0 {
+		d := e.frame.Data[va&mem.PageMask:]
+		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
 	}
 	f, off, flt := as.translate(va, cpu.Read)
 	if flt != nil {
@@ -370,10 +528,18 @@ func (as *AddrSpace) Store32(va uint32, v uint32) *cpu.Fault {
 		as.Faults++
 		return &cpu.Fault{VA: va, Access: cpu.Write}
 	}
+	vpn := mem.VPN(va)
+	if e := &as.tlb[vpn&tlbMask]; e.vpn == vpn && e.perm&PermWrite != 0 {
+		e.frame.Gen++
+		d := e.frame.Data[va&mem.PageMask:]
+		d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		return nil
+	}
 	f, off, flt := as.translate(va, cpu.Write)
 	if flt != nil {
 		return flt
 	}
+	f.Gen++
 	d := f.Data[off:]
 	d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 	return nil
@@ -381,6 +547,10 @@ func (as *AddrSpace) Store32(va uint32, v uint32) *cpu.Fault {
 
 // Load8 implements cpu.Memory.
 func (as *AddrSpace) Load8(va uint32) (byte, *cpu.Fault) {
+	vpn := mem.VPN(va)
+	if e := &as.tlb[vpn&tlbMask]; e.vpn == vpn && e.perm&PermRead != 0 {
+		return e.frame.Data[va&mem.PageMask], nil
+	}
 	f, off, flt := as.translate(va, cpu.Read)
 	if flt != nil {
 		return 0, flt
@@ -390,10 +560,17 @@ func (as *AddrSpace) Load8(va uint32) (byte, *cpu.Fault) {
 
 // Store8 implements cpu.Memory.
 func (as *AddrSpace) Store8(va uint32, v byte) *cpu.Fault {
+	vpn := mem.VPN(va)
+	if e := &as.tlb[vpn&tlbMask]; e.vpn == vpn && e.perm&PermWrite != 0 {
+		e.frame.Gen++
+		e.frame.Data[va&mem.PageMask] = v
+		return nil
+	}
 	f, off, flt := as.translate(va, cpu.Write)
 	if flt != nil {
 		return flt
 	}
+	f.Gen++
 	f.Data[off] = v
 	return nil
 }
@@ -404,12 +581,68 @@ func (as *AddrSpace) Fetch32(va uint32) (uint32, *cpu.Fault) {
 		as.Faults++
 		return 0, &cpu.Fault{VA: va, Access: cpu.Exec}
 	}
+	vpn := mem.VPN(va)
+	if e := &as.tlb[vpn&tlbMask]; e.vpn == vpn && e.perm&PermExec != 0 {
+		d := e.frame.Data[va&mem.PageMask:]
+		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+	}
 	f, off, flt := as.translate(va, cpu.Exec)
 	if flt != nil {
 		return 0, flt
 	}
 	d := f.Data[off:]
 	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+}
+
+// DecodedPageFor returns the decoded-instruction cache page for the page
+// containing pc, or nil when the fast path cannot be used (caches
+// disabled, MMIO windows present, or no executable translation installed
+// yet). It is a pure probe: it never counts Faults and never installs
+// translations, so it is invisible to diagnostics and virtual time.
+func (as *AddrSpace) DecodedPageFor(pc uint32) *cpu.DecodedPage {
+	if as.noFast || len(as.io) > 0 {
+		return nil
+	}
+	f := as.probe(pc, cpu.Exec)
+	if f == nil {
+		return nil
+	}
+	vpn := mem.VPN(pc)
+	e := &as.icache[vpn%icSize]
+	if e.page == nil || e.vpn != vpn || e.frame != f || e.page.Stale() {
+		if e.page == nil {
+			e.page = new(cpu.DecodedPage)
+		}
+		e.vpn, e.frame = vpn, f
+		e.page.Reset(&f.Gen)
+	}
+	return e.page
+}
+
+// DirectWindow returns a byte slice aliasing guest memory at va, usable
+// for up to max bytes but never past the end of va's page, or nil when the
+// access must take the slow path (fast paths disabled, MMIO windows
+// present, no translation granting acc, or max == 0). A write window bumps
+// the frame's store generation so decoded-instruction caches stay
+// coherent. Callers must re-request the window after anything that can
+// change translations (faults, scheduling).
+func (as *AddrSpace) DirectWindow(va uint32, acc cpu.Access, max uint32) []byte {
+	if as.noFast || len(as.io) > 0 || max == 0 {
+		return nil
+	}
+	f := as.probe(va, acc)
+	if f == nil {
+		return nil
+	}
+	off := va & mem.PageMask
+	n := uint32(mem.PageSize) - off
+	if n > max {
+		n = max
+	}
+	if acc == cpu.Write {
+		f.Bump()
+	}
+	return f.Data[off : off+n]
 }
 
 var _ cpu.Memory = (*AddrSpace)(nil)

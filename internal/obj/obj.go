@@ -286,6 +286,52 @@ type Region struct {
 	// PendingFaults are fault notifications queued for the pager, one
 	// per (page) offset, delivered over the pager port.
 	PendingFaults []uint32
+	// pendingSet mirrors PendingFaults for O(1) duplicate suppression.
+	// It is built lazily by QueuePendingFault so code (and tests) that
+	// manipulate PendingFaults directly stay correct.
+	pendingSet map[uint32]struct{}
+}
+
+// QueuePendingFault appends off to the pending-fault queue unless an
+// identical notification is already queued; it reports whether the
+// notification was newly queued.
+func (r *Region) QueuePendingFault(off uint32) bool {
+	if r.pendingSet == nil {
+		r.pendingSet = make(map[uint32]struct{}, len(r.PendingFaults)+1)
+		for _, o := range r.PendingFaults {
+			r.pendingSet[o] = struct{}{}
+		}
+	}
+	if _, dup := r.pendingSet[off]; dup {
+		return false
+	}
+	r.pendingSet[off] = struct{}{}
+	r.PendingFaults = append(r.PendingFaults, off)
+	return true
+}
+
+// PopPendingFault removes and returns the oldest pending fault offset.
+// The queue must be non-empty.
+func (r *Region) PopPendingFault() uint32 {
+	off := r.PendingFaults[0]
+	r.PendingFaults = r.PendingFaults[1:]
+	if r.pendingSet != nil {
+		delete(r.pendingSet, off)
+	}
+	return off
+}
+
+// ClearPendingFault removes the queued notification for off, if any.
+func (r *Region) ClearPendingFault(off uint32) {
+	for j, pf := range r.PendingFaults {
+		if pf == off {
+			r.PendingFaults = append(r.PendingFaults[:j], r.PendingFaults[j+1:]...)
+			if r.pendingSet != nil {
+				delete(r.pendingSet, off)
+			}
+			return
+		}
+	}
 }
 
 // Mapping wraps an imported window of a Region in a destination space.

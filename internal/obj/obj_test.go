@@ -250,3 +250,54 @@ func TestPropertyWaitQueueConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPendingFaultDedup: the pending-fault queue must suppress duplicate
+// offsets in O(1), stay FIFO, and keep the dedup set consistent through
+// Pop/Clear — including when PendingFaults was seeded directly (the lazy
+// set build).
+func TestPendingFaultDedup(t *testing.T) {
+	r := &Region{}
+	if !r.QueuePendingFault(0) {
+		t.Fatal("first queue of offset 0 rejected")
+	}
+	if r.QueuePendingFault(0) {
+		t.Fatal("duplicate offset 0 accepted")
+	}
+	if !r.QueuePendingFault(mem.PageSize) || !r.QueuePendingFault(2*mem.PageSize) {
+		t.Fatal("distinct offsets rejected")
+	}
+	if len(r.PendingFaults) != 3 {
+		t.Fatalf("queue length = %d, want 3", len(r.PendingFaults))
+	}
+	if off := r.PopPendingFault(); off != 0 {
+		t.Fatalf("Pop = %#x, want 0 (FIFO)", off)
+	}
+	// After Pop the offset may be queued again.
+	if !r.QueuePendingFault(0) {
+		t.Fatal("re-queue after Pop rejected")
+	}
+	r.ClearPendingFault(mem.PageSize)
+	if r.QueuePendingFault(2 * mem.PageSize) {
+		t.Fatal("still-queued offset accepted after unrelated Clear")
+	}
+	if !r.QueuePendingFault(mem.PageSize) {
+		t.Fatal("re-queue after Clear rejected")
+	}
+	want := []uint32{2 * mem.PageSize, 0, mem.PageSize}
+	for i, w := range want {
+		if off := r.PopPendingFault(); off != w {
+			t.Fatalf("Pop #%d = %#x, want %#x", i, off, w)
+		}
+	}
+
+	// Lazy build: code that seeded PendingFaults directly (older paths,
+	// tests) must still get correct dedup afterwards.
+	r2 := &Region{}
+	r2.PendingFaults = []uint32{mem.PageSize, 3 * mem.PageSize}
+	if r2.QueuePendingFault(mem.PageSize) {
+		t.Fatal("duplicate of directly-seeded offset accepted")
+	}
+	if !r2.QueuePendingFault(0) {
+		t.Fatal("fresh offset rejected after lazy build")
+	}
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Run the PR-tracked benchmark set: the interpreter hot loop, the null
+# system call (wall-clock and virtual kernel-cycles/call), and the IPC
+# round-trip under every kernel configuration.
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime   value for -benchtime (default 1s; use e.g. 5x for smoke)
+#
+# The kernel-cycles/call metric must NOT move across fast-path changes:
+# the simulator caches are required to be invisible to virtual time
+# (see ARCHITECTURE.md, "Simulator fast paths"). Only ns/op may change.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1s}"
+exec go test -run='^$' \
+    -bench='BenchmarkInterpreter$|BenchmarkNullSyscall$|BenchmarkIPCRoundTrip$' \
+    -benchtime="$BENCHTIME" .

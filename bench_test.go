@@ -156,7 +156,7 @@ func BenchmarkNullSyscall(b *testing.B) {
 					b.Fatal(err)
 				}
 				k.Run()
-				per = float64(k.Stats.KernelCycles) / 2000
+				per = float64(k.Stats().KernelCycles) / 2000
 			}
 			b.ReportMetric(per, "kernel-cycles/call")
 		})
@@ -216,6 +216,46 @@ func BenchmarkIPCRoundTrip(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// BenchmarkIPCScaling regenerates the multiprocessor scaling matrix: one
+// sub-benchmark per (CPU count, lock model) cell of the parallel-IPC-pairs
+// workload. Wall-clock ns/op measures the simulator; the paper-comparable
+// results are the attached metrics: simulated throughput (RPCs per virtual
+// millisecond), speedup over the same lock model at 1 CPU, and the lock
+// contention that explains it.
+func BenchmarkIPCScaling(b *testing.B) {
+	sc := experiments.FastScalingScale()
+	base := map[core.LockModel]float64{}
+	for _, lm := range []core.LockModel{core.LockBig, core.LockPerSubsystem} {
+		for _, n := range []int{1, 2, 4} {
+			lm, n := lm, n
+			b.Run(fmt.Sprintf("cpus=%d/%s", n, lm), func(b *testing.B) {
+				var row experiments.ScalingRow
+				for i := 0; i < b.N; i++ {
+					var err error
+					row, err = experiments.IPCScalingCell(n, lm, sc)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if n == 1 {
+					base[lm] = row.RPCsPerVirtualMS
+				}
+				b.ReportMetric(row.RPCsPerVirtualMS, "rpcs/virtual-ms")
+				if bs := base[lm]; bs > 0 {
+					b.ReportMetric(row.RPCsPerVirtualMS/bs, "speedup")
+				}
+				var contended, wait uint64
+				for _, ls := range row.Locks {
+					contended += ls.Contended
+					wait += ls.WaitCycles
+				}
+				b.ReportMetric(float64(contended), "lock-contended")
+				b.ReportMetric(float64(wait)/1000, "lock-wait-kcycles")
+			})
+		}
 	}
 }
 

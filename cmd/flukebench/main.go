@@ -1,8 +1,9 @@
 // Command flukebench regenerates the measured tables and figures of the
 // paper's evaluation: IPC restart costs (Table 3), application performance
 // across the five kernel configurations (Table 5), preemption latency
-// (Table 6), per-thread memory overhead (Table 7), and the §5.5
-// null-syscall architectural-bias microbenchmark.
+// (Table 6), per-thread memory overhead (Table 7), the §5.5 null-syscall
+// architectural-bias microbenchmark, and the multiprocessor IPC-scaling
+// matrix (CPU count x lock model).
 //
 // By default it runs everything at full scale (the paper's 16 MB memtest
 // and multi-megabyte IPC transfers); -fast selects scaled-down workloads
@@ -19,6 +20,22 @@ import (
 	"repro/internal/workload"
 )
 
+// matrix prints the configuration-matrix header for one table: which
+// execution models, preemption modes, CPU counts, and lock models the
+// experiment sweeps, so a reader can tell at a glance what each row is
+// measured against.
+func matrix(models, preempts, cpus, lockmodels string) {
+	fmt.Printf("configurations: model={%s} x preempt={%s} x cpus={%s} x lockmodel={%s}\n",
+		models, preempts, cpus, lockmodels)
+}
+
+// paperMatrix is the header for experiments that sweep the paper's five
+// uniprocessor configurations (the process model in all three preemption
+// modes, the interrupt model in the two it supports).
+func paperMatrix() {
+	matrix("process,interrupt", "none,partial,full(process only)", "1", "big")
+}
+
 func main() {
 	fast := flag.Bool("fast", false, "run scaled-down workloads")
 	t3 := flag.Bool("table3", false, "run only Table 3")
@@ -28,9 +45,10 @@ func main() {
 	nullsys := flag.Bool("nullsys", false, "run only the null-syscall microbenchmark")
 	ablate := flag.Bool("ablate", false, "run only the preemption-parameter ablations")
 	driver := flag.Bool("driver", false, "run only the driver-latency extension experiment")
+	scaling := flag.Bool("scaling", false, "run only the multiprocessor IPC-scaling matrix")
 	flag.Parse()
 
-	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *ablate || *driver
+	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *ablate || *driver || *scaling
 	show := func(sel bool) bool { return sel || !any }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "flukebench:", err)
@@ -48,6 +66,7 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
+			matrix("interrupt", "partial", "1", "big")
 			fmt.Println(experiments.Table3Render(rows))
 			fmt.Println(experiments.Table3MetricsAppendix(rows))
 		})
@@ -62,6 +81,7 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
+			paperMatrix()
 			fmt.Println(experiments.Table5Render(rows))
 			fmt.Println(experiments.Table5MetricsAppendix(rows))
 		})
@@ -76,11 +96,13 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
+			paperMatrix()
 			fmt.Println(experiments.Table6Render(rows))
 		})
 	}
 	if show(*t7) {
 		timed("Table 7", func() {
+			paperMatrix()
 			fmt.Println(experiments.Table7Render(experiments.Table7()))
 		})
 	}
@@ -90,6 +112,7 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
+			matrix("process,interrupt", "none", "1", "big")
 			fmt.Println(experiments.NullSyscallRender(p, i, delta))
 		})
 	}
@@ -99,6 +122,7 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
+			paperMatrix()
 			fmt.Println(experiments.AblationRender(rows))
 			cr, err := experiments.ContinuationRecognition()
 			if err != nil {
@@ -117,7 +141,22 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
+			paperMatrix()
 			fmt.Println(experiments.DriverLatencyRender(rows))
+		})
+	}
+	if show(*scaling) {
+		timed("IPC scaling", func() {
+			sc := experiments.DefaultScalingScale()
+			if *fast {
+				sc = experiments.FastScalingScale()
+			}
+			rows, err := experiments.IPCScaling(sc, []int{1, 2, 4})
+			if err != nil {
+				fail(err)
+			}
+			matrix("interrupt", "partial", "1,2,4", "big,persub")
+			fmt.Println(experiments.IPCScalingRender(rows))
 		})
 	}
 }

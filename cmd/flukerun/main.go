@@ -35,9 +35,19 @@ func main() {
 	topN := flag.Int("top", 10, "show the N most frequent syscalls")
 	metricsFlag := flag.Bool("metrics", false, "attach the kernel metrics registry and print its snapshot")
 	traceOut := flag.String("trace-out", "", "write the kernel trace as Perfetto/Chrome trace_event JSON to FILE")
+	cpus := flag.Int("cpus", 1, "number of simulated CPUs")
+	lockmodel := flag.String("lockmodel", "big", "kernel lock model: big | persub")
 	flag.Parse()
 
-	cfg := core.Config{}
+	cfg := core.Config{NumCPUs: *cpus}
+	switch *lockmodel {
+	case "big":
+		cfg.LockModel = core.LockBig
+	case "persub":
+		cfg.LockModel = core.LockPerSubsystem
+	default:
+		fail(fmt.Errorf("unknown lock model %q", *lockmodel))
+	}
 	switch *model {
 	case "process":
 		cfg.Model = core.ModelProcess
@@ -120,9 +130,14 @@ func main() {
 		fail(err)
 	}
 
-	fmt.Printf("workload %s on %s: %.2f virtual ms (%d cycles)\n",
-		w.Name, cfg.Name(), float64(cycles)/(clock.CyclesPerMicrosecond*1000), cycles)
-	s := &k.Stats
+	mp := ""
+	if *cpus > 1 {
+		mp = fmt.Sprintf(" (%d CPUs, %s lock)", *cpus, cfg.LockModel)
+	}
+	fmt.Printf("workload %s on %s%s: %.2f virtual ms (%d cycles)\n",
+		w.Name, cfg.Name(), mp, float64(cycles)/(clock.CyclesPerMicrosecond*1000), cycles)
+	st := k.Stats()
+	s := &st
 	fmt.Printf("  syscalls        %12d\n", s.Syscalls)
 	fmt.Printf("  restarts        %12d\n", s.Restarts)
 	fmt.Printf("  context switches%12d\n", s.ContextSwitches)
@@ -131,6 +146,15 @@ func main() {
 	fmt.Printf("  idle cycles     %12d\n", s.IdleCycles)
 	fmt.Printf("  preemptions: user %d, ipc-point %d, in-kernel %d\n",
 		s.PreemptsUser, s.PreemptsPoint, s.PreemptsKernel)
+	if *cpus > 1 {
+		fmt.Printf("  cross-CPU: ipis %d, steals %d\n", s.IPIs, s.Steals)
+		for _, ls := range k.LockStats() {
+			if ls.Acquires > 0 {
+				fmt.Printf("  lock %-5s acquires %8d contended %6d wait %10d cycles\n",
+					ls.Name, ls.Acquires, ls.Contended, ls.WaitCycles)
+			}
+		}
+	}
 	for _, cl := range []mmu.FaultClass{mmu.FaultSoft, mmu.FaultHard} {
 		for _, side := range []core.FaultSide{core.FaultSame, core.FaultCross} {
 			key := core.FaultKey{Class: cl, Side: side}

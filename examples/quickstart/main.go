@@ -82,5 +82,5 @@ func main() {
 	fmt.Printf("kernel configuration: %s\n", cfg.Name())
 	fmt.Printf("shared counter: %d (want %d)\n", counter, 2*rounds)
 	fmt.Printf("virtual time: %.2f ms, syscalls: %d, context switches: %d\n",
-		float64(k.Clock.Now())/200_000, k.Stats.Syscalls, k.Stats.ContextSwitches)
+		float64(k.Clock.Now())/200_000, k.Stats().Syscalls, k.Stats().ContextSwitches)
 }

@@ -40,6 +40,10 @@ type ThreadRecord struct {
 	OldID    uint32
 	HandleVA uint32
 	State    [core.ThreadStateWords]uint32
+	// HomeCPU is the simulated CPU the thread last ran on. Restore maps
+	// it mod the target kernel's CPU count, so an image taken on a
+	// 4-CPU kernel restores sensibly on a uniprocessor and vice versa.
+	HomeCPU int
 	// Both IPC connection halves, for intra-image relinking (peer IDs
 	// are pre-capture thread IDs).
 	CliPhase  obj.IPCPhase
@@ -151,7 +155,7 @@ func Capture(k *core.Kernel, s *obj.Space) (*Image, error) {
 				st[core.TSCtl] &^= 1 // stopped only by the capture itself
 			}
 			tr := ThreadRecord{
-				OldID: x.ID, HandleVA: va, State: st,
+				OldID: x.ID, HandleVA: va, State: st, HomeCPU: x.HomeCPU,
 				CliPhase: x.IPCClient.Phase, SrvPhase: x.IPCServer.Phase,
 			}
 			if x.IPCClient.Peer != nil {
@@ -269,6 +273,7 @@ func Restore(k2 *core.Kernel, img *Image) (*obj.Space, []*obj.Thread, error) {
 				return nil, nil, fmt.Errorf("checkpoint: rebind thread at %#x: %v", tr.HandleVA, e)
 			}
 		}
+		t.HomeCPU = tr.HomeCPU % k2.NumCPUs()
 		idMap[tr.OldID] = t
 		threads = append(threads, t)
 	}

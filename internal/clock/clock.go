@@ -36,13 +36,25 @@ type Timer struct {
 	Deadline uint64
 	Callback func(now uint64)
 
-	index int // heap index; -1 when not queued
+	owner *Clock // the clock the timer is armed on
+	index int    // heap index; -1 when not queued
 	seq   uint64
 	fired bool
 }
 
 // Fired reports whether the timer has already fired.
 func (t *Timer) Fired() bool { return t.fired }
+
+// Stop cancels the timer on whichever clock armed it — with one clock per
+// simulated CPU, the canceller no longer needs to know (or be on) the
+// owning CPU. Stopping a nil, fired, or cancelled timer is a no-op. It
+// reports whether the timer was pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.owner == nil {
+		return false
+	}
+	return t.owner.Cancel(t)
+}
 
 // Clock is the global virtual time source. It is not safe for concurrent
 // use; the simulation is single-threaded by construction (only one simulated
@@ -73,7 +85,7 @@ func (c *Clock) After(delta uint64, fn func(now uint64)) *Timer {
 // At registers a callback to fire when virtual time reaches deadline. A
 // deadline at or before the current time fires on the next Advance(0).
 func (c *Clock) At(deadline uint64, fn func(now uint64)) *Timer {
-	t := &Timer{Deadline: deadline, Callback: fn, seq: c.seq}
+	t := &Timer{Deadline: deadline, Callback: fn, owner: c, seq: c.seq}
 	c.seq++
 	heap.Push(&c.timers, t)
 	return t

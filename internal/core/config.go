@@ -72,10 +72,57 @@ func (p Preemption) String() string {
 	return "preempt?"
 }
 
+// LockModel selects the kernel's locking discipline on multiprocessor
+// configurations (NumCPUs > 1). With one CPU the two models are
+// observationally identical — no lock is ever contended — which the
+// multi-CPU equivalence tests pin bit-exactly.
+type LockModel uint8
+
+const (
+	// LockBig is a single big kernel lock acquired at kernel entry
+	// (syscall, fault, scheduler) and held for the whole kernel episode:
+	// kernel execution is serialized across CPUs.
+	LockBig LockModel = iota
+	// LockPerSubsystem uses separate scheduler, object-space, and MMU
+	// locks, held only around the matching subsystem's work; the IPC bulk
+	// copy runs with the object-space lock released.
+	LockPerSubsystem
+)
+
+func (m LockModel) String() string {
+	switch m {
+	case LockBig:
+		return "big"
+	case LockPerSubsystem:
+		return "persub"
+	}
+	return "lockmodel?"
+}
+
+// MaxCPUs bounds Config.NumCPUs.
+const MaxCPUs = 64
+
 // Config describes one kernel build configuration.
 type Config struct {
 	Model   ExecModel
 	Preempt Preemption
+
+	// NumCPUs is the number of simulated processors; 0 selects 1. The
+	// default execution stays deterministic at any count: the scheduler
+	// interleaves the CPUs serially in virtual-time order (see exec.go).
+	NumCPUs int
+
+	// LockModel selects the multiprocessor locking discipline; see the
+	// LockModel constants. Irrelevant (but valid) at NumCPUs == 1.
+	LockModel LockModel
+
+	// ParallelHost opts into real host parallelism: one goroutine per
+	// simulated CPU, kernel sections serialized under the lock-model
+	// mutexes, user instruction batches running concurrently. Requires
+	// the interrupt model (one kernel stack — one goroutine — per CPU is
+	// exactly the paper's interrupt-model shape). Execution is no longer
+	// deterministic; virtual time becomes per-CPU and skewed.
+	ParallelHost bool
 
 	// KernelStackSize is the per-stack size in bytes charged to the
 	// memory accountant: per thread in the process model, per CPU in
@@ -147,10 +194,22 @@ func (c Config) Validate() error {
 	if c.KernelStackSize < 0 {
 		return fmt.Errorf("core: negative kernel stack size")
 	}
+	if c.NumCPUs < 0 || c.NumCPUs > MaxCPUs {
+		return fmt.Errorf("core: NumCPUs %d out of range [0,%d]", c.NumCPUs, MaxCPUs)
+	}
+	if c.LockModel != LockBig && c.LockModel != LockPerSubsystem {
+		return fmt.Errorf("core: unknown lock model %d", c.LockModel)
+	}
+	if c.ParallelHost && c.Model != ModelInterrupt {
+		return fmt.Errorf("core: ParallelHost requires the interrupt model (one kernel stack per CPU)")
+	}
 	return nil
 }
 
 func (c Config) withDefaults() Config {
+	if c.NumCPUs == 0 {
+		c.NumCPUs = 1
+	}
 	if c.KernelStackSize == 0 {
 		c.KernelStackSize = DefaultKernelStackSize
 	}

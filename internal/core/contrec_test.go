@@ -41,7 +41,7 @@ func crWorkload(t *testing.T, cfg core.Config, rounds uint32) (uint32, uint64, u
 	t1 := e.spawnAt(codeBase, 10)
 	t2 := e.spawnAt(b.Addr("t2"), 10)
 	e.run(t, 2_000_000_000, t1, t2)
-	return e.word(t, ctr), e.k.Stats.ContinuationsRecognized, e.k.Stats.Syscalls
+	return e.word(t, ctr), e.k.Stats().ContinuationsRecognized, e.k.Stats().Syscalls
 }
 
 func TestContinuationRecognitionSemantics(t *testing.T) {
@@ -114,7 +114,7 @@ func TestContinuationRecognitionCondSignalChain(t *testing.T) {
 	w := e.spawn(t, b, 10)
 	s := e.spawnAt(b.Addr("sig"), 10)
 	e.run(t, 400_000_000, w, s)
-	if e.k.Stats.ContinuationsRecognized == 0 {
+	if e.k.Stats().ContinuationsRecognized == 0 {
 		t.Fatal("signal chain not recognized")
 	}
 }

@@ -344,7 +344,7 @@ func TestInterruptDeliversEINTR(t *testing.T) {
 		if got := e.word(t, dataBase); got != uint32(sys.EINTR) {
 			t.Fatalf("blocked lock errno = %v, want EINTR", sys.Errno(got))
 		}
-		if e.k.Stats.Interrupts == 0 {
+		if e.k.Stats().Interrupts == 0 {
 			t.Fatal("no interrupt recorded")
 		}
 	})
@@ -413,11 +413,11 @@ func TestSoftFaultRestartsShortSyscall(t *testing.T) {
 		if got := e.word(t, dataBase); got != uint32(sys.EOK) {
 			t.Fatalf("trylock after faulting create = %v", sys.Errno(got))
 		}
-		soft := e.k.Stats.FaultCount[core.FaultKey{Class: mmu.FaultSoft, Side: core.FaultSame}]
+		soft := e.k.Stats().FaultCount[core.FaultKey{Class: mmu.FaultSoft, Side: core.FaultSame}]
 		if soft == 0 {
 			t.Fatal("no soft fault recorded")
 		}
-		if e.k.Stats.Restarts == 0 {
+		if e.k.Stats().Restarts == 0 {
 			t.Fatal("no syscall restart recorded")
 		}
 	})

@@ -163,9 +163,9 @@ func TestFastPathEquivalence(t *testing.T) {
 					t.Fatalf("seed %d: virtual time differs: fast=%d slow=%d",
 						seed, fastK.Clock.Now(), slowK.Clock.Now())
 				}
-				if !reflect.DeepEqual(fastK.Stats, slowK.Stats) {
+				if !reflect.DeepEqual(fastK.Stats(), slowK.Stats()) {
 					t.Fatalf("seed %d: Stats differ with fast paths on vs off:\nfast: %+v\nslow: %+v",
-						seed, fastK.Stats, slowK.Stats)
+						seed, fastK.Stats(), slowK.Stats())
 				}
 			}
 		})

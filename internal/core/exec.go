@@ -16,6 +16,19 @@ import (
 // exit code, and about fifty lines of C in the context switching ...
 // code" that differ between Fluke's two builds (paper §3.1). Everything
 // else in the kernel is model-independent.
+//
+// Multiprocessor execution: the kernel holds one CPU struct per simulated
+// processor (cpu.go). By default the CPUs are interleaved *serially* and
+// deterministically — the loop always runs the CPU with the smallest local
+// virtual time — so every multi-CPU run is reproducible and the
+// NumCPUs==1 case degenerates to exactly the uniprocessor loop.
+// Config.ParallelHost (parallel.go) instead runs one host goroutine per
+// CPU with kernel sections serialized under a gate mutex.
+//
+// Kernel code addresses "the CPU I am running on" through k.cur, never
+// through a captured variable: a process-model thread can park on one CPU
+// and — woken and stolen — resume on another, so the acting CPU must be
+// re-read after every potential park point.
 
 // fpChunk is the cycle granularity at which fully-preemptible kernel code
 // checks for preemption; it bounds FP preemption latency (Table 6's
@@ -106,54 +119,64 @@ func (k *Kernel) reapCtx(t *obj.Thread) {
 	k.stacksInUse--
 }
 
-// emit records a typed trace event when a tracer is attached.
+// emit records a typed trace event when a tracer is attached, tagged with
+// the acting CPU (its Perfetto lane) and that CPU's local clock.
 func (k *Kernel) emit(kind trace.Kind, a, b uint32) {
 	if k.Tracer == nil {
 		return
 	}
+	c := k.cur
 	var tid uint32
-	if k.current != nil {
-		tid = k.current.ID
+	if c.current != nil {
+		tid = c.current.ID
 	}
-	k.Tracer.Add(trace.Event{Time: k.Clock.Now(), TID: tid, Kind: kind, A: a, B: b})
+	k.Tracer.Add(trace.Event{Time: c.clk.Now(), TID: tid, CPU: uint32(c.id), Kind: kind, A: a, B: b})
 }
 
 // ---------------------------------------------------------------------------
 // Scheduler loop.
 
 // Run executes until the system is quiescent: no runnable threads and no
-// pending timers.
+// pending timers on any CPU.
 func (k *Kernel) Run() {
 	k.RunUntil(func() bool { return false })
 }
 
 // RunFor executes for (approximately) the given number of cycles of
 // virtual time; a running thread is descheduled at the next user-mode
-// instruction boundary past the budget.
+// instruction boundary past the budget. With several CPUs the budget
+// bounds the virtual-time frontier (the maximum of the local clocks).
 func (k *Kernel) RunFor(cycles uint64) {
-	end := k.Clock.Now() + cycles
+	end := k.Now() + cycles
 	k.stopAt = end
-	k.RunUntil(func() bool { return k.Clock.Now() >= end })
+	k.RunUntil(func() bool { return k.Now() >= end })
 	k.stopAt = 0
 }
 
 // RunUntil executes until stop() reports true (checked between
-// dispatches) or the system is quiescent.
+// dispatches) or the system is quiescent. The deterministic interleaver
+// always advances the CPU with the smallest local virtual time, so the
+// whole execution is a pure function of the initial state at any CPU
+// count; an idle CPU with nothing to run steals from its busiest peer.
 func (k *Kernel) RunUntil(stop func() bool) {
+	if k.cfg.ParallelHost && len(k.cpus) > 1 {
+		k.runParallel(stop)
+		return
+	}
 	for !stop() {
-		t := k.runq.Pick()
+		c := k.chooseCPU()
+		k.cur = c
+		t := k.schedPick(c)
+		if t == nil && len(k.cpus) > 1 {
+			t = k.schedSteal(c)
+		}
 		if t == nil {
-			d, ok := k.Clock.NextDeadline()
-			if !ok {
+			if !k.idleStep(c) {
 				return // quiescent
 			}
-			if d > k.Clock.Now() {
-				k.Stats.IdleCycles += d - k.Clock.Now()
-			}
-			k.Clock.AdvanceTo(d)
 			continue
 		}
-		k.dispatch(t)
+		k.dispatch(c, t)
 	}
 }
 
@@ -161,12 +184,12 @@ func (k *Kernel) RunUntil(stop func() bool) {
 // thread and the highest queued runnable priority (testing diagnostics).
 var DebugDispatch func(t *obj.Thread, topQueued int, ok bool)
 
-func (k *Kernel) dispatch(t *obj.Thread) {
+func (k *Kernel) dispatch(c *CPU, t *obj.Thread) {
 	if DebugDispatch != nil {
-		top, ok := k.runq.TopPriority()
+		top, ok := k.schedTopPriority(c)
 		DebugDispatch(t, top, ok)
 	}
-	k.ctxSwitch(t)
+	k.ctxSwitch(c, t)
 	if k.cfg.Model == ModelInterrupt {
 		k.runThread(t)
 	} else {
@@ -174,49 +197,34 @@ func (k *Kernel) dispatch(t *obj.Thread) {
 			k.reapCtx(t)
 		}
 	}
-	k.current = nil
+	c.current = nil
 }
 
-// ctxSwitch makes t the running thread, charging the model-dependent
+// ctxSwitch makes t the running thread on c, charging the model-dependent
 // switch cost: the process model additionally saves/restores kernel-mode
 // register state ("six 32-bit memory reads and writes on every context
-// switch", §5.3).
-func (k *Kernel) ctxSwitch(t *obj.Thread) {
+// switch", §5.3). The switch itself is scheduler work, done under the
+// scheduler lock of the configured lock model.
+func (k *Kernel) ctxSwitch(c *CPU, t *obj.Thread) {
 	cost := uint64(CycCtxSwitchBase)
 	if k.cfg.Model == ModelProcess {
 		cost += CycProcessKregSave
 	}
-	k.Stats.KernelCycles += cost
-	k.Clock.Advance(cost)
-	k.Stats.ContextSwitches++
+	k.lockAcquire(c, lockSched)
+	c.stats.KernelCycles += cost
+	c.clk.Advance(cost)
+	c.stats.ContextSwitches++
 	t.State = obj.ThRunning
-	k.current = t
+	c.current = t
+	t.HomeCPU = c.id
+	k.lockRelease(c, lockSched)
 	k.emit(trace.CtxSwitch, t.ID, 0)
 	if k.Metrics != nil {
 		k.Metrics.CtxSwitches.Inc()
 	}
-	k.observePreemptLatency()
-	k.needResched = false
-	k.armSliceTimer()
-}
-
-func (k *Kernel) armSliceTimer() {
-	if k.sliceTimer != nil {
-		k.Clock.Cancel(k.sliceTimer)
-	}
-	k.sliceTimer = k.Clock.After(k.cfg.Quantum, func(uint64) {
-		k.Stats.TimerIRQs++
-		if k.Metrics != nil {
-			k.Metrics.TimerIRQs.Inc()
-		}
-		cur := k.current
-		if cur == nil {
-			return
-		}
-		if p, ok := k.runq.TopPriority(); ok && p >= cur.Priority {
-			k.noteResched()
-		}
-	})
+	k.observePreemptLatency(c)
+	k.clearResched(c)
+	k.armSliceTimer(c)
 }
 
 // ---------------------------------------------------------------------------
@@ -232,15 +240,16 @@ func (k *Kernel) armSliceTimer() {
 const maxUserBatch = 1 << 20
 
 // userBudget returns how many cycles of user code may run before anything
-// observable can happen: the distance to the earliest timer deadline and
-// to the RunFor stop point. Executing a batch of instructions whose cycle
-// total first crosses this budget is indistinguishable from stepping one
-// instruction at a time — no timer can fire strictly inside the batch, so
-// the per-instruction resched checks hoist out of the hot loop.
-func (k *Kernel) userBudget() uint64 {
-	now := k.Clock.Now()
+// observable can happen on this CPU: the distance to its earliest timer
+// deadline and to the RunFor stop point. Executing a batch of instructions
+// whose cycle total first crosses this budget is indistinguishable from
+// stepping one instruction at a time — no timer can fire strictly inside
+// the batch, so the per-instruction resched checks hoist out of the hot
+// loop.
+func (k *Kernel) userBudget(c *CPU) uint64 {
+	now := c.clk.Now()
 	budget := uint64(maxUserBatch)
-	if d, ok := k.Clock.NextDeadline(); ok {
+	if d, ok := c.clk.NextDeadline(); ok {
 		if d <= now {
 			return 1 // overdue timer fires on the next charge
 		}
@@ -268,10 +277,11 @@ func (k *Kernel) runThread(t *obj.Thread) {
 	// paid again.
 	fromUser := false
 	for t.State == obj.ThRunning {
-		if k.settling == t {
+		c := k.cur // re-read every iteration: parks can migrate the thread
+		if c.settling == t {
 			// A settle drove us to a clean boundary; stop here.
 			t.State = obj.ThReady
-			k.runq.EnqueueFront(t)
+			k.schedEnqueueFront(c, t)
 			k.yieldProcess(t, yReady)
 			continue
 		}
@@ -288,10 +298,10 @@ func (k *Kernel) runThread(t *obj.Thread) {
 			// observed at the very next instruction boundary, exactly as
 			// the per-instruction loop would.
 			budget := uint64(1)
-			if !k.needResched {
-				budget = k.userBudget()
+			if !k.needsResched(c) {
+				budget = k.userBudget(c)
 			}
-			cycles, retired, trap = cpu.StepN(&t.Regs, t.Space.AS, budget)
+			cycles, retired, trap = k.stepUser(c, t, budget)
 		} else {
 			cycles, trap = cpu.Step(&t.Regs, t.Space.AS)
 			if trap.Kind == cpu.TrapNone {
@@ -302,7 +312,7 @@ func (k *Kernel) runThread(t *obj.Thread) {
 		if t.State != obj.ThRunning {
 			return
 		}
-		if k.needResched {
+		if k.needsResched(k.cur) {
 			if !k.preemptUser(t) {
 				return
 			}
@@ -334,6 +344,22 @@ func (k *Kernel) runThread(t *obj.Thread) {
 	}
 }
 
+// stepUser executes one user batch. In ParallelHost mode the batch runs
+// outside the kernel gate — that is the real host parallelism — guarded by
+// the space's step mutex so kernel code on other CPUs touching this space
+// (IPC copies into a blocked peer) stays race-free.
+func (k *Kernel) stepUser(c *CPU, t *obj.Thread, budget uint64) (cycles, retired uint64, trap cpu.Trap) {
+	if k.par == nil {
+		return cpu.StepN(&t.Regs, t.Space.AS, budget)
+	}
+	k.gateUnlock()
+	t.Space.StepMu.Lock()
+	cycles, retired, trap = cpu.StepN(&t.Regs, t.Space.AS, budget)
+	t.Space.StepMu.Unlock()
+	k.gateLock(c)
+	return cycles, retired, trap
+}
+
 // stepHost runs one activation of a kernel (host-function) thread.
 func (k *Kernel) stepHost(t *obj.Thread) bool {
 	switch kerr := t.HostFn(); kerr {
@@ -350,14 +376,15 @@ func (k *Kernel) stepHost(t *obj.Thread) bool {
 
 // preemptUser handles preemption at a user-mode instruction boundary.
 func (k *Kernel) preemptUser(t *obj.Thread) bool {
-	k.Stats.PreemptsUser++
+	c := k.cur
+	c.stats.PreemptsUser++
 	if k.Metrics != nil {
 		k.Metrics.PreemptsUser.Inc()
 	}
 	k.emit(trace.Preempt, 0, 0)
-	k.needResched = false
+	k.clearResched(c)
 	t.State = obj.ThReady
-	k.runq.Enqueue(t)
+	k.schedEnqueue(c, t)
 	if k.cfg.Model == ModelInterrupt {
 		return false
 	}
@@ -371,10 +398,11 @@ func (k *Kernel) preemptUser(t *obj.Thread) bool {
 // fpChunk cycles.
 
 func (k *Kernel) chargeUser(cycles uint64) {
-	k.Stats.UserCycles += cycles
-	k.Clock.Advance(cycles)
-	if k.stopAt != 0 && k.Clock.Now() >= k.stopAt {
-		k.needResched = true
+	c := k.cur
+	c.stats.UserCycles += cycles
+	c.clk.Advance(cycles)
+	if k.stopAt != 0 && c.clk.Now() >= k.stopAt {
+		k.forceResched(c)
 	}
 }
 
@@ -382,38 +410,42 @@ func (k *Kernel) chargeUser(cycles uint64) {
 // preemption. Syscall handlers and the IPC engine use it for all
 // simulated kernel work.
 func (k *Kernel) ChargeKernel(cycles uint64) {
-	t := k.current
-	if k.cfg.Preempt == PreemptFull && k.inHandler && t != nil && k.settling != t {
+	c := k.cur
+	t := c.current
+	if k.cfg.Preempt == PreemptFull && c.inHandler && t != nil && c.settling != t {
 		for cycles > 0 {
+			c = k.cur // a park below can migrate the thread to another CPU
 			n := cycles
 			if n > k.cfg.FPChunkCycles {
 				n = k.cfg.FPChunkCycles
 			}
-			k.Stats.KernelCycles += n
+			c.stats.KernelCycles += n
 			t.EntryCycles += n
-			k.Clock.Advance(n)
+			c.clk.Advance(n)
 			cycles -= n
-			if k.needResched && t.State == obj.ThRunning {
-				k.Stats.PreemptsKernel++
+			if k.needsResched(c) && t.State == obj.ThRunning {
+				c.stats.PreemptsKernel++
 				if k.Metrics != nil {
 					k.Metrics.PreemptsKernel.Inc()
 				}
 				k.emit(trace.Preempt, 2, 0)
-				k.needResched = false
+				k.clearResched(c)
 				t.State = obj.ThReady
 				t.InKernelPark = true
-				k.runq.EnqueueFront(t)
+				k.schedEnqueueFront(c, t)
+				snap := k.parkRelease() // an in-kernel park releases kernel locks
 				k.yieldProcess(t, yReady)
 				t.InKernelPark = false
+				k.parkReacquire(snap)
 			}
 		}
 		return
 	}
-	k.Stats.KernelCycles += cycles
-	if t != nil && k.inHandler {
+	c.stats.KernelCycles += cycles
+	if t != nil && c.inHandler {
 		t.EntryCycles += cycles
 	}
-	k.Clock.Advance(cycles)
+	c.clk.Advance(cycles)
 }
 
 // ---------------------------------------------------------------------------
@@ -438,22 +470,26 @@ func (k *Kernel) doSyscall(t *obj.Thread, num int, fromUser bool) bool {
 		k.Return(t, sys.EINVAL)
 		return true
 	}
-	k.Stats.Syscalls++
-	k.Stats.SyscallsByNum[num]++
-	episodeStart := k.Clock.Now()
+	c := k.cur
+	c.stats.Syscalls++
+	c.stats.SyscallsByNum[num]++
+	episodeStart := c.clk.Now()
 	redispatch := uint32(0)
 	if !fromUser {
 		redispatch = 1
 	}
 	k.emit(trace.SyscallEnter, uint32(num), redispatch)
 	if t.InSyscall {
-		k.Stats.Restarts++
+		c.stats.Restarts++
 		if k.Metrics != nil {
 			k.Metrics.RestartsTotal.Inc()
 		}
 	}
 	t.InSyscall = true
-	k.inHandler = true
+	c.inHandler = true
+	// Kernel entry takes the syscall-side lock: the object-space lock
+	// under per-subsystem locking, the big kernel lock under LockBig.
+	k.lockAcquire(c, lockObj)
 	k.ChargeKernel(entry)
 	if k.cfg.Preempt == PreemptFull {
 		// FP needs kernel locking (Table 4); charge the lock traffic.
@@ -466,9 +502,10 @@ func (k *Kernel) doSyscall(t *obj.Thread, num int, fromUser bool) bool {
 		t.InSyscall = false
 		t.EntryCycles = 0
 		k.ChargeKernel(exit)
-		k.inHandler = false
+		k.releaseHeld()
+		k.cur.inHandler = false
 		if k.Metrics != nil {
-			k.Metrics.SyscallLatency[num].Observe(k.Clock.Now() - episodeStart)
+			k.Metrics.SyscallLatency[num].Observe(k.cur.clk.Now() - episodeStart)
 		}
 		k.trace(t, num, "ok")
 		return true
@@ -477,18 +514,24 @@ func (k *Kernel) doSyscall(t *obj.Thread, num int, fromUser bool) bool {
 		t.InSyscall = false
 		t.EntryCycles = 0
 		k.ChargeKernel(exit)
-		k.inHandler = false
+		k.releaseHeld()
+		k.cur.inHandler = false
 		if k.Metrics != nil {
-			k.Metrics.SyscallLatency[num].Observe(k.Clock.Now() - episodeStart)
+			k.Metrics.SyscallLatency[num].Observe(k.cur.clk.Now() - episodeStart)
 		}
 		k.trace(t, num, "eintr")
 		return true
 	case sys.KWouldBlock, sys.KPreempted, sys.KDead:
-		k.inHandler = false
+		// Parked paths released at the park; a KDead handler did not.
+		k.releaseHeld()
+		k.cur.inHandler = false
 		k.trace(t, num, kerr.String())
 		return false
 	case sys.KFault:
-		k.inHandler = false
+		// Release the syscall-entry lock before the fault path takes the
+		// MMU lock: obj and mmu never nest.
+		k.releaseHeld()
+		k.cur.inHandler = false
 		k.trace(t, num, "fault")
 		return k.doFault(t, t.PendingFaultSpace, t.PendingFault)
 	default:
@@ -498,7 +541,7 @@ func (k *Kernel) doSyscall(t *obj.Thread, num int, fromUser bool) bool {
 
 func (k *Kernel) trace(t *obj.Thread, num int, outcome string) {
 	if k.cfg.TraceSyscalls != nil {
-		k.cfg.TraceSyscalls(fmt.Sprintf("[%10d] t%d %s -> %s", k.Clock.Now(), t.ID, sys.Name(num), outcome))
+		k.cfg.TraceSyscalls(fmt.Sprintf("[%10d] t%d %s -> %s", k.cur.clk.Now(), t.ID, sys.Name(num), outcome))
 	}
 }
 
@@ -509,6 +552,15 @@ func (k *Kernel) trace(t *obj.Thread, num int, outcome string) {
 // rolled-forward register state afterwards.
 
 func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
+	c := k.cur
+	// The fault path's kernel entry takes the MMU-side lock.
+	k.lockAcquire(c, lockMMU)
+	if k.par != nil && spc != t.Space {
+		// Cross-space fault in ParallelHost mode: the peer space's home
+		// CPU may be stepping its other threads concurrently.
+		spc.StepMu.Lock()
+		defer spc.StepMu.Unlock()
+	}
 	class, m := spc.AS.Classify(f.VA, f.Access)
 	side := FaultSame
 	if spc != t.Space {
@@ -522,11 +574,11 @@ func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
 	k.emit(trace.Fault, f.VA, uint32(class)|sideBit<<8)
 	switch class {
 	case mmu.FaultSoft:
-		k.Stats.FaultCount[key]++
-		k.Stats.FaultRollback[key] += t.EntryCycles
+		c.stats.FaultCount[key]++
+		c.stats.FaultRollback[key] += t.EntryCycles
 		k.countFaultRestart(class, side, t.EntryCycles)
 		t.EntryCycles = 0
-		start := k.Clock.Now()
+		start := c.clk.Now()
 		remedy := uint64(CycSoftFaultRemedy)
 		if side == FaultCross {
 			remedy += CycCrossSpaceFaultExtra
@@ -538,26 +590,30 @@ func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
 		}
 		k.ChargeKernel(remedy)
 		if err := spc.AS.ResolveSoft(f.VA, f.Access); err != nil {
+			k.releaseHeld()
 			k.exitThread(t, uint32(0xFFFF_0E00))
 			return false
 		}
-		k.Stats.FaultRemedy[key] += k.Clock.Now() - start
-		k.countFaultRemedy(class, side, k.Clock.Now()-start)
+		c = k.cur // an FP park inside ChargeKernel can migrate us
+		c.stats.FaultRemedy[key] += c.clk.Now() - start
+		k.countFaultRemedy(class, side, c.clk.Now()-start)
+		k.releaseHeld()
 		return true
 
 	case mmu.FaultHard:
-		k.Stats.FaultCount[key]++
-		k.Stats.FaultRollback[key] += t.EntryCycles
+		c.stats.FaultCount[key]++
+		c.stats.FaultRollback[key] += t.EntryCycles
 		k.countFaultRestart(class, side, t.EntryCycles)
 		t.EntryCycles = 0
 		port, _ := m.Region.Pager.(*obj.Port)
 		if port == nil || port.FaultRegion == nil || port.Dead {
+			k.releaseHeld()
 			k.exitThread(t, uint32(0xFFFF_0E01))
 			return false
 		}
 		reg := port.FaultRegion
 		off := mem.PageTrunc(m.RegionOff + (f.VA - m.Base))
-		t.FaultStart = k.Clock.Now()
+		t.FaultStart = c.clk.Now()
 		t.FaultClass = class
 		t.FaultCross = side == FaultCross
 		k.ChargeKernel(CycHardFaultKernel)
@@ -576,18 +632,21 @@ func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
 		case sys.KWouldBlock:
 			return false
 		case sys.KOK:
+			k.releaseHeld()
 			return true
 		case sys.KDead:
+			k.releaseHeld()
 			return false
 		default:
 			panic(fmt.Sprintf("core: fault block returned %v", kerr))
 		}
 
 	default: // fatal
-		k.Stats.FaultCount[key]++
+		c.stats.FaultCount[key]++
 		if k.Metrics != nil {
 			k.Metrics.FaultsFatal.Inc()
 		}
+		k.releaseHeld()
 		k.exitThread(t, uint32(0xFFFF_0E02))
 		return false
 	}
@@ -616,24 +675,31 @@ func (k *Kernel) queueFault(reg *obj.Region, port *obj.Port, off uint32) {
 // registers are its continuation. In the process model it parks the
 // thread's kernel-stack context in place and returns KOK when woken.
 //
+// Blocking releases every kernel lock the CPU holds (sleep releases the
+// kernel lock); the process model reacquires on resume, on whichever CPU
+// the thread was re-dispatched.
+//
 // If interruptible, a pending thread_interrupt is consumed and KIntr
 // returned instead of (or after) blocking.
 func (k *Kernel) block(q *obj.WaitQueue, interruptible bool) sys.KErr {
-	t := k.current
+	c := k.cur
+	t := c.current
 	if interruptible && t.Interrupted {
 		t.Interrupted = false
-		k.Stats.Interrupts++
+		c.stats.Interrupts++
 		return sys.KIntr
 	}
 	t.State = obj.ThBlocked
 	q.Enqueue(t)
+	snap := k.parkRelease()
 	if k.cfg.Model == ModelInterrupt {
 		return sys.KWouldBlock
 	}
 	k.yieldProcess(t, yBlocked)
+	k.parkReacquire(snap)
 	if interruptible && t.Interrupted {
 		t.Interrupted = false
-		k.Stats.Interrupts++
+		k.cur.stats.Interrupts++
 		return sys.KIntr
 	}
 	return sys.KOK
@@ -646,7 +712,9 @@ func (k *Kernel) Block(q *obj.WaitQueue, interruptible bool) sys.KErr {
 }
 
 // wakeThread makes a specific (blocked or stopped-ready) thread runnable,
-// removing it from any wait queue and cancelling its sleep timer.
+// removing it from any wait queue and cancelling its sleep timer. The
+// thread is queued on its home CPU; a cross-CPU wake that should preempt
+// (or un-idle) the home CPU sends an IPI-like kick.
 func (k *Kernel) wakeThread(t *obj.Thread) {
 	if t.State == obj.ThDead {
 		return
@@ -655,16 +723,21 @@ func (k *Kernel) wakeThread(t *obj.Thread) {
 		t.WaitQ.Remove(t)
 	}
 	if t.SleepTimer != nil {
-		k.Clock.Cancel(t.SleepTimer)
+		t.SleepTimer.Stop()
 		t.SleepTimer = nil
 	}
+	c := k.cur
 	if t.FaultStart != 0 {
 		key := FaultKey{Class: t.FaultClass, Side: FaultSame}
 		if t.FaultCross {
 			key.Side = FaultCross
 		}
-		k.Stats.FaultRemedy[key] += k.Clock.Now() - t.FaultStart
-		k.countFaultRemedy(key.Class, key.Side, k.Clock.Now()-t.FaultStart)
+		lat := uint64(0)
+		if now := c.clk.Now(); now > t.FaultStart {
+			lat = now - t.FaultStart
+		}
+		c.stats.FaultRemedy[key] += lat
+		k.countFaultRemedy(key.Class, key.Side, lat)
 		t.FaultStart = 0
 	}
 	if t.State == obj.ThBlocked {
@@ -675,7 +748,7 @@ func (k *Kernel) wakeThread(t *obj.Thread) {
 		if k.Metrics != nil {
 			k.Metrics.Wakes.Inc()
 		}
-		k.runq.Enqueue(t)
+		k.schedEnqueue(c, t)
 		k.maybeResched(t)
 	}
 }
@@ -699,9 +772,20 @@ func (k *Kernel) wakeAll(q *obj.WaitQueue) int {
 	return n
 }
 
+// maybeResched decides whether a wake preempts: locally by priority (the
+// original uniprocessor rule), remotely by kicking the home CPU when the
+// woken thread outranks whatever it is running.
 func (k *Kernel) maybeResched(t *obj.Thread) {
-	if k.current != nil && t.Priority > k.current.Priority {
-		k.noteResched()
+	c := k.cur
+	home := k.cpus[t.HomeCPU]
+	if home == c {
+		if c.current != nil && t.Priority > c.current.Priority {
+			k.noteResched(c)
+		}
+		return
+	}
+	if home.current == nil || t.Priority > home.current.Priority {
+		k.kickCPU(c, home)
 	}
 }
 
@@ -712,18 +796,21 @@ func (k *Kernel) maybeResched(t *obj.Thread) {
 // must already have rolled the thread's registers forward to a consistent
 // restart point (or completed the syscall). front selects queue position.
 func (k *Kernel) yieldCPU(front bool) sys.KErr {
-	t := k.current
+	c := k.cur
+	t := c.current
 	t.State = obj.ThReady
 	if front {
-		k.runq.EnqueueFront(t)
+		k.schedEnqueueFront(c, t)
 	} else {
-		k.runq.Enqueue(t)
+		k.schedEnqueue(c, t)
 	}
-	k.needResched = false
+	k.clearResched(c)
+	snap := k.parkRelease()
 	if k.cfg.Model == ModelInterrupt {
 		return sys.KPreempted
 	}
 	k.yieldProcess(t, yReady)
+	k.parkReacquire(snap)
 	return sys.KOK
 }
 
@@ -738,10 +825,10 @@ func (k *Kernel) PreemptPoint() sys.KErr {
 		return sys.KOK
 	}
 	k.ChargeKernel(CycPreemptPoint)
-	if !k.needResched {
+	if !k.needsResched(k.cur) {
 		return sys.KOK
 	}
-	k.Stats.PreemptsPoint++
+	k.cur.stats.PreemptsPoint++
 	if k.Metrics != nil {
 		k.Metrics.PreemptsPoint.Inc()
 	}
@@ -768,9 +855,9 @@ func (k *Kernel) exitThread(t *obj.Thread, code uint32) {
 	if t.WaitQ != nil {
 		t.WaitQ.Remove(t)
 	}
-	k.runq.Remove(t)
+	k.schedRemove(k.cur, t)
 	if t.SleepTimer != nil {
-		k.Clock.Cancel(t.SleepTimer)
+		t.SleepTimer.Stop()
 		t.SleepTimer = nil
 	}
 	k.ipcOnDeath(t)
@@ -796,7 +883,7 @@ func (k *Kernel) DestroyThread(t *obj.Thread) {
 	if t.State == obj.ThDead {
 		return
 	}
-	if t == k.current {
+	if t == k.cur.current {
 		k.exitThread(t, 0)
 		return
 	}
@@ -817,21 +904,24 @@ func (k *Kernel) DestroyThread(t *obj.Thread) {
 // settle drives a process-model thread that was preempted mid-kernel to a
 // clean boundary (syscall completion or a block point), so its exported
 // state is consistent. The wait involves only kernel-internal activity,
-// preserving the API's promptness requirement.
+// preserving the API's promptness requirement. The settle runs on the
+// acting CPU regardless of where the target parked.
 func (k *Kernel) settle(target *obj.Thread) {
 	if !target.InKernelPark {
 		return
 	}
-	me := k.current
-	k.settling = target
-	k.runq.Remove(target)
+	c := k.cur
+	me := c.current
+	c.settling = target
+	k.schedRemove(c, target)
 	target.State = obj.ThRunning
-	k.current = target
+	c.current = target
+	target.HomeCPU = c.id
 	if k.resumeCtx(target, resumeRun) == yDead {
 		k.reapCtx(target)
 	}
-	k.settling = nil
-	k.current = me
+	c.settling = nil
+	c.current = me
 	if me != nil {
 		me.State = obj.ThRunning
 	}

@@ -129,8 +129,8 @@ func TestIPCCopyFaultsIntoPagerBackedBuffer(t *testing.T) {
 				t.Fatalf("received word %d = %#x, want %#x", i, got[i*4], want)
 			}
 		}
-		hard := k.Stats.FaultCount[core.FaultKey{Class: mmu.FaultHard, Side: core.FaultSame}] +
-			k.Stats.FaultCount[core.FaultKey{Class: mmu.FaultHard, Side: core.FaultCross}]
+		hard := k.Stats().FaultCount[core.FaultKey{Class: mmu.FaultHard, Side: core.FaultSame}] +
+			k.Stats().FaultCount[core.FaultKey{Class: mmu.FaultHard, Side: core.FaultCross}]
 		if hard < 2 {
 			t.Fatalf("hard faults = %d, want >= 2 (one per straddled page)", hard)
 		}

@@ -26,9 +26,42 @@ const copyCommitWords = 768
 // buffer page is unmapped, so the operation restarts "without redoing any
 // transfers".
 func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
-	t := k.current
+	t := k.cur.current
 	if k.Metrics != nil {
 		k.Metrics.IPCTransfers.Inc()
+	}
+	// Under per-subsystem locking the bulk copy runs outside the
+	// object-space lock — data transfer touches only the two buffers, so
+	// concurrent CPUs can overlap their copies (this is where the
+	// per-subsystem model earns its scaling). The lock is retaken before
+	// returning to the handler on the success path; fault and preemption
+	// exits leave it released, and the restart reacquires at kernel entry.
+	var objHeld int16
+	if k.cfg.LockModel == LockPerSubsystem {
+		if c := k.cur; c.holds[lockObj] > 0 {
+			objHeld = c.holds[lockObj]
+			c.holds[lockObj] = 1
+			k.lockRelease(c, lockObj)
+		}
+	}
+	reacquire := func() {
+		if objHeld > 0 {
+			c := k.cur
+			k.lockAcquire(c, lockObj)
+			c.holds[lockObj] = objHeld
+		}
+	}
+	if k.par != nil {
+		// ParallelHost: a peer space's home CPU may be batch-stepping its
+		// threads outside the kernel gate; serialize against it.
+		if src.Space != t.Space {
+			src.Space.StepMu.Lock()
+			defer src.Space.StepMu.Unlock()
+		}
+		if dst.Space != t.Space && dst.Space != src.Space {
+			dst.Space.StepMu.Lock()
+			defer dst.Space.StepMu.Unlock()
+		}
 	}
 	words := uint32(0)       // copied but not yet charged/counted
 	sincePoint := uint32(0)  // bytes since last preemption point
@@ -118,6 +151,7 @@ func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
 	}
 	flush()
 	k.CommitProgress(t)
+	reacquire()
 	return sys.KOK
 }
 

@@ -296,7 +296,7 @@ func TestIPCCrossSpaceServerFault(t *testing.T) {
 		if got[0] != 0x77 {
 			t.Fatalf("server received %#x, want 0x77", got[0])
 		}
-		cross := k.Stats.FaultCount[core.FaultKey{Class: mmu.FaultSoft, Side: core.FaultCross}]
+		cross := k.Stats().FaultCount[core.FaultKey{Class: mmu.FaultSoft, Side: core.FaultCross}]
 		if cross == 0 {
 			t.Fatal("no cross-space (server-side) fault recorded")
 		}
@@ -357,7 +357,7 @@ func TestHardFaultPagerRoundTrip(t *testing.T) {
 		if got := e.word(t, dataBase+4); got != 0x5678 {
 			t.Fatalf("page1 word = %#x", got)
 		}
-		hard := e.k.Stats.FaultCount[core.FaultKey{Class: mmu.FaultHard, Side: core.FaultSame}]
+		hard := e.k.Stats().FaultCount[core.FaultKey{Class: mmu.FaultHard, Side: core.FaultSame}]
 		if hard < 2 {
 			t.Fatalf("hard faults = %d, want >= 2", hard)
 		}

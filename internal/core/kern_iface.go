@@ -27,7 +27,7 @@ func (k *Kernel) FaultOut(t *obj.Thread, spc *obj.Space, f *cpu.Fault) sys.KErr 
 }
 
 // CountInterrupt records a consumed thread_interrupt (EINTR delivery).
-func (k *Kernel) CountInterrupt() { k.Stats.Interrupts++ }
+func (k *Kernel) CountInterrupt() { k.cur.stats.Interrupts++ }
 
 // ModelName reports the kernel's configuration label (e.g. "Process NP").
 func (k *Kernel) ModelName() string { return k.cfg.Name() }

@@ -9,7 +9,6 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/obj"
-	"repro/internal/sched"
 	"repro/internal/sys"
 	"repro/internal/trace"
 )
@@ -62,6 +61,8 @@ type Stats struct {
 	PreemptsKernel uint64              // full-preemption parks inside the kernel
 	Interrupts     uint64              // thread_interrupt deliveries (EINTR)
 	TimerIRQs      uint64
+	IPIs           uint64 // cross-CPU reschedule requests sent
+	Steals         uint64 // threads taken from another CPU's queue
 
 	// ContinuationsRecognized counts operations the kernel completed by
 	// mutating a waiter's explicit continuation instead of re-running it
@@ -78,25 +79,42 @@ func newStats() Stats {
 	}
 }
 
-// handler is one syscall implementation. It runs with t == k.current, and
+// handler is one syscall implementation. It runs with t == Current(), and
 // returns a kernel-internal result code; user-visible results are
 // delivered only through t.Regs (paper Figure 4).
 type handler func(k *Kernel, t *obj.Thread) sys.KErr
 
 // Kernel is one simulated Fluke kernel instance.
 type Kernel struct {
-	cfg   Config
+	cfg Config
+
+	// Clock is CPU 0's local clock, kept as an exported field for
+	// uniprocessor compatibility (host code, tests, benchmarks). With
+	// NumCPUs > 1 use Now() for the virtual-time frontier and CPUNow for
+	// per-CPU clocks.
 	Clock *clock.Clock
 	Alloc *mem.Allocator
 
-	runq    *sched.RunQueue
-	current *obj.Thread
+	// cpus are the simulated processors; cur is the one whose kernel
+	// context is executing right now (the ambient CPU). In the
+	// deterministic interleaver exactly one CPU acts at a time; in
+	// ParallelHost mode cur is only valid under the gate and is re-set at
+	// every gate acquisition.
+	cpus []*CPU
+	cur  *CPU
 
-	needResched bool
-	stopAt      uint64 // RunFor budget; forces descheduling of CPU-bound threads
-	sliceTimer  *clock.Timer
-	inHandler   bool        // a syscall handler is on the (virtual) kernel stack
-	settling    *obj.Thread // settle() target; suppresses FP re-parking
+	// vlocks are the lock-model locks (see locks.go).
+	vlocks [numLocks]vlock
+
+	// par is the ParallelHost run state; nil in deterministic mode.
+	par *parState
+
+	stopAt uint64 // RunFor budget; forces descheduling of CPU-bound threads
+
+	// nextHome round-robins new threads (and in ParallelHost mode new
+	// spaces) across CPUs.
+	nextHome      int
+	nextSpaceHome int
 
 	nextTID uint32
 	threads map[uint32]*obj.Thread
@@ -111,8 +129,6 @@ type Kernel struct {
 	// callbacks wake specific threads from it.
 	sleepers obj.WaitQueue
 
-	Stats Stats
-
 	// Tracer, when non-nil, receives typed kernel events (see
 	// internal/trace). Attach before running; costs one branch when nil.
 	Tracer *trace.Ring
@@ -121,10 +137,6 @@ type Kernel struct {
 	// EnableMetrics). Like the tracer it costs one branch when nil and
 	// never perturbs virtual time.
 	Metrics *KernelMetrics
-
-	// reschedSince is the virtual time of the oldest unserviced
-	// reschedule request, feeding Metrics.PreemptLatency (0 = none).
-	reschedSince uint64
 
 	// stacksInUse tracks live kernel stacks for the memory accountant:
 	// one per CPU in the interrupt model, one per live thread in the
@@ -146,15 +158,18 @@ func New(cfg Config) *Kernel {
 	cfg = cfg.withDefaults()
 	k := &Kernel{
 		cfg:     cfg,
-		Clock:   clock.New(),
 		Alloc:   mem.NewAllocator(cfg.PhysFrames),
-		runq:    sched.NewRunQueue(),
 		threads: make(map[uint32]*obj.Thread),
-		Stats:   newStats(),
 		nextTID: 1,
 	}
+	k.cpus = make([]*CPU, cfg.NumCPUs)
+	for i := range k.cpus {
+		k.cpus[i] = newCPU(i)
+	}
+	k.cur = k.cpus[0]
+	k.Clock = k.cpus[0].clk
 	if cfg.Model == ModelInterrupt {
-		k.stacksInUse = 1 // one kernel stack per (single simulated) CPU
+		k.stacksInUse = cfg.NumCPUs // one kernel stack per simulated CPU
 	}
 	k.fastExec = !cfg.DisableFastPath
 	k.registerHandlers()
@@ -164,8 +179,9 @@ func New(cfg Config) *Kernel {
 // Config returns the kernel's configuration.
 func (k *Kernel) Config() Config { return k.cfg }
 
-// Current returns the running thread (nil inside the scheduler).
-func (k *Kernel) Current() *obj.Thread { return k.current }
+// Current returns the thread running on the acting CPU (nil inside the
+// scheduler).
+func (k *Kernel) Current() *obj.Thread { return k.cur.current }
 
 // ---------------------------------------------------------------------------
 // Host ("boot loader") API: the operations a bootstrap environment performs
@@ -180,6 +196,8 @@ func (k *Kernel) NewSpace() *obj.Space {
 
 func (k *Kernel) newSpaceInternal() *obj.Space {
 	s := obj.NewSpace(mmu.NewAddrSpace(k.Alloc))
+	s.HomeCPU = k.nextSpaceHome
+	k.nextSpaceHome = (k.nextSpaceHome + 1) % len(k.cpus)
 	if k.cfg.DisableFastPath {
 		s.AS.SetFastPaths(false)
 	}
@@ -237,6 +255,14 @@ func (k *Kernel) makeThread(s *obj.Space, priority int) *obj.Thread {
 		State:    obj.ThReady,
 		Stopped:  true,
 	}
+	if k.cfg.ParallelHost {
+		// Space affinity: threads of one space all live on the space's
+		// home CPU, so a space is only ever stepped by one host goroutine.
+		t.HomeCPU = s.HomeCPU
+	} else {
+		t.HomeCPU = k.nextHome
+		k.nextHome = (k.nextHome + 1) % len(k.cpus)
+	}
 	k.nextTID++
 	s.Threads = append(s.Threads, t)
 	k.threads[t.ID] = t
@@ -261,7 +287,7 @@ func (k *Kernel) StartThread(t *obj.Thread) {
 	}
 	t.Stopped = false
 	if t.State == obj.ThReady {
-		k.runq.Enqueue(t)
+		k.schedEnqueue(k.cur, t)
 	}
 }
 
@@ -427,9 +453,8 @@ func (k *Kernel) Shutdown() {
 		}
 		k.DestroyThread(victim)
 	}
-	if k.sliceTimer != nil {
-		k.Clock.Cancel(k.sliceTimer)
-		k.sliceTimer = nil
+	for _, c := range k.cpus {
+		c.stopSliceTimer()
 	}
 }
 

@@ -1,0 +1,229 @@
+package core
+
+// The multiprocessor locking models (Config.LockModel). Locks here are
+// *virtual*: they serialize simulated kernel execution in virtual time
+// rather than host execution. Each lock keeps the virtual time its last
+// holder released it (busyUntil); a CPU whose local clock is behind that
+// time acquires by spinning — its clock advances to the release point and
+// the spin cycles are charged as kernel time. With one CPU a lock can
+// never be busy (the same clock both sets and tests busyUntil), so every
+// acquire is free and the NumCPUs==1 timeline is bit-identical to the
+// uniprocessor kernel under either model — pinned by the multicpu tests.
+//
+// Lock order (deadlock discipline, enforced by construction):
+//
+//	big  (outermost; the BigLock mapping of everything)
+//	obj  (kernel entry for syscalls) | mmu (kernel entry for faults)
+//	sched (innermost; run queues and resched flags)
+//
+// obj and mmu are never nested: a handler that faults returns KFault, the
+// syscall epilogue releases obj, and only then does doFault take mmu.
+//
+// Blocking releases: a kernel path that parks (block, yieldCPU, the FP
+// in-kernel park) releases every lock its CPU holds first — the classic
+// "sleep releases the kernel lock" rule — and the process model reacquires
+// on resume via a snapshot kept on the parked goroutine's own stack. In
+// the interrupt model the unwind discards the snapshot and the next
+// kernel entry reacquires from scratch.
+//
+// In ParallelHost mode the host gate mutex (parallel.go) serializes all
+// kernel sections, so the virtual spin waits are disabled (wall-clock
+// interleaving, not virtual-time modeling, decides contention there); the
+// hold/acquire counters still run.
+
+// lockID names one kernel lock.
+type lockID uint8
+
+const (
+	lockSched lockID = iota // run queues, resched flags
+	lockObj                 // object space: syscall-entry lock
+	lockMMU                 // address spaces: fault-entry lock
+	lockBig                 // the big kernel lock (LockBig maps everything here)
+	numLocks
+)
+
+// NumLockKinds is the number of distinct kernel locks (for metrics).
+const NumLockKinds = int(numLocks)
+
+// LockKindNames are the lock names in lockID order.
+var LockKindNames = [NumLockKinds]string{"sched", "obj", "mmu", "big"}
+
+// lockHistory is how many recent hold intervals each lock remembers. The
+// serial interleaver bounds cross-CPU clock skew to roughly one dispatch
+// episode, so only the holds of the last few episodes can ever overlap an
+// acquirer's local time; older entries are dead weight. Overwriting a
+// still-relevant interval errs toward *less* contention, so the ring is
+// sized generously relative to the holds a single episode performs.
+const lockHistory = 64
+
+// holdSpan is one completed [from, until) hold of a lock in virtual time.
+type holdSpan struct {
+	from, until uint64
+}
+
+// vlock is one virtual lock: a ring of its recent hold intervals plus
+// contention counters. All access is serialized (by the deterministic
+// scheduler loop, or by the ParallelHost gate).
+//
+// Intervals — not just the last release time — matter because the serial
+// interleaver is coarse: one dispatch can run a CPU's clock far ahead of
+// its peers before they get a turn. A peer whose local clock is still
+// behind the last release time did not necessarily contend — if no hold
+// covered its local instant the lock was free then; the skew is an
+// artifact of simulation order, not of simulated time. Contention is
+// charged exactly when the acquirer's clock lands inside a remembered
+// hold, which is when a real CPU would have spun.
+type vlock struct {
+	spans      [lockHistory]holdSpan
+	next       int // ring write cursor
+	acquires   uint64
+	contended  uint64
+	waitCycles uint64
+}
+
+// clearUntil returns the earliest time >= now at which no remembered hold
+// of vl covers the clock — the moment a spinning CPU would get the lock.
+func (vl *vlock) clearUntil(now uint64) uint64 {
+	for {
+		hit := false
+		for i := range vl.spans {
+			if s := &vl.spans[i]; s.from <= now && now < s.until {
+				now = s.until
+				hit = true
+			}
+		}
+		if !hit {
+			return now
+		}
+	}
+}
+
+// LockStat is one lock's contention counters, as reported by LockStats.
+type LockStat struct {
+	Name       string
+	Acquires   uint64
+	Contended  uint64
+	WaitCycles uint64
+}
+
+// LockStats returns the per-lock acquire/contention counters in
+// LockKindNames order. Under LockBig only the "big" row moves; under
+// LockPerSubsystem the "big" row stays zero.
+func (k *Kernel) LockStats() [NumLockKinds]LockStat {
+	var out [NumLockKinds]LockStat
+	for i := range k.vlocks {
+		out[i] = LockStat{
+			Name:       LockKindNames[i],
+			Acquires:   k.vlocks[i].acquires,
+			Contended:  k.vlocks[i].contended,
+			WaitCycles: k.vlocks[i].waitCycles,
+		}
+	}
+	return out
+}
+
+// mapLock applies the configured lock model: under the big kernel lock
+// every subsystem lock is the big lock.
+func (k *Kernel) mapLock(id lockID) lockID {
+	if k.cfg.LockModel == LockBig {
+		return lockBig
+	}
+	return id
+}
+
+// lockAcquire takes (the mapped form of) lock id on behalf of CPU c.
+// Re-acquisition by the same CPU nests (a refcount). A contended acquire
+// spins: the CPU's clock advances to the lock's release time and the wait
+// is charged as kernel cycles.
+func (k *Kernel) lockAcquire(c *CPU, id lockID) {
+	m := k.mapLock(id)
+	if c.holds[m] > 0 {
+		c.holds[m]++
+		return
+	}
+	vl := &k.vlocks[m]
+	vl.acquires++
+	if k.Metrics != nil {
+		k.Metrics.LockAcquires[m].Inc()
+	}
+	if k.par == nil {
+		now := c.clk.Now()
+		if free := vl.clearUntil(now); free > now {
+			wait := free - now
+			vl.contended++
+			vl.waitCycles += wait
+			c.stats.KernelCycles += wait
+			if k.Metrics != nil {
+				k.Metrics.LockContended[m].Inc()
+				k.Metrics.LockWaitCycles[m].Add(wait)
+			}
+			c.clk.Advance(wait)
+		}
+	}
+	c.holds[m] = 1
+	c.lockSince[m] = c.clk.Now()
+}
+
+// lockRelease drops one nesting level of (the mapped form of) lock id,
+// publishing the release time when the outermost level unlocks.
+func (k *Kernel) lockRelease(c *CPU, id lockID) {
+	m := k.mapLock(id)
+	if c.holds[m] == 0 {
+		panic("core: lockRelease of unheld lock " + LockKindNames[m])
+	}
+	c.holds[m]--
+	if c.holds[m] > 0 {
+		return
+	}
+	now := c.clk.Now()
+	if k.Metrics != nil {
+		k.Metrics.LockHoldCycles[m].Observe(now - c.lockSince[m])
+	}
+	// Publish this hold so later (possibly clock-behind) acquirers spin
+	// past it. Zero-length holds need no entry: no clock can land inside.
+	if vl := &k.vlocks[m]; k.par == nil && now > c.lockSince[m] {
+		vl.spans[vl.next] = holdSpan{from: c.lockSince[m], until: now}
+		vl.next = (vl.next + 1) % lockHistory
+	}
+}
+
+// releaseHeld drops every lock the acting CPU still holds — the idempotent
+// end-of-episode epilogue. Paths that parked already released (parkRelease),
+// so this is a no-op for them; paths that completed or died release here.
+func (k *Kernel) releaseHeld() {
+	c := k.cur
+	for m := lockID(0); m < numLocks; m++ {
+		for c.holds[m] > 0 {
+			c.holds[m] = 1 // collapse nesting: the episode is over
+			k.lockRelease(c, m)
+		}
+	}
+}
+
+// parkRelease releases everything the acting CPU holds before a park,
+// returning the hold counts so a process-model resume can reacquire. The
+// snapshot lives on the parked goroutine's stack — threads migrate across
+// CPUs between park and resume, so it must not live on the CPU.
+func (k *Kernel) parkRelease() [numLocks]int16 {
+	c := k.cur
+	snap := c.holds
+	for m := lockID(0); m < numLocks; m++ {
+		if c.holds[m] > 0 {
+			c.holds[m] = 1
+			k.lockRelease(c, m)
+		}
+	}
+	return snap
+}
+
+// parkReacquire restores a parkRelease snapshot on whatever CPU the
+// thread resumed on, paying contention there if the lock moved on.
+func (k *Kernel) parkReacquire(snap [numLocks]int16) {
+	for m := lockID(0); m < numLocks; m++ {
+		if snap[m] > 0 {
+			c := k.cur
+			k.lockAcquire(c, m) // note: already-mapped id maps to itself
+			c.holds[m] = snap[m]
+		}
+	}
+}

@@ -81,6 +81,19 @@ type KernelMetrics struct {
 
 	ThreadsLive    *metrics.Gauge
 	ThreadsCreated *metrics.Counter
+
+	// Lock-model instruments, one per lock kind (LockKindNames order).
+	// Under LockBig everything maps to the "big" slot; under
+	// LockPerSubsystem the sched/obj/mmu slots are live. Contention is
+	// virtual-time contention: an acquire that found the lock's
+	// busy-until point ahead of the acquiring CPU's clock.
+	LockAcquires   [NumLockKinds]*metrics.Counter
+	LockContended  [NumLockKinds]*metrics.Counter
+	LockWaitCycles [NumLockKinds]*metrics.Counter
+	LockHoldCycles [NumLockKinds]*metrics.Histogram
+
+	IPIs   *metrics.Counter // cross-CPU reschedule kicks sent
+	Steals *metrics.Counter // threads taken from a peer's run queue
 }
 
 // NewKernelMetrics registers the kernel's instruments on reg (a fresh
@@ -113,6 +126,14 @@ func NewKernelMetrics(reg *metrics.Registry) *KernelMetrics {
 	m.PagerNotices = reg.Counter("pager.fault_notices")
 	m.ThreadsLive = reg.Gauge("threads.live")
 	m.ThreadsCreated = reg.Counter("threads.created")
+	for i, name := range LockKindNames {
+		m.LockAcquires[i] = reg.Counter("lock.acquires." + name)
+		m.LockContended[i] = reg.Counter("lock.contended." + name)
+		m.LockWaitCycles[i] = reg.Counter("lock.wait_cycles." + name)
+		m.LockHoldCycles[i] = reg.Histogram("lock.hold_cycles." + name)
+	}
+	m.IPIs = reg.Counter("sched.ipis")
+	m.Steals = reg.Counter("sched.steals")
 	return m
 }
 
@@ -134,24 +155,6 @@ func (k *Kernel) EnableMetrics() *KernelMetrics {
 		k.Metrics = NewKernelMetrics(nil)
 	}
 	return k.Metrics
-}
-
-// noteResched flags a pending reschedule and stamps the request time for
-// the preemption-latency histogram (first request wins until serviced).
-func (k *Kernel) noteResched() {
-	k.needResched = true
-	if k.Metrics != nil && k.reschedSince == 0 {
-		k.reschedSince = k.Clock.Now()
-	}
-}
-
-// observePreemptLatency closes an open reschedule-request window at a
-// context switch.
-func (k *Kernel) observePreemptLatency() {
-	if k.Metrics != nil && k.reschedSince != 0 {
-		k.Metrics.PreemptLatency.Observe(k.Clock.Now() - k.reschedSince)
-		k.reschedSince = 0
-	}
 }
 
 // countFaultRestart records a restartable fault's cause-class restart

@@ -68,7 +68,8 @@ func TestMetricsDoNotPerturbVirtualTime(t *testing.T) {
 		if p, i := plain.k.Clock.Now(), inst.k.Clock.Now(); p != i {
 			t.Fatalf("final virtual time diverged: plain=%d instrumented=%d", p, i)
 		}
-		ps, is := &plain.k.Stats, &inst.k.Stats
+		pss, iss := plain.k.Stats(), inst.k.Stats()
+		ps, is := &pss, &iss
 		if ps.Syscalls != is.Syscalls || ps.ContextSwitches != is.ContextSwitches ||
 			ps.Restarts != is.Restarts {
 			t.Fatalf("event counts diverged: plain=%+v instrumented=%+v", ps, is)
@@ -94,7 +95,8 @@ func TestMetricsMatchStats(t *testing.T) {
 	}
 	forEachConfig(t, func(t *testing.T, cfg core.Config) {
 		e := runObserve(t, cfg, true)
-		m, st := e.k.Metrics, &e.k.Stats
+		es := e.k.Stats()
+		m, st := e.k.Metrics, &es
 
 		if got, want := m.CtxSwitches.Value(), st.ContextSwitches; got != want {
 			t.Errorf("sched.context_switches = %d, Stats.ContextSwitches = %d", got, want)

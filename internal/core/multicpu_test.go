@@ -1,0 +1,339 @@
+package core_test
+
+// Multiprocessor-layer tests: the NumCPUs==1 bit-exactness contract (both
+// lock models degenerate to the uniprocessor kernel), run-to-run
+// determinism of the serial interleaver at 2 and 4 CPUs, the scheduler
+// state-access routing rule, and the ParallelHost mode (whose whole test
+// value is under `go test -race`).
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/sys"
+)
+
+// lockModels spans both pluggable locking models.
+var lockModels = []core.LockModel{core.LockBig, core.LockPerSubsystem}
+
+// TestUniprocessorLockModelsBitIdentical pins the acceptance criterion
+// that one simulated CPU under either lock model is bit-identical — final
+// observable memory, merged Stats, and virtual clock — to the implicit
+// uniprocessor kernel, across all five paper configurations.
+func TestUniprocessorLockModelsBitIdentical(t *testing.T) {
+	seeds := []int64{1, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	forEachConfig(t, func(t *testing.T, cfg core.Config) {
+		for _, seed := range seeds {
+			baseMem, baseK := runSeed(t, cfg, seed)
+			for _, lm := range lockModels {
+				v := cfg
+				v.NumCPUs = 1
+				v.LockModel = lm
+				mem2, k2 := runSeed(t, v, seed)
+				if !bytes.Equal(baseMem, mem2) {
+					t.Fatalf("seed %d lockmodel %v: observable memory differs from baseline", seed, lm)
+				}
+				if baseK.Clock.Now() != k2.Clock.Now() {
+					t.Fatalf("seed %d lockmodel %v: virtual time differs: base=%d got=%d",
+						seed, lm, baseK.Clock.Now(), k2.Clock.Now())
+				}
+				if !reflect.DeepEqual(baseK.Stats(), k2.Stats()) {
+					t.Fatalf("seed %d lockmodel %v: Stats differ:\nbase: %+v\ngot:  %+v",
+						seed, lm, baseK.Stats(), k2.Stats())
+				}
+			}
+		}
+	})
+}
+
+// TestMultiCPUDeterministic pins run-to-run reproducibility of the serial
+// interleaver: the same seed on the same (NumCPUs, LockModel) pair must
+// give identical memory, Stats, and virtual-time frontier every run.
+func TestMultiCPUDeterministic(t *testing.T) {
+	cfgs := allConfigs()
+	if testing.Short() {
+		cfgs = cfgs[:2]
+	}
+	for _, cfg := range cfgs {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			for _, n := range []int{2, 4} {
+				for _, lm := range lockModels {
+					v := cfg
+					v.NumCPUs = n
+					v.LockModel = lm
+					m1, k1 := runSeed(t, v, 1999)
+					m2, k2 := runSeed(t, v, 1999)
+					if !bytes.Equal(m1, m2) {
+						t.Fatalf("cpus=%d lockmodel=%v: memory differs run-to-run", n, lm)
+					}
+					if k1.Now() != k2.Now() {
+						t.Fatalf("cpus=%d lockmodel=%v: frontier differs: %d vs %d",
+							n, lm, k1.Now(), k2.Now())
+					}
+					if !reflect.DeepEqual(k1.Stats(), k2.Stats()) {
+						t.Fatalf("cpus=%d lockmodel=%v: Stats differ run-to-run:\n1: %+v\n2: %+v",
+							n, lm, k1.Stats(), k2.Stats())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMultiCPUWorkConserving: at 4 CPUs with independent compute threads,
+// more than one CPU must end up doing user work (the work-stealing path),
+// and the per-CPU shards must sum to the merged Stats.
+func TestMultiCPUWorkConserving(t *testing.T) {
+	cfg := core.Config{Model: core.ModelInterrupt, Preempt: core.PreemptPartial,
+		NumCPUs: 4, LockModel: core.LockPerSubsystem}
+	e := newEnv(t, cfg)
+	b := prog.New(codeBase)
+	b.Label("spin")
+	for i := 0; i < 64; i++ {
+		b.Addi(6, 6, 1)
+	}
+	b.Movi(4, dataBase).St(4, 0, 6).Halt()
+	img := b.MustAssemble()
+	if _, err := e.k.LoadImage(e.s, codeBase, img); err != nil {
+		t.Fatal(err)
+	}
+	var threads []*obj.Thread
+	for i := 0; i < 8; i++ {
+		threads = append(threads, e.spawnAt(b.Addr("spin"), 10))
+	}
+	e.run(t, 1_000_000_000, threads...)
+	busy := 0
+	var sum uint64
+	for i := 0; i < e.k.NumCPUs(); i++ {
+		s := e.k.CPUStats(i)
+		sum += s.UserCycles
+		if s.UserCycles > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d of 4 CPUs executed user work", busy)
+	}
+	if merged := e.k.Stats(); merged.UserCycles != sum {
+		t.Fatalf("shard sum %d != merged UserCycles %d", sum, merged.UserCycles)
+	}
+}
+
+// TestSchedStateAccessRouting is the vet-style satellite: per-CPU
+// scheduler state (run queue, resched flag, slice timer, resched stamp)
+// may only be touched by cpu.go and schedops.go. Everything else must go
+// through the lock-model accessors.
+func TestSchedStateAccessRouting(t *testing.T) {
+	allowed := map[string]bool{"cpu.go": true, "schedops.go": true}
+	forbidden := regexp.MustCompile(`\.(runq|needResched|sliceTimer|reschedSince)\b`)
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || allowed[name] {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked++
+		for i, line := range strings.Split(string(src), "\n") {
+			if forbidden.MatchString(line) {
+				t.Errorf("%s:%d: direct scheduler-state access outside cpu.go/schedops.go: %s",
+					name, i+1, strings.TrimSpace(line))
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no source files scanned")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// ParallelHost: one host goroutine per CPU. These tests carry their weight
+// under `go test -race` (the CI race job runs the full package).
+
+// parSpace is one space in a parallel-host environment, with its own data
+// window.
+type parSpace struct {
+	s *obj.Space
+}
+
+func newParSpace(t *testing.T, k *core.Kernel) *parSpace {
+	t.Helper()
+	s := k.NewSpace()
+	r, err := k.NewBoundRegion(s, kernelDataHandle(), dataSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.MapInto(s, r, dataBase, 0, dataSize, mmu.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	return &parSpace{s: s}
+}
+
+// bindPairIPC wires a client space to a server space's port (same handle
+// VAs as bindIPC, but cross-space).
+func bindPairIPC(t *testing.T, k *core.Kernel, server, client *obj.Space) {
+	t.Helper()
+	po, _ := obj.New(sys.ObjPort)
+	pso, _ := obj.New(sys.ObjPortset)
+	port := po.(*obj.Port)
+	ps := pso.(*obj.Portset)
+	if err := k.Bind(server, portVA, port); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Bind(server, psVA, ps); err != nil {
+		t.Fatal(err)
+	}
+	ps.AddPort(port)
+	ref := &obj.Ref{Header: obj.Header{Type: sys.ObjRef}, Target: port}
+	if err := k.Bind(client, refVA, ref); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runParallelPairs builds `pairs` disjoint echo-RPC client/server space
+// pairs plus one compute space, runs them under ParallelHost, and checks
+// every client observed correct replies.
+func runParallelPairs(t *testing.T, cfg core.Config, pairs, rpcs int) *core.Kernel {
+	t.Helper()
+	k := core.New(cfg)
+
+	const (
+		ebuf = dataBase + 0x3000
+		sbuf = dataBase + 0x100
+		rbuf = dataBase + 0x200
+		done = dataBase + 0x300
+	)
+	srv := prog.New(codeBase)
+	srv.Label("echo").
+		IPCWaitReceive(ebuf, 1, psVA).
+		Label("echo.loop").
+		Movi(4, ebuf).Ld(5, 4, 0).Add(5, 5, 5).St(4, 0, 5).
+		IPCReplyWaitReceive(ebuf, 1, psVA, ebuf, 1).
+		Jmp("echo.loop")
+	srvImg := srv.MustAssemble()
+
+	cli := prog.New(codeBase)
+	cli.Label("cli")
+	for i := 0; i < rpcs; i++ {
+		v := uint32(1000*i + 7)
+		cli.Movi(4, sbuf).Movi(5, v).St(4, 0, 5).
+			IPCClientConnectSendOverReceive(sbuf, 1, refVA, rbuf, 1).
+			IPCClientDisconnect().
+			// Accumulate the replies so the final word checks them all.
+			Movi(4, rbuf).Ld(5, 4, 0).Add(6, 6, 5)
+	}
+	cli.Movi(4, done).St(4, 0, 6).Halt()
+	cliImg := cli.MustAssemble()
+
+	comp := prog.New(codeBase)
+	comp.Label("spin")
+	for i := 0; i < 256; i++ {
+		comp.Addi(6, 6, 3)
+	}
+	comp.Movi(4, done).St(4, 0, 6).Halt()
+	compImg := comp.MustAssemble()
+
+	var clients []*obj.Thread
+	var clientSpaces []*parSpace
+	for p := 0; p < pairs; p++ {
+		se := newParSpace(t, k)
+		ce := newParSpace(t, k)
+		bindPairIPC(t, k, se.s, ce.s)
+		if _, err := k.LoadImage(se.s, codeBase, srvImg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.LoadImage(ce.s, codeBase, cliImg); err != nil {
+			t.Fatal(err)
+		}
+		st := k.NewThread(se.s, 12)
+		st.Regs.PC = srv.Addr("echo")
+		k.StartThread(st)
+		ct := k.NewThread(ce.s, 10)
+		ct.Regs.PC = cli.Addr("cli")
+		k.StartThread(ct)
+		clients = append(clients, ct)
+		clientSpaces = append(clientSpaces, ce)
+	}
+	we := newParSpace(t, k)
+	if _, err := k.LoadImage(we.s, codeBase, compImg); err != nil {
+		t.Fatal(err)
+	}
+	wt := k.NewThread(we.s, 10)
+	wt.Regs.PC = comp.Addr("spin")
+	k.StartThread(wt)
+
+	k.RunFor(8_000_000_000)
+
+	var want uint32
+	for i := 0; i < rpcs; i++ {
+		want += 2 * uint32(1000*i+7)
+	}
+	for i, ct := range clients {
+		if !ct.Exited {
+			t.Fatalf("pair %d: client did not exit (state=%v pc=%#x)", i, ct.State, ct.Regs.PC)
+		}
+		b, err := k.ReadMem(clientSpaces[i].s, done, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+		if got != want {
+			t.Fatalf("pair %d: reply accumulator = %d, want %d", i, got, want)
+		}
+	}
+	if !wt.Exited {
+		t.Fatal("compute thread did not exit")
+	}
+	return k
+}
+
+// TestParallelHostIPCPairs runs disjoint IPC pairs on 4 CPUs with one
+// goroutine per CPU, under both lock models and both interrupt-model
+// preemption settings. Race-freedom is the point: the CI race job runs
+// this under -race.
+func TestParallelHostIPCPairs(t *testing.T) {
+	for _, pre := range []core.Preemption{core.PreemptNone, core.PreemptPartial} {
+		for _, lm := range lockModels {
+			pre, lm := pre, lm
+			t.Run(fmt.Sprintf("preempt=%v/lockmodel=%v", pre, lm), func(t *testing.T) {
+				cfg := core.Config{
+					Model: core.ModelInterrupt, Preempt: pre,
+					NumCPUs: 4, LockModel: lm, ParallelHost: true,
+				}
+				k := runParallelPairs(t, cfg, 3, 16)
+				if k.NumCPUs() != 4 {
+					t.Fatalf("NumCPUs = %d, want 4", k.NumCPUs())
+				}
+			})
+		}
+	}
+}
+
+// TestParallelHostRequiresInterruptModel pins the config validation.
+func TestParallelHostRequiresInterruptModel(t *testing.T) {
+	cfg := core.Config{Model: core.ModelProcess, Preempt: core.PreemptNone,
+		NumCPUs: 2, ParallelHost: true}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("ParallelHost with the process model was accepted")
+	}
+}

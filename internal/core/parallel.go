@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sync"
+)
+
+// ParallelHost execution (Config.ParallelHost): one host goroutine per
+// simulated CPU, giving real host parallelism for the user-mode batches.
+// All kernel sections run under a single gate mutex — the host analogue of
+// a kernel lock — so kernel state needs no finer-grained host locking; the
+// only code outside the gate is cpu.StepN on a space's memory, guarded by
+// that space's StepMu (exec.go stepUser). Threads are pinned to their
+// space's home CPU (no stealing), so one space's threads never step
+// concurrently with each other.
+//
+// Requires the interrupt execution model: each CPU goroutine is exactly
+// the paper's one-kernel-stack-per-processor, and blocking unwinds back to
+// the CPU loop instead of parking a baton-passing goroutine. The
+// deterministic-timeline guarantee is waived in this mode (wall-clock
+// interleaving decides the schedule); everything else — correctness,
+// stats, final memory state per workload — still holds, and the whole mode
+// must pass `go test -race`.
+type parState struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	idle int
+	done bool
+}
+
+// gateLock enters a kernel section on CPU c: takes the gate and installs c
+// as the acting CPU. k.cur is only meaningful while the gate is held.
+func (k *Kernel) gateLock(c *CPU) {
+	k.par.mu.Lock()
+	k.cur = c
+}
+
+// gateUnlock leaves a kernel section. The caller must re-enter with
+// gateLock before touching any kernel state again.
+func (k *Kernel) gateUnlock() {
+	k.par.mu.Unlock()
+}
+
+// runParallel drives the CPUs on one host goroutine each until stop()
+// reports true or the system is quiescent.
+func (k *Kernel) runParallel(stop func() bool) {
+	p := &parState{}
+	p.cond = sync.NewCond(&p.mu)
+	k.par = p
+	var wg sync.WaitGroup
+	for _, c := range k.cpus {
+		wg.Add(1)
+		go func(c *CPU) {
+			defer wg.Done()
+			k.cpuLoop(c, stop)
+		}(c)
+	}
+	wg.Wait()
+	k.par = nil
+	k.cur = k.cpus[0]
+}
+
+// cpuLoop is one CPU's scheduler loop. Invariant: the gate is held at the
+// top of every iteration (and across everything except user-mode batches).
+func (k *Kernel) cpuLoop(c *CPU, stop func() bool) {
+	p := k.par
+	k.gateLock(c)
+	defer k.gateUnlock()
+	for {
+		if p.done {
+			return
+		}
+		if stop() {
+			p.done = true
+			p.cond.Broadcast()
+			return
+		}
+		if t := k.schedPick(c); t != nil {
+			k.dispatch(c, t)
+			continue
+		}
+		// Nothing runnable here: service the local timer queue, else wait
+		// for a wake (kickCPU broadcasts) or system quiescence.
+		if d, ok := c.clk.NextDeadline(); ok {
+			if now := c.clk.Now(); d > now {
+				c.stats.IdleCycles += d - now
+			}
+			c.clk.AdvanceTo(d)
+			continue
+		}
+		p.idle++
+		if p.idle == len(k.cpus) && k.quiescent() {
+			p.idle--
+			p.done = true
+			p.cond.Broadcast()
+			return
+		}
+		p.cond.Wait()
+		k.cur = c // another CPU held the gate while we slept
+		p.idle--
+	}
+}
+
+// quiescent reports whether no CPU has runnable or timed work left.
+// Called under the gate.
+func (k *Kernel) quiescent() bool {
+	for _, c := range k.cpus {
+		if c.current != nil || k.runnableQueuedOn(c) || c.clk.Pending() > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -162,7 +162,7 @@ func TestStatsAccounting(t *testing.T) {
 		b.Halt()
 		th := e.spawn(t, b, 10)
 		e.run(t, 100_000_000, th)
-		s := e.k.Stats
+		s := e.k.Stats()
 		total := s.UserCycles + s.KernelCycles + s.IdleCycles
 		now := e.k.Clock.Now()
 		if total > now {

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"repro/internal/obj"
+	"repro/internal/trace"
+)
+
+// This file is the only place (besides the CPU struct itself) allowed to
+// touch per-CPU scheduler state — the run queues, resched flags, slice
+// timers, and resched timestamps. Everything else in internal/core goes
+// through these accessors, which wrap each queue touch in the scheduler
+// lock of the configured lock model. TestSchedStateAccessRouting enforces
+// the routing textually.
+
+// schedEnqueue appends t to the tail of its home CPU's run queue.
+func (k *Kernel) schedEnqueue(c *CPU, t *obj.Thread) {
+	k.lockAcquire(c, lockSched)
+	k.cpus[t.HomeCPU].runq.Enqueue(t)
+	k.lockRelease(c, lockSched)
+}
+
+// schedEnqueueFront puts t at the head of the acting CPU's own queue (a
+// preempted thread that has not consumed its quantum stays local).
+func (k *Kernel) schedEnqueueFront(c *CPU, t *obj.Thread) {
+	k.lockAcquire(c, lockSched)
+	c.runq.EnqueueFront(t)
+	k.lockRelease(c, lockSched)
+}
+
+// schedPick takes the best runnable thread off c's own queue.
+func (k *Kernel) schedPick(c *CPU) *obj.Thread {
+	k.lockAcquire(c, lockSched)
+	t := c.runq.Pick()
+	k.lockRelease(c, lockSched)
+	return t
+}
+
+// schedTopPriority reports the most urgent queued priority on c's queue.
+func (k *Kernel) schedTopPriority(c *CPU) (int, bool) {
+	k.lockAcquire(c, lockSched)
+	p, ok := c.runq.TopPriority()
+	k.lockRelease(c, lockSched)
+	return p, ok
+}
+
+// schedRemove unlinks t from whichever CPU's queue holds it.
+func (k *Kernel) schedRemove(c *CPU, t *obj.Thread) {
+	k.lockAcquire(c, lockSched)
+	if !k.cpus[t.HomeCPU].runq.Remove(t) {
+		for _, o := range k.cpus {
+			if o.id != t.HomeCPU && o.runq.Remove(t) {
+				break
+			}
+		}
+	}
+	k.lockRelease(c, lockSched)
+}
+
+// schedSteal rebalances: the idle CPU c takes one thread from the tail of
+// the victim with the most urgent queued work (ties broken by rotation
+// from c.id+1, so a hot CPU 0 is not always the designated victim).
+// Deterministic mode only; ParallelHost pins threads to their home CPU.
+func (k *Kernel) schedSteal(c *CPU) *obj.Thread {
+	k.lockAcquire(c, lockSched)
+	var victim *CPU
+	best := -1
+	n := len(k.cpus)
+	for i := 1; i < n; i++ {
+		o := k.cpus[(c.id+i)%n]
+		if p, ok := o.runq.TopPriority(); ok && p > best {
+			victim, best = o, p
+		}
+	}
+	var t *obj.Thread
+	if victim != nil {
+		t = victim.runq.Steal()
+	}
+	k.lockRelease(c, lockSched)
+	if t != nil {
+		c.stats.Steals++
+		if k.Metrics != nil {
+			k.Metrics.Steals.Inc()
+		}
+		k.emit(trace.Steal, uint32(victim.id), t.ID)
+	}
+	return t
+}
+
+// runnableQueuedOn reports whether c's queue holds a runnable thread
+// (quiescence checks; skips stale entries).
+func (k *Kernel) runnableQueuedOn(c *CPU) bool {
+	_, ok := c.runq.TopPriority()
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Resched flags and the preempt-latency window.
+
+// noteResched flags a pending local reschedule and stamps the request time
+// for the preemption-latency histogram (first request wins until serviced).
+func (k *Kernel) noteResched(c *CPU) {
+	c.needResched = true
+	if k.Metrics != nil && c.reschedSince == 0 {
+		c.reschedSince = c.clk.Now()
+	}
+}
+
+// forceResched sets the flag without stamping a latency window (the RunFor
+// budget stop is a harness artifact, not a scheduling event).
+func (k *Kernel) forceResched(c *CPU) { c.needResched = true }
+
+// clearResched drops the flag; an open latency window stays open until a
+// context switch observes it.
+func (k *Kernel) clearResched(c *CPU) { c.needResched = false }
+
+// needsResched reads c's flag (owner-read; cross-CPU writes arrive via
+// kickCPU, under the gate in ParallelHost mode).
+func (k *Kernel) needsResched(c *CPU) bool { return c.needResched }
+
+// observePreemptLatency closes an open reschedule-request window at a
+// context switch. A stolen thread can dispatch at a local time before the
+// (remote) request stamp; that skew clamps to zero.
+func (k *Kernel) observePreemptLatency(c *CPU) {
+	if k.Metrics != nil && c.reschedSince != 0 {
+		lat := uint64(0)
+		if now := c.clk.Now(); now > c.reschedSince {
+			lat = now - c.reschedSince
+		}
+		k.Metrics.PreemptLatency.Observe(lat)
+		c.reschedSince = 0
+	}
+}
+
+// kickCPU is the IPI analogue: CPU c asks target to reschedule (a wake
+// landed on target's queue that should preempt or un-idle it). The stamp
+// uses the kicker's clock — the latency histogram then measures
+// wake-to-dispatch across CPUs.
+func (k *Kernel) kickCPU(c *CPU, target *CPU) {
+	target.needResched = true
+	if k.Metrics != nil && target.reschedSince == 0 {
+		target.reschedSince = c.clk.Now()
+	}
+	c.stats.IPIs++
+	if k.Metrics != nil {
+		k.Metrics.IPIs.Inc()
+	}
+	k.emit(trace.IPI, uint32(target.id), 0)
+	if k.par != nil {
+		k.par.cond.Broadcast()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Slice timer.
+
+// armSliceTimer (re)arms c's quantum timer. On expiry, a uniprocessor
+// keeps the running thread unless equal-or-higher-priority work is queued
+// (the original round-robin rule, preserved bit-exactly); a multiprocessor
+// always ends the episode so the serial interleaver regains control and
+// other CPUs' virtual time can progress (liveness under work stealing).
+func (k *Kernel) armSliceTimer(c *CPU) {
+	if c.sliceTimer != nil {
+		c.clk.Cancel(c.sliceTimer)
+	}
+	c.sliceTimer = c.clk.After(k.cfg.Quantum, func(uint64) {
+		c.stats.TimerIRQs++
+		if k.Metrics != nil {
+			k.Metrics.TimerIRQs.Inc()
+		}
+		cur := c.current
+		if cur == nil {
+			return
+		}
+		if len(k.cpus) > 1 {
+			k.noteResched(c)
+			return
+		}
+		if p, ok := c.runq.TopPriority(); ok && p >= cur.Priority {
+			k.noteResched(c)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// CPU selection for the deterministic serial interleaver.
+
+// chooseCPU returns the CPU to run next: smallest local virtual time,
+// ties preferring a CPU with queued runnable work, then one with a
+// pending timer, then the lowest index. Total order over kernel state ⇒
+// the interleaving is a pure function of the initial state.
+func (k *Kernel) chooseCPU() *CPU {
+	best := k.cpus[0]
+	bestClass := cpuClass(best)
+	for _, c := range k.cpus[1:] {
+		cn, bn := c.clk.Now(), best.clk.Now()
+		if cn < bn {
+			best, bestClass = c, cpuClass(c)
+			continue
+		}
+		if cn == bn {
+			if cl := cpuClass(c); cl < bestClass {
+				best, bestClass = c, cl
+			}
+		}
+	}
+	return best
+}
+
+// cpuClass ranks same-time CPUs for chooseCPU: runnable work first, then
+// pending timers, then idle.
+func cpuClass(c *CPU) int {
+	if _, ok := c.runq.TopPriority(); ok {
+		return 0
+	}
+	if c.clk.Pending() > 0 {
+		return 1
+	}
+	return 2
+}
+
+// idleStep advances an idle CPU: to its next local timer if it has one,
+// otherwise to the earliest activity elsewhere (another CPU's clock or
+// deadline ahead of ours), after which chooseCPU will pick that CPU. It
+// returns false when the whole system is quiescent.
+func (k *Kernel) idleStep(c *CPU) bool {
+	if d, ok := c.clk.NextDeadline(); ok {
+		if now := c.clk.Now(); d > now {
+			c.stats.IdleCycles += d - now
+		}
+		c.clk.AdvanceTo(d)
+		return true
+	}
+	now := c.clk.Now()
+	target, ok := uint64(0), false
+	for _, o := range k.cpus {
+		if o == c {
+			continue
+		}
+		if t := o.clk.Now(); t > now && (!ok || t < target) {
+			target, ok = t, true
+		}
+		if d, dok := o.clk.NextDeadline(); dok && d > now && (!ok || d < target) {
+			target, ok = d, true
+		}
+	}
+	if !ok {
+		return false // no runnable work, no timers anywhere: quiescent
+	}
+	c.stats.IdleCycles += target - now
+	c.clk.AdvanceTo(target)
+	return true
+}

@@ -170,7 +170,7 @@ func (k *Kernel) sysSpaceSelf(t *obj.Thread) sys.KErr {
 }
 
 func (k *Kernel) sysClockGet(t *obj.Thread) sys.KErr {
-	us := k.Clock.Now() / 200 // cycles -> µs
+	us := k.cur.clk.Now() / 200 // cycles -> µs
 	t.Regs.R[1] = uint32(us)
 	t.Regs.R[2] = uint32(us >> 32)
 	k.Return(t, sys.EOK)
@@ -178,7 +178,7 @@ func (k *Kernel) sysClockGet(t *obj.Thread) sys.KErr {
 }
 
 func (k *Kernel) sysCPUSelf(t *obj.Thread) sys.KErr {
-	t.Regs.R[1] = 0 // single simulated CPU
+	t.Regs.R[1] = uint32(k.cur.id)
 	k.Return(t, sys.EOK)
 	return sys.KOK
 }
@@ -199,15 +199,16 @@ func (k *Kernel) sysThreadPrioritySelf(t *obj.Thread) sys.KErr {
 // 0 syscalls, 1 context switches, 2 restarts, 3 user preemptions.
 func (k *Kernel) sysPerfRead(t *obj.Thread) sys.KErr {
 	var v uint64
+	s := k.Stats()
 	switch t.Regs.R[1] {
 	case 0:
-		v = k.Stats.Syscalls
+		v = s.Syscalls
 	case 1:
-		v = k.Stats.ContextSwitches
+		v = s.ContextSwitches
 	case 2:
-		v = k.Stats.Restarts
+		v = s.Restarts
 	case 3:
-		v = k.Stats.PreemptsUser
+		v = s.PreemptsUser
 	}
 	t.Regs.R[1] = uint32(v)
 	t.Regs.R[2] = uint32(v >> 32)

@@ -81,7 +81,7 @@ func (k *Kernel) grantMutexByContinuation(m *obj.Mutex) bool {
 	k.Return(w, sys.EOK)
 	w.InSyscall = false
 	w.EntryCycles = 0
-	k.Stats.ContinuationsRecognized++
+	k.cur.stats.ContinuationsRecognized++
 	k.wakeOne(&m.Waiters)
 	return true
 }
@@ -127,7 +127,7 @@ func (k *Kernel) signalByContinuation(t *obj.Thread, c *obj.Cond) bool {
 	k.Return(w, sys.EOK)
 	w.InSyscall = false
 	w.EntryCycles = 0
-	k.Stats.ContinuationsRecognized++
+	k.cur.stats.ContinuationsRecognized++
 	k.wakeOne(&c.Waiters)
 	return true
 }
@@ -198,7 +198,7 @@ func (k *Kernel) sysThreadStop(t *obj.Thread) sys.KErr {
 		k.settle(target)
 	}
 	target.Stopped = true
-	k.runq.Remove(target)
+	k.schedRemove(k.cur, target)
 	k.Return(t, sys.EOK)
 	return sys.KOK
 }
@@ -215,7 +215,7 @@ func (k *Kernel) sysThreadResume(t *obj.Thread) sys.KErr {
 	if target.Stopped {
 		target.Stopped = false
 		if target.State == obj.ThReady {
-			k.runq.Enqueue(target)
+			k.schedEnqueue(k.cur, target)
 			k.maybeResched(target)
 		}
 	}
@@ -239,11 +239,11 @@ func (k *Kernel) sysThreadSetPriority(t *obj.Thread) sys.KErr {
 	}
 	onQueue := target.State == obj.ThReady && !target.Stopped && target != t
 	if onQueue {
-		k.runq.Remove(target)
+		k.schedRemove(k.cur, target)
 	}
 	target.Priority = p
 	if onQueue {
-		k.runq.Enqueue(target)
+		k.schedEnqueue(k.cur, target)
 		k.maybeResched(target)
 	}
 	k.Return(t, sys.EOK)
@@ -457,9 +457,9 @@ func (k *Kernel) sysThreadWait(t *obj.Thread) sys.KErr {
 
 // sleepLoop blocks until virtual time reaches deadline (in cycles).
 func (k *Kernel) sleepLoop(t *obj.Thread, deadline uint64) sys.KErr {
-	for k.Clock.Now() < deadline {
+	for k.cur.clk.Now() < deadline {
 		tt := t
-		t.SleepTimer = k.Clock.At(deadline, func(uint64) {
+		t.SleepTimer = k.cur.clk.At(deadline, func(uint64) {
 			if tt.WaitQ == &k.sleepers {
 				k.wakeThread(tt)
 			}
@@ -467,7 +467,7 @@ func (k *Kernel) sleepLoop(t *obj.Thread, deadline uint64) sys.KErr {
 		kerr := k.block(&k.sleepers, true)
 		if kerr == sys.KIntr {
 			if t.SleepTimer != nil {
-				k.Clock.Cancel(t.SleepTimer)
+				t.SleepTimer.Stop()
 				t.SleepTimer = nil
 			}
 			return sys.KIntr
@@ -490,7 +490,7 @@ func (k *Kernel) sysThreadSleep(t *obj.Thread) sys.KErr {
 			k.Return(t, sys.EOK)
 			return sys.KOK
 		}
-		deadline := k.Clock.Now() + uint64(t.Regs.R[1])*clock.CyclesPerMicrosecond
+		deadline := k.cur.clk.Now() + uint64(t.Regs.R[1])*clock.CyclesPerMicrosecond
 		t.Regs.R[2] = uint32(deadline)
 		t.Regs.R[3] = uint32(deadline >> 32)
 		k.CommitProgress(t)
@@ -514,11 +514,13 @@ func (k *Kernel) sysThreadSuspendSelf(t *obj.Thread) sys.KErr {
 	k.Return(t, sys.EOK)
 	t.Stopped = true
 	t.State = obj.ThReady
-	k.needResched = false
+	k.clearResched(k.cur)
+	snap := k.parkRelease()
 	if k.cfg.Model == ModelInterrupt {
 		return sys.KWouldBlock
 	}
 	k.yieldProcess(t, yBlocked)
+	k.parkReacquire(snap)
 	return sys.KOK
 }
 
@@ -688,7 +690,7 @@ func (k *Kernel) sysRegionSearch(t *obj.Thread) sys.KErr {
 		k.CommitProgress(t)
 		if t.Interrupted {
 			t.Interrupted = false
-			k.Stats.Interrupts++
+			k.cur.stats.Interrupts++
 			return sys.KIntr
 		}
 	}

@@ -198,9 +198,9 @@ func ContinuationRecognition() ([]ContRecRow, error) {
 		rows = append(rows, ContRecRow{
 			Setting:    name,
 			VirtualMS:  float64(k.Clock.Now()-start) / 200_000,
-			Syscalls:   k.Stats.Syscalls,
-			Switches:   k.Stats.ContextSwitches,
-			Recognized: k.Stats.ContinuationsRecognized,
+			Syscalls:   k.Stats().Syscalls,
+			Switches:   k.Stats().ContextSwitches,
+			Recognized: k.Stats().ContinuationsRecognized,
 		})
 	}
 	return rows, nil

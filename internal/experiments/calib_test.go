@@ -27,7 +27,7 @@ func TestCalibrationDump(t *testing.T) {
 			t.Fatal(err)
 		}
 		fmt.Printf("%-12s total=%d user=%d kernel=%d sys=%d switches=%d restarts=%d\n",
-			cfg.Name(), cyc, k.Stats.UserCycles, k.Stats.KernelCycles,
-			k.Stats.Syscalls, k.Stats.ContextSwitches, k.Stats.Restarts)
+			cfg.Name(), cyc, k.Stats().UserCycles, k.Stats().KernelCycles,
+			k.Stats().Syscalls, k.Stats().ContextSwitches, k.Stats().Restarts)
 	}
 }

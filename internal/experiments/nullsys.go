@@ -45,7 +45,7 @@ func NullSyscall(count int) (NullSyscallResult, NullSyscallResult, float64, erro
 		elapsed := k.Clock.Now() - start
 		return NullSyscallResult{
 			Model:        cfg.Model.String(),
-			KernelCycles: float64(k.Stats.KernelCycles) / float64(count),
+			KernelCycles: float64(k.Stats().KernelCycles) / float64(count),
 			TotalCycles:  float64(elapsed) / float64(count),
 		}, nil
 	}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestScalingSpeedup pins the multiprocessor story the experiment exists
+// to tell: with the work fixed, per-subsystem locking must scale (>= 1.5x
+// simulated throughput at 4 CPUs) while the big kernel lock must not
+// (every kernel episode serializes on the one lock), and the contention
+// counters must show why.
+func TestScalingSpeedup(t *testing.T) {
+	rows, err := IPCScaling(DefaultScalingScale(), []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(cpus int, lm core.LockModel) ScalingRow {
+		for _, r := range rows {
+			if r.CPUs == cpus && r.LockModel == lm {
+				return r
+			}
+		}
+		t.Fatalf("missing cell cpus=%d lm=%v", cpus, lm)
+		return ScalingRow{}
+	}
+	big := cell(4, core.LockBig)
+	per := cell(4, core.LockPerSubsystem)
+	if per.Speedup < 1.5 {
+		t.Errorf("per-subsystem speedup at 4 CPUs = %.2f, want >= 1.5", per.Speedup)
+	}
+	if big.Speedup >= per.Speedup {
+		t.Errorf("big-lock speedup %.2f not below per-subsystem %.2f", big.Speedup, per.Speedup)
+	}
+	// The big lock's failure to scale must be attributable: its contended
+	// wait time should dwarf per-subsystem's.
+	var bigWait, perWait uint64
+	for i := range big.Locks {
+		bigWait += big.Locks[i].WaitCycles
+		perWait += per.Locks[i].WaitCycles
+	}
+	if bigWait <= perWait {
+		t.Errorf("big-lock wait cycles %d not above per-subsystem %d", bigWait, perWait)
+	}
+	// Under LockBig only the big lock may move; under LockPerSubsystem the
+	// big lock must stay idle.
+	for i, ls := range big.Locks {
+		if core.LockKindNames[i] != "big" && ls.Contended != 0 {
+			t.Errorf("LockBig: lock %s contended %d times", ls.Name, ls.Contended)
+		}
+	}
+	if per.Locks[3].Acquires != 0 {
+		t.Errorf("LockPerSubsystem: big lock acquired %d times", per.Locks[3].Acquires)
+	}
+	// The 1-CPU cells must be lock-model-independent (no contention is
+	// possible with one clock) — same frontier, speedup exactly 1.
+	b1, p1 := cell(1, core.LockBig), cell(1, core.LockPerSubsystem)
+	if b1.Frontier != p1.Frontier {
+		t.Errorf("1-CPU frontier differs by lock model: big=%d persub=%d", b1.Frontier, p1.Frontier)
+	}
+}

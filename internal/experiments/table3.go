@@ -167,13 +167,13 @@ func runTable3Flavor(hard, serverSide bool) (Table3Row, error) {
 		return row, fmt.Errorf("table3 %s: RPC errno %v", name, e)
 	}
 	key := core.FaultKey{Class: class, Side: side}
-	n := k.Stats.FaultCount[key]
+	n := k.Stats().FaultCount[key]
 	if n == 0 {
 		return row, fmt.Errorf("table3 %s: no %v/%v fault recorded", name, class, side)
 	}
 	row.Faults = n
-	row.RemedyUS = float64(k.Stats.FaultRemedy[key]) / float64(n) / clock.CyclesPerMicrosecond
-	row.RollbackUS = float64(k.Stats.FaultRollback[key]) / float64(n) / clock.CyclesPerMicrosecond
+	row.RemedyUS = float64(k.Stats().FaultRemedy[key]) / float64(n) / clock.CyclesPerMicrosecond
+	row.RollbackUS = float64(k.Stats().FaultRollback[key]) / float64(n) / clock.CyclesPerMicrosecond
 	ci := 0
 	if hard {
 		ci = 2

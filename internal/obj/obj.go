@@ -12,6 +12,7 @@ package obj
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/clock"
 	"repro/internal/cpu"
@@ -202,6 +203,11 @@ type Thread struct {
 	Interrupted bool // thread_interrupt pending
 
 	Priority int
+
+	// HomeCPU is the simulated CPU the thread last ran on (and the queue
+	// a wake re-enqueues it to); maintained by internal/core. Threads
+	// migrate by work stealing, which updates it at dispatch.
+	HomeCPU int
 
 	// WaitQ is the wait queue the thread is blocked on, if any.
 	WaitQ *WaitQueue
@@ -407,6 +413,16 @@ type Space struct {
 	AS      *mmu.AddrSpace
 	Objects map[uint32]Obj
 	Threads []*Thread
+	// HomeCPU is the simulated CPU this space's threads are pinned to in
+	// ParallelHost mode (threads of one space never step concurrently);
+	// assigned round-robin by internal/core.
+	HomeCPU int
+	// StepMu serializes host access to AS in ParallelHost mode: the home
+	// CPU holds it while batch-stepping a thread of this space outside the
+	// kernel gate, and kernel code on another CPU takes it before touching
+	// this space's memory (IPC copies, cross-space fault classification).
+	// Unused (never contended) in the deterministic serial modes.
+	StepMu sync.Mutex
 	// ReapWaiters holds threads in space_reap_wait on this space.
 	ReapWaiters WaitQueue
 }

@@ -63,7 +63,7 @@ func TestPagerServesSequentialTouches(t *testing.T) {
 			if got := p.PresentPages(); got != pages {
 				t.Fatalf("pages served = %d, want %d", got, pages)
 			}
-			hard := k.Stats.FaultCount[core.FaultKey{Class: mmu.FaultHard, Side: core.FaultSame}]
+			hard := k.Stats().FaultCount[core.FaultKey{Class: mmu.FaultHard, Side: core.FaultSame}]
 			if hard < pages {
 				t.Fatalf("hard faults %d < %d", hard, pages)
 			}
@@ -85,10 +85,10 @@ func TestPagerRemedyTimeRecorded(t *testing.T) {
 		t.Fatal("client stuck")
 	}
 	key := core.FaultKey{Class: mmu.FaultHard, Side: core.FaultSame}
-	if k.Stats.FaultCount[key] == 0 {
+	if k.Stats().FaultCount[key] == 0 {
 		t.Fatal("no hard fault")
 	}
-	remedy := float64(k.Stats.FaultRemedy[key]) / float64(k.Stats.FaultCount[key]) / 200
+	remedy := float64(k.Stats().FaultRemedy[key]) / float64(k.Stats().FaultCount[key]) / 200
 	// Table 3 target: ~118 µs for a client-side hard fault. Accept a
 	// generous band here; EXPERIMENTS.md records the precise value.
 	if remedy < 60 || remedy > 400 {

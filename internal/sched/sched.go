@@ -1,7 +1,8 @@
 // Package sched implements the kernel scheduler substrate: fixed-priority
 // run queues with round-robin within a priority level, plus the preemption
 // bookkeeping the five kernel configurations of the paper (Table 4) hook
-// into.
+// into. With NumCPUs > 1 the kernel holds one RunQueue per simulated CPU
+// and rebalances with Steal.
 package sched
 
 import (
@@ -25,10 +26,74 @@ const (
 // 200 cycles/µs), in the spirit of a '90s kernel tick-based scheduler.
 const DefaultQuantum = 10 * 1000 * 200
 
+// deque is a growable ring buffer of threads: O(1) push/pop at both ends
+// with no per-operation allocation once warm. A preempted thread re-queued
+// at the front (EnqueueFront) therefore costs the same as a plain enqueue,
+// instead of the O(n) slice prepend it used to be.
+type deque struct {
+	buf  []*obj.Thread
+	head int // index of the first element
+	n    int
+}
+
+func (d *deque) at(i int) *obj.Thread { return d.buf[(d.head+i)%len(d.buf)] }
+
+func (d *deque) grow() {
+	if d.n < len(d.buf) {
+		return
+	}
+	newCap := 2 * len(d.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]*obj.Thread, newCap)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.at(i)
+	}
+	d.buf, d.head = buf, 0
+}
+
+func (d *deque) pushBack(t *obj.Thread) {
+	d.grow()
+	d.buf[(d.head+d.n)%len(d.buf)] = t
+	d.n++
+}
+
+func (d *deque) pushFront(t *obj.Thread) {
+	d.grow()
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = t
+	d.n++
+}
+
+func (d *deque) popFront() *obj.Thread {
+	t := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return t
+}
+
+func (d *deque) popBack() *obj.Thread {
+	i := (d.head + d.n - 1) % len(d.buf)
+	t := d.buf[i]
+	d.buf[i] = nil
+	d.n--
+	return t
+}
+
+// removeAt unlinks position i preserving FIFO order of the rest.
+func (d *deque) removeAt(i int) {
+	for ; i < d.n-1; i++ {
+		d.buf[(d.head+i)%len(d.buf)] = d.at(i + 1)
+	}
+	d.popBack()
+}
+
 // RunQueue holds runnable threads ordered by priority, FIFO within a
 // level.
 type RunQueue struct {
-	levels [NumPriorities][]*obj.Thread
+	levels [NumPriorities]deque
 	count  int
 }
 
@@ -44,7 +109,7 @@ func checkPrio(p int) {
 // Enqueue appends t at the tail of its priority level.
 func (rq *RunQueue) Enqueue(t *obj.Thread) {
 	checkPrio(t.Priority)
-	rq.levels[t.Priority] = append(rq.levels[t.Priority], t)
+	rq.levels[t.Priority].pushBack(t)
 	rq.count++
 }
 
@@ -52,7 +117,7 @@ func (rq *RunQueue) Enqueue(t *obj.Thread) {
 // thread that has not consumed its quantum).
 func (rq *RunQueue) EnqueueFront(t *obj.Thread) {
 	checkPrio(t.Priority)
-	rq.levels[t.Priority] = append([]*obj.Thread{t}, rq.levels[t.Priority]...)
+	rq.levels[t.Priority].pushFront(t)
 	rq.count++
 }
 
@@ -61,11 +126,25 @@ func (rq *RunQueue) EnqueueFront(t *obj.Thread) {
 // as they are encountered.
 func (rq *RunQueue) Pick() *obj.Thread {
 	for p := NumPriorities - 1; p >= 0; p-- {
-		for len(rq.levels[p]) > 0 {
-			t := rq.levels[p][0]
-			copy(rq.levels[p], rq.levels[p][1:])
-			rq.levels[p][len(rq.levels[p])-1] = nil
-			rq.levels[p] = rq.levels[p][:len(rq.levels[p])-1]
+		for rq.levels[p].n > 0 {
+			t := rq.levels[p].popFront()
+			rq.count--
+			if t.Runnable() {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// Steal removes and returns the highest-priority runnable thread from the
+// tail of its level — the cold end, opposite the one Pick drains — or nil
+// if the queue holds no runnable thread. Stale entries encountered at the
+// tail are dropped, exactly as Pick drops them at the head.
+func (rq *RunQueue) Steal() *obj.Thread {
+	for p := NumPriorities - 1; p >= 0; p-- {
+		for rq.levels[p].n > 0 {
+			t := rq.levels[p].popBack()
 			rq.count--
 			if t.Runnable() {
 				return t
@@ -79,8 +158,9 @@ func (rq *RunQueue) Pick() *obj.Thread {
 // thread and true, or 0 and false if the queue is empty.
 func (rq *RunQueue) TopPriority() (int, bool) {
 	for p := NumPriorities - 1; p >= 0; p-- {
-		for _, t := range rq.levels[p] {
-			if t.Runnable() {
+		d := &rq.levels[p]
+		for i := 0; i < d.n; i++ {
+			if d.at(i).Runnable() {
 				return p, true
 			}
 		}
@@ -90,12 +170,23 @@ func (rq *RunQueue) TopPriority() (int, bool) {
 
 // Remove unlinks t wherever it is queued. It reports whether t was found.
 func (rq *RunQueue) Remove(t *obj.Thread) bool {
+	d := &rq.levels[t.Priority]
+	for i := 0; i < d.n; i++ {
+		if d.at(i) == t {
+			d.removeAt(i)
+			rq.count--
+			return true
+		}
+	}
+	// The thread's priority may have changed while queued; sweep the rest.
 	for p := range rq.levels {
-		for i, x := range rq.levels[p] {
-			if x == t {
-				copy(rq.levels[p][i:], rq.levels[p][i+1:])
-				rq.levels[p][len(rq.levels[p])-1] = nil
-				rq.levels[p] = rq.levels[p][:len(rq.levels[p])-1]
+		if p == t.Priority {
+			continue
+		}
+		d := &rq.levels[p]
+		for i := 0; i < d.n; i++ {
+			if d.at(i) == t {
+				d.removeAt(i)
 				rq.count--
 				return true
 			}

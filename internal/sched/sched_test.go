@@ -129,6 +129,157 @@ func TestPriorityRangePanics(t *testing.T) {
 	rq.Enqueue(th(1, NumPriorities))
 }
 
+// Pick must skip — and drop — entries that went non-runnable while
+// queued, in every combination: stopped, blocked, dead.
+func TestPickSkipsNonRunnable(t *testing.T) {
+	rq := NewRunQueue()
+	stopped, blocked, dead, ok := th(1, 9), th(2, 9), th(3, 9), th(4, 9)
+	rq.Enqueue(stopped)
+	rq.Enqueue(blocked)
+	rq.Enqueue(dead)
+	rq.Enqueue(ok)
+	stopped.Stopped = true
+	blocked.State = obj.ThBlocked
+	dead.State = obj.ThDead
+	if got := rq.Pick(); got != ok {
+		t.Fatalf("picked t%d, want t4", got.ID)
+	}
+	if rq.Pick() != nil {
+		t.Fatal("non-runnable entry was picked")
+	}
+	if rq.Len() != 0 {
+		t.Fatalf("stale entries not dropped: Len = %d", rq.Len())
+	}
+}
+
+// EnqueueFront entries within one level come out LIFO relative to each
+// other and ahead of every plain Enqueue, which stays FIFO.
+func TestEnqueueFrontOrderingWithinLevel(t *testing.T) {
+	rq := NewRunQueue()
+	rq.Enqueue(th(1, 7))
+	rq.Enqueue(th(2, 7))
+	rq.EnqueueFront(th(3, 7))
+	rq.EnqueueFront(th(4, 7))
+	rq.Enqueue(th(5, 7))
+	for _, want := range []uint32{4, 3, 1, 2, 5} {
+		if got := rq.Pick(); got.ID != want {
+			t.Fatalf("picked t%d, want t%d", got.ID, want)
+		}
+	}
+}
+
+// Stealing from an empty victim returns nil without disturbing counts.
+func TestStealEmptyVictim(t *testing.T) {
+	rq := NewRunQueue()
+	if rq.Steal() != nil {
+		t.Fatal("stole from an empty queue")
+	}
+	if rq.Len() != 0 {
+		t.Fatalf("Len = %d after failed steal", rq.Len())
+	}
+	// A queue holding only stale entries is empty for Steal's purposes.
+	s := th(1, 5)
+	rq.Enqueue(s)
+	s.Stopped = true
+	if rq.Steal() != nil {
+		t.Fatal("stole a stopped thread")
+	}
+	if rq.Len() != 0 {
+		t.Fatalf("stale entry not dropped: Len = %d", rq.Len())
+	}
+}
+
+// Steal takes the highest-priority runnable thread, from the tail of its
+// level (the opposite end from Pick).
+func TestStealPriorityAndEnd(t *testing.T) {
+	rq := NewRunQueue()
+	rq.Enqueue(th(1, 4))
+	rq.Enqueue(th(2, 9))
+	rq.Enqueue(th(3, 9))
+	if got := rq.Steal(); got.ID != 3 {
+		t.Fatalf("stole t%d, want tail t3 of top level", got.ID)
+	}
+	if got := rq.Pick(); got.ID != 2 {
+		t.Fatalf("picked t%d, want t2", got.ID)
+	}
+	if got := rq.Steal(); got.ID != 1 {
+		t.Fatalf("stole t%d, want t1", got.ID)
+	}
+}
+
+// Remove must find a thread whose priority changed after it was queued.
+func TestRemoveAfterPriorityChange(t *testing.T) {
+	rq := NewRunQueue()
+	a := th(1, 3)
+	rq.Enqueue(a)
+	a.Priority = 12
+	if !rq.Remove(a) {
+		t.Fatal("Remove lost a thread whose priority changed while queued")
+	}
+	if rq.Len() != 0 {
+		t.Fatalf("Len = %d", rq.Len())
+	}
+}
+
+// The EnqueueFront fix: re-queueing a preempted thread must not allocate
+// (it used to prepend with append([]*obj.Thread{t}, ...) — one fresh
+// slice per preemption).
+func TestEnqueueFrontDoesNotAllocate(t *testing.T) {
+	rq := NewRunQueue()
+	ts := make([]*obj.Thread, 64)
+	for i := range ts {
+		ts[i] = th(uint32(i), 7)
+		rq.Enqueue(ts[i]) // warm the ring
+	}
+	for range ts {
+		rq.Pick()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, t := range ts {
+			rq.EnqueueFront(t)
+		}
+		for range ts {
+			rq.Pick()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EnqueueFront allocates: %v allocs/run, want 0", allocs)
+	}
+}
+
+func BenchmarkEnqueueFront(b *testing.B) {
+	rq := NewRunQueue()
+	ts := make([]*obj.Thread, 256)
+	for i := range ts {
+		ts[i] = th(uint32(i), 7)
+		rq.Enqueue(ts[i])
+	}
+	for range ts {
+		rq.Pick()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ts[i%len(ts)]
+		rq.EnqueueFront(t)
+		rq.Pick()
+	}
+}
+
+func BenchmarkEnqueuePick(b *testing.B) {
+	rq := NewRunQueue()
+	ts := make([]*obj.Thread, 256)
+	for i := range ts {
+		ts[i] = th(uint32(i), i%NumPriorities)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rq.Enqueue(ts[i%len(ts)])
+		rq.Pick()
+	}
+}
+
 // Property: Pick drains threads in nonincreasing priority order.
 func TestPropertyPickOrdering(t *testing.T) {
 	f := func(prios []uint8) bool {

@@ -12,9 +12,10 @@ import (
 
 // This file exports the typed event ring in Chrome trace_event JSON (the
 // "JSON Array Format" both chrome://tracing and ui.perfetto.dev open
-// natively): one track per thread ID, syscalls as complete ("X") spans
-// from enter to exit, everything else as thread-scoped instants.
-// Timestamps are virtual microseconds via clock.CyclesPerMicrosecond.
+// natively): one trace "process" per simulated CPU (its lane group), one
+// track per thread ID within it, syscalls as complete ("X") spans from
+// enter to exit, everything else as thread-scoped instants. Timestamps
+// are virtual microseconds via clock.CyclesPerMicrosecond.
 
 // jsonEvent is one trace_event record — the field subset we emit.
 type jsonEvent struct {
@@ -35,8 +36,9 @@ type jsonTrace struct {
 	DisplayTimeUnit string      `json:"displayTimeUnit"`
 }
 
-// exportPid is the single simulated kernel's process ID in the trace.
-const exportPid = 1
+// pidOf maps a simulated CPU to its trace process ID. CPU 0 is pid 1, so
+// uniprocessor traces look exactly as they did before CPU lanes existed.
+func pidOf(cpu uint32) uint32 { return cpu + 1 }
 
 // usOf converts a cycle timestamp to trace microseconds.
 func usOf(cycles uint64) float64 { return clock.Micros(cycles) }
@@ -45,7 +47,7 @@ func usOf(cycles uint64) float64 { return clock.Micros(cycles) }
 func instant(e Event, name string, args map[string]string) jsonEvent {
 	return jsonEvent{
 		Name: name, Cat: "kernel", Ph: "i", S: "t",
-		Ts: usOf(e.Time), Pid: exportPid, Tid: e.TID, Args: args,
+		Ts: usOf(e.Time), Pid: pidOf(e.CPU), Tid: e.TID, Args: args,
 	}
 }
 
@@ -57,37 +59,58 @@ func instant(e Event, name string, args map[string]string) jsonEvent {
 func ExportJSON(w io.Writer, events []Event) error {
 	out := make([]jsonEvent, 0, len(events)+8)
 
-	// One thread_name metadata record per track.
-	tids := map[uint32]bool{}
+	// One process_name metadata record per CPU lane and one thread_name
+	// record per (CPU, thread) track.
+	type track struct{ cpu, tid uint32 }
+	cpus := map[uint32]bool{}
+	tracks := map[track]bool{}
 	for _, e := range events {
-		tids[e.TID] = true
+		cpus[e.CPU] = true
+		tracks[track{e.CPU, e.TID}] = true
 	}
-	sortedTids := make([]uint32, 0, len(tids))
-	for tid := range tids {
-		sortedTids = append(sortedTids, tid)
+	sortedCPUs := make([]uint32, 0, len(cpus))
+	for c := range cpus {
+		sortedCPUs = append(sortedCPUs, c)
 	}
-	sort.Slice(sortedTids, func(i, j int) bool { return sortedTids[i] < sortedTids[j] })
-	for _, tid := range sortedTids {
-		name := fmt.Sprintf("thread %d", tid)
-		if tid == 0 {
+	sort.Slice(sortedCPUs, func(i, j int) bool { return sortedCPUs[i] < sortedCPUs[j] })
+	for _, c := range sortedCPUs {
+		out = append(out, jsonEvent{
+			Name: "process_name", Ph: "M", Pid: pidOf(c),
+			Args: map[string]string{"name": fmt.Sprintf("cpu %d", c)},
+		})
+	}
+	sortedTracks := make([]track, 0, len(tracks))
+	for tr := range tracks {
+		sortedTracks = append(sortedTracks, tr)
+	}
+	sort.Slice(sortedTracks, func(i, j int) bool {
+		if sortedTracks[i].cpu != sortedTracks[j].cpu {
+			return sortedTracks[i].cpu < sortedTracks[j].cpu
+		}
+		return sortedTracks[i].tid < sortedTracks[j].tid
+	})
+	for _, tr := range sortedTracks {
+		name := fmt.Sprintf("thread %d", tr.tid)
+		if tr.tid == 0 {
 			name = "scheduler"
 		}
 		out = append(out, jsonEvent{
-			Name: "thread_name", Ph: "M", Pid: exportPid, Tid: tid,
+			Name: "thread_name", Ph: "M", Pid: pidOf(tr.cpu), Tid: tr.tid,
 			Args: map[string]string{"name": name},
 		})
 	}
 
-	open := map[uint32][]Event{} // per-tid stack of unmatched SyscallEnter
+	open := map[track][]Event{} // per-track stack of unmatched SyscallEnter
 	for _, e := range events {
+		key := track{e.CPU, e.TID}
 		switch e.Kind {
 		case SyscallEnter:
-			open[e.TID] = append(open[e.TID], e)
+			open[key] = append(open[key], e)
 		case SyscallExit:
-			stack := open[e.TID]
+			stack := open[key]
 			if n := len(stack); n > 0 && stack[n-1].A == e.A {
 				enter := stack[n-1]
-				open[e.TID] = stack[:n-1]
+				open[key] = stack[:n-1]
 				args := map[string]string{"result": sys.KErr(e.B).String()}
 				if enter.B == 1 {
 					args["redispatch"] = "true"
@@ -95,7 +118,7 @@ func ExportJSON(w io.Writer, events []Event) error {
 				out = append(out, jsonEvent{
 					Name: sys.Name(int(e.A)), Cat: "syscall", Ph: "X",
 					Ts: usOf(enter.Time), Dur: usOf(e.Time - enter.Time),
-					Pid: exportPid, Tid: e.TID, Args: args,
+					Pid: pidOf(e.CPU), Tid: e.TID, Args: args,
 				})
 			} else {
 				out = append(out, instant(e, "sys- "+sys.Name(int(e.A)),
@@ -123,6 +146,12 @@ func ExportJSON(w io.Writer, events []Event) error {
 				map[string]string{"code": fmt.Sprintf("%#x", e.A)}))
 		case IRQ:
 			out = append(out, instant(e, fmt.Sprintf("irq %d", e.A), nil))
+		case IPI:
+			out = append(out, instant(e, "ipi",
+				map[string]string{"target": fmt.Sprintf("cpu%d", e.A)}))
+		case Steal:
+			out = append(out, instant(e, "steal",
+				map[string]string{"thread": fmt.Sprintf("t%d", e.B), "victim": fmt.Sprintf("cpu%d", e.A)}))
 		default:
 			out = append(out, instant(e, e.Kind.String(), nil))
 		}

@@ -34,6 +34,10 @@ const (
 	ThreadExit
 	// IRQ: A = line.
 	IRQ
+	// IPI: A = target CPU (cross-CPU reschedule request).
+	IPI
+	// Steal: A = victim CPU, B = stolen thread ID.
+	Steal
 )
 
 func (k Kind) String() string {
@@ -54,14 +58,19 @@ func (k Kind) String() string {
 		return "exit"
 	case IRQ:
 		return "irq"
+	case IPI:
+		return "ipi"
+	case Steal:
+		return "steal"
 	}
 	return fmt.Sprintf("kind%d", uint8(k))
 }
 
 // Event is one trace record.
 type Event struct {
-	Time uint64 // virtual cycles
+	Time uint64 // virtual cycles (emitting CPU's local clock)
 	TID  uint32 // current thread (0 = scheduler context)
+	CPU  uint32 // emitting simulated CPU (its Perfetto lane)
 	Kind Kind
 	A, B uint32
 }
@@ -92,8 +101,12 @@ func (e Event) String() string {
 		detail = fmt.Sprintf("code=%#x", e.A)
 	case IRQ:
 		detail = fmt.Sprintf("line %d", e.A)
+	case IPI:
+		detail = fmt.Sprintf("-> cpu%d", e.A)
+	case Steal:
+		detail = fmt.Sprintf("t%d from cpu%d", e.B, e.A)
 	}
-	return fmt.Sprintf("[%12.2fus] t%-3d %-7s %s", clock.Micros(e.Time), e.TID, e.Kind, detail)
+	return fmt.Sprintf("[%12.2fus] c%d t%-3d %-7s %s", clock.Micros(e.Time), e.CPU, e.TID, e.Kind, detail)
 }
 
 // Ring is a bounded event buffer; when full, the oldest events are

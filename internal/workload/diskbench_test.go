@@ -20,8 +20,8 @@ func TestDiskbenchCompletesAllConfigs(t *testing.T) {
 				t.Fatal(err)
 			}
 			// Every request is at least two IPC connects.
-			if k.Stats.Syscalls < 50 {
-				t.Fatalf("suspiciously few syscalls: %d", k.Stats.Syscalls)
+			if k.Stats().Syscalls < 50 {
+				t.Fatalf("suspiciously few syscalls: %d", k.Stats().Syscalls)
 			}
 		})
 	}

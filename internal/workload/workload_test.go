@@ -27,8 +27,8 @@ func TestFlukeperfCompletesAllConfigs(t *testing.T) {
 			if cycles == 0 {
 				t.Fatal("no virtual time elapsed")
 			}
-			if k.Stats.Syscalls < 1000 {
-				t.Fatalf("flukeperf made only %d syscalls", k.Stats.Syscalls)
+			if k.Stats().Syscalls < 1000 {
+				t.Fatalf("flukeperf made only %d syscalls", k.Stats().Syscalls)
 			}
 		})
 	}
@@ -47,7 +47,7 @@ func TestMemtestCompletesAllConfigs(t *testing.T) {
 			if _, err := w.Run(testBudget); err != nil {
 				t.Fatal(err)
 			}
-			hard := k.Stats.FaultCount[core.FaultKey{Class: mmu.FaultHard, Side: core.FaultSame}]
+			hard := k.Stats().FaultCount[core.FaultKey{Class: mmu.FaultHard, Side: core.FaultSame}]
 			if hard != bytes/4096 {
 				t.Fatalf("hard faults = %d, want %d (one per page)", hard, bytes/4096)
 			}
@@ -80,7 +80,7 @@ func TestGCCIsMostlyUserMode(t *testing.T) {
 	if _, err := w.Run(testBudget); err != nil {
 		t.Fatal(err)
 	}
-	u, kk := k.Stats.UserCycles, k.Stats.KernelCycles
+	u, kk := k.Stats().UserCycles, k.Stats().KernelCycles
 	if u < 3*kk {
 		t.Fatalf("gcc user/kernel = %d/%d; want mostly user-mode", u, kk)
 	}
@@ -95,8 +95,8 @@ func TestMemtestIsFaultDominated(t *testing.T) {
 	if _, err := w.Run(testBudget); err != nil {
 		t.Fatal(err)
 	}
-	if k.Stats.KernelCycles < k.Stats.UserCycles/4 {
-		t.Fatalf("memtest kernel share too small: u=%d k=%d", k.Stats.UserCycles, k.Stats.KernelCycles)
+	if k.Stats().KernelCycles < k.Stats().UserCycles/4 {
+		t.Fatalf("memtest kernel share too small: u=%d k=%d", k.Stats().UserCycles, k.Stats().KernelCycles)
 	}
 }
 

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Run the PR-tracked benchmark set: the interpreter hot loop, the null
-# system call (wall-clock and virtual kernel-cycles/call), and the IPC
-# round-trip under every kernel configuration.
+# system call (wall-clock and virtual kernel-cycles/call), the IPC
+# round-trip under every kernel configuration, and the multiprocessor
+# IPC-scaling matrix (CPU count x lock model).
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime   value for -benchtime (default 1s; use e.g. 5x for smoke)
@@ -14,5 +15,5 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
 exec go test -run='^$' \
-    -bench='BenchmarkInterpreter$|BenchmarkNullSyscall$|BenchmarkIPCRoundTrip$' \
+    -bench='BenchmarkInterpreter$|BenchmarkNullSyscall$|BenchmarkIPCRoundTrip$|BenchmarkIPCScaling$' \
     -benchtime="$BENCHTIME" .

@@ -163,6 +163,27 @@ func BenchmarkNullSyscall(b *testing.B) {
 	}
 }
 
+// BenchmarkNullRPC measures the direct-handoff IPC fast path: a
+// client/server null-RPC pair run with the fast path on and off,
+// reporting virtual kernel cycles per call for each regime and the
+// relative drop. Unlike the simulator caches, the fast path is an
+// architectural change and *intentionally* moves virtual time.
+func BenchmarkNullRPC(b *testing.B) {
+	var on, off experiments.NullRPCResult
+	var drop float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		on, off, drop, err = experiments.NullRPC(5000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(on.KernelCycles, "kernel-cycles/call-on")
+	b.ReportMetric(off.KernelCycles, "kernel-cycles/call-off")
+	b.ReportMetric(drop, "drop-%")
+	b.ReportMetric(float64(on.Hits)/5000, "handoffs/call")
+}
+
 // BenchmarkNullSyscallMetricsOverhead measures the wall-clock cost the
 // metrics registry adds to the hottest path (the null syscall): "off"
 // pays only the k.Metrics == nil branch at each instrumented site, "on"

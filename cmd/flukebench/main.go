@@ -43,12 +43,13 @@ func main() {
 	t6 := flag.Bool("table6", false, "run only Table 6")
 	t7 := flag.Bool("table7", false, "run only Table 7")
 	nullsys := flag.Bool("nullsys", false, "run only the null-syscall microbenchmark")
+	nullrpc := flag.Bool("nullrpc", false, "run only the null-RPC fastpath on/off microbenchmark")
 	ablate := flag.Bool("ablate", false, "run only the preemption-parameter ablations")
 	driver := flag.Bool("driver", false, "run only the driver-latency extension experiment")
 	scaling := flag.Bool("scaling", false, "run only the multiprocessor IPC-scaling matrix")
 	flag.Parse()
 
-	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *ablate || *driver || *scaling
+	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *nullrpc || *ablate || *driver || *scaling
 	show := func(sel bool) bool { return sel || !any }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "flukebench:", err)
@@ -114,6 +115,16 @@ func main() {
 			}
 			matrix("process,interrupt", "none", "1", "big")
 			fmt.Println(experiments.NullSyscallRender(p, i, delta))
+		})
+	}
+	if show(*nullrpc) {
+		timed("null-RPC microbenchmark", func() {
+			on, off, drop, err := experiments.NullRPC(20000)
+			if err != nil {
+				fail(err)
+			}
+			matrix("process", "none", "1", "big")
+			fmt.Println(experiments.NullRPCRender(on, off, drop))
 		})
 	}
 	if *ablate {

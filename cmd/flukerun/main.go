@@ -37,9 +37,10 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the kernel trace as Perfetto/Chrome trace_event JSON to FILE")
 	cpus := flag.Int("cpus", 1, "number of simulated CPUs")
 	lockmodel := flag.String("lockmodel", "big", "kernel lock model: big | persub")
+	noFastpath := flag.Bool("no-ipc-fastpath", false, "disable the IPC direct-handoff fast path")
 	flag.Parse()
 
-	cfg := core.Config{NumCPUs: *cpus}
+	cfg := core.Config{NumCPUs: *cpus, DisableIPCFastPath: *noFastpath}
 	switch *lockmodel {
 	case "big":
 		cfg.LockModel = core.LockBig
@@ -146,6 +147,8 @@ func main() {
 	fmt.Printf("  idle cycles     %12d\n", s.IdleCycles)
 	fmt.Printf("  preemptions: user %d, ipc-point %d, in-kernel %d\n",
 		s.PreemptsUser, s.PreemptsPoint, s.PreemptsKernel)
+	fmt.Printf("  ipc fastpath: hits %d, misses %d, fallbacks %d\n",
+		s.FastpathHits, s.FastpathMisses, s.FastpathFallbacks)
 	if *cpus > 1 {
 		fmt.Printf("  cross-CPU: ipis %d, steals %d\n", s.IPIs, s.Steals)
 		for _, ls := range k.LockStats() {

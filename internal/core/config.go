@@ -168,6 +168,18 @@ type Config struct {
 	// debugging the fast paths themselves.
 	DisableFastPath bool
 
+	// DisableIPCFastPath turns off the kernel's IPC fast path: the
+	// direct thread handoff that, when a sender completes its peer's
+	// receive, donates the rest of its time slice and switches straight
+	// to the peer without a run-queue round trip, carrying short
+	// messages (≤ FastMsgWords) through the register file. Unlike
+	// DisableFastPath this changes *virtual* time — the fast path is a
+	// modeled kernel optimization, not a simulator cache — but it never
+	// changes user-visible results: TestIPCFastPathEquivalence pins
+	// memory, register results, payloads, and Table 3 cause counts
+	// identical with the path on and off.
+	DisableIPCFastPath bool
+
 	// TraceSyscalls, when set, receives one line per syscall completion
 	// (debugging aid).
 	TraceSyscalls func(line string)

@@ -25,6 +25,23 @@ const (
 	// (queue manipulation, address space switch).
 	CycCtxSwitchBase = 60
 
+	// CycDirectSwitch is the cost of the IPC fast path's direct thread
+	// handoff: when the peer is already blocked in the matching receive
+	// phase the kernel switches to it straight from the sender's episode
+	// — no run-queue enqueue, no scheduler pass, no slice-timer re-arm
+	// (the peer inherits the donor's slice), and in the process model no
+	// kernel-register save (the donor is blocking anyway, so its kernel
+	// context is parked, not switched out). L4-family kernels report
+	// this path at a fraction of the general switch; we model it at half
+	// CycCtxSwitchBase.
+	CycDirectSwitch = 30
+
+	// FastMsgWords is the largest message (in 32-bit words) the fast
+	// path carries through the peer's register file with no memory-copy
+	// charge — the classic register-carried short-IPC window (8 words ≈
+	// the general-purpose registers an L4-style kernel leaves free).
+	FastMsgWords = 8
+
 	// CycKernelRedispatch is the cost of re-entering a syscall handler
 	// for a woken thread whose registers name a restart continuation:
 	// the scheduler calls the handler directly, without crossing the

@@ -121,6 +121,9 @@ func (k *Kernel) Stats() Stats {
 		out.ContinuationsRecognized += s.ContinuationsRecognized
 		out.IPIs += s.IPIs
 		out.Steals += s.Steals
+		out.FastpathHits += s.FastpathHits
+		out.FastpathMisses += s.FastpathMisses
+		out.FastpathFallbacks += s.FastpathFallbacks
 	}
 	return out
 }

@@ -74,6 +74,7 @@ func genThread(b *prog.Builder, rng *rand.Rand, label string, area uint32, actio
 func runSeed(t *testing.T, cfg core.Config, seed int64) ([]byte, *core.Kernel) {
 	t.Helper()
 	e := newEnv(t, cfg)
+	e.k.EnableMetrics() // metrics never perturb virtual time
 	bindIPC(t, e.k, e.s, e.s)
 	mo, _ := obj.New(sys.ObjMutex)
 	if err := e.k.Bind(e.s, eqMtx, mo); err != nil {
@@ -81,13 +82,24 @@ func runSeed(t *testing.T, cfg core.Config, seed int64) ([]byte, *core.Kernel) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	b := prog.New(codeBase)
-	// Echo server: receive one word, reply with it doubled, loop.
-	const ebuf = dataBase + 0x3000
+	// Echo server: receive one word, reply with it doubled, loop. The
+	// receive buffer is two words for a one-word request so the receive
+	// completes on the client's message-end (after its turnaround), never
+	// on buffer-full — a buffer-full completion can beat the client's
+	// flip, making reply_wait_receive's ESTATE depend on the schedule.
+	// The reply is computed into a separate buffer so a retried reply is
+	// idempotent. Both are needed for the schedule-independence the
+	// equivalence tests rest on.
+	const (
+		ebuf = dataBase + 0x3000
+		erep = dataBase + 0x3800
+	)
 	b.Label("echo").
-		IPCWaitReceive(ebuf, 1, psVA).
+		IPCWaitReceive(ebuf, 2, psVA).
 		Label("echo.loop").
-		Movi(4, ebuf).Ld(5, 4, 0).Add(5, 5, 5).St(4, 0, 5).
-		IPCReplyWaitReceive(ebuf, 1, psVA, ebuf, 1).
+		Movi(4, ebuf).Ld(5, 4, 0).Add(5, 5, 5).
+		Movi(4, erep).St(4, 0, 5).
+		IPCReplyWaitReceive(erep, 1, psVA, ebuf, 2).
 		Jmp("echo.loop")
 	actions := 15 + rng.Intn(25)
 	genThread(b, rng, "ta", eqAreaA, actions)
@@ -135,6 +147,53 @@ func TestModelEquivalenceFuzz(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestIPCFastPathEquivalence pins the IPC fast path's transparency: the
+// direct handoff and register-carried transfers deliberately change
+// virtual time (that is the optimisation), but nothing a user program can
+// observe may differ with the path on vs off — final memory (message
+// payloads and published register results included) and the Table 3
+// restart-cause counts — across all five paper configurations ×
+// NumCPUs {1,2,4} × both lock models.
+func TestIPCFastPathEquivalence(t *testing.T) {
+	seeds := []int64{1, 42, 31337}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	totalHits := uint64(0)
+	for _, base := range core.Configurations() {
+		for _, ncpu := range []int{1, 2, 4} {
+			for _, lm := range []core.LockModel{core.LockBig, core.LockPerSubsystem} {
+				cfg := base
+				cfg.NumCPUs = ncpu
+				cfg.LockModel = lm
+				t.Run(fmt.Sprintf("%s/cpus=%d/%s", base.Name(), ncpu, lm), func(t *testing.T) {
+					for _, seed := range seeds {
+						onMem, onK := runSeed(t, cfg, seed)
+						off := cfg
+						off.DisableIPCFastPath = true
+						offMem, offK := runSeed(t, off, seed)
+						if !bytes.Equal(onMem, offMem) {
+							t.Fatalf("seed %d: observable memory differs with IPC fast path on vs off", seed)
+						}
+						onR := onK.Metrics.RestartsByCause()
+						offR := offK.Metrics.RestartsByCause()
+						if onR != offR {
+							t.Fatalf("seed %d: Table 3 restart causes differ: on=%v off=%v", seed, onR, offR)
+						}
+						totalHits += onK.Stats().FastpathHits
+						if s := offK.Stats(); s.FastpathHits != 0 {
+							t.Fatalf("seed %d: disabled run recorded %d handoffs", seed, s.FastpathHits)
+						}
+					}
+				})
+			}
+		}
+	}
+	if totalHits == 0 {
+		t.Fatal("no handoff fired anywhere in the matrix; the test is vacuous")
 	}
 }
 

@@ -166,7 +166,9 @@ func (k *Kernel) RunUntil(stop func() bool) {
 	for !stop() {
 		c := k.chooseCPU()
 		k.cur = c
-		t := k.schedPick(c)
+		// A staged IPC handoff outranks the run queue: the donor blocked,
+		// and its remaining slice passes straight to the staged peer.
+		t, direct := k.schedClaimDispatch(c)
 		if t == nil && len(k.cpus) > 1 {
 			t = k.schedSteal(c)
 		}
@@ -176,7 +178,14 @@ func (k *Kernel) RunUntil(stop func() bool) {
 			}
 			continue
 		}
-		k.dispatch(c, t)
+		k.dispatch(c, t, direct)
+	}
+	// A RunFor budget can stop the loop with a handoff still staged;
+	// demote it to a normal enqueue so no thread is stranded in the slot
+	// across Run calls (the slot is not part of checkpointable state).
+	for _, c := range k.cpus {
+		k.cur = c
+		k.schedFlushDonation(c)
 	}
 }
 
@@ -184,12 +193,12 @@ func (k *Kernel) RunUntil(stop func() bool) {
 // thread and the highest queued runnable priority (testing diagnostics).
 var DebugDispatch func(t *obj.Thread, topQueued int, ok bool)
 
-func (k *Kernel) dispatch(c *CPU, t *obj.Thread) {
+func (k *Kernel) dispatch(c *CPU, t *obj.Thread, direct bool) {
 	if DebugDispatch != nil {
 		top, ok := k.schedTopPriority(c)
 		DebugDispatch(t, top, ok)
 	}
-	k.ctxSwitch(c, t)
+	k.ctxSwitch(c, t, direct)
 	if k.cfg.Model == ModelInterrupt {
 		k.runThread(t)
 	} else {
@@ -205,10 +214,22 @@ func (k *Kernel) dispatch(c *CPU, t *obj.Thread) {
 // register state ("six 32-bit memory reads and writes on every context
 // switch", §5.3). The switch itself is scheduler work, done under the
 // scheduler lock of the configured lock model.
-func (k *Kernel) ctxSwitch(c *CPU, t *obj.Thread) {
+//
+// A direct switch (IPC fast-path handoff) charges CycDirectSwitch instead:
+// no run-queue traffic, and no kernel-register save even in the process
+// model — the donor is blocking, so its kernel context parks rather than
+// being switched out. The incoming thread inherits the donor's remaining
+// slice: the slice timer is not re-armed (unless the old one already
+// expired), and a pending resched request stays pending, serviced at the
+// incoming thread's first boundary — so a handoff chain can never run past
+// the quantum the donor originally received.
+func (k *Kernel) ctxSwitch(c *CPU, t *obj.Thread, direct bool) {
 	cost := uint64(CycCtxSwitchBase)
 	if k.cfg.Model == ModelProcess {
 		cost += CycProcessKregSave
+	}
+	if direct {
+		cost = CycDirectSwitch
 	}
 	k.lockAcquire(c, lockSched)
 	c.stats.KernelCycles += cost
@@ -218,10 +239,19 @@ func (k *Kernel) ctxSwitch(c *CPU, t *obj.Thread) {
 	c.current = t
 	t.HomeCPU = c.id
 	k.lockRelease(c, lockSched)
-	k.emit(trace.CtxSwitch, t.ID, 0)
 	if k.Metrics != nil {
 		k.Metrics.CtxSwitches.Inc()
 	}
+	if direct {
+		c.stats.FastpathHits++
+		if k.Metrics != nil {
+			k.Metrics.FastpathHits.Inc()
+		}
+		k.emit(trace.Handoff, t.ID, 0)
+		k.ensureSliceTimer(c)
+		return
+	}
+	k.emit(trace.CtxSwitch, t.ID, 0)
 	k.observePreemptLatency(c)
 	k.clearResched(c)
 	k.armSliceTimer(c)
@@ -278,6 +308,13 @@ func (k *Kernel) runThread(t *obj.Thread) {
 	fromUser := false
 	for t.State == obj.ThRunning {
 		c := k.cur // re-read every iteration: parks can migrate the thread
+		if k.donationPending(c) {
+			// The thread staged a handoff but kept running (EINTR, soft
+			// fault remedied in place, or the call completed without
+			// blocking): the donation never fires, so demote the staged
+			// peer to a normal run-queue wake before executing on.
+			k.schedFlushDonation(c)
+		}
 		if c.settling == t {
 			// A settle drove us to a clean boundary; stop here.
 			t.State = obj.ThReady
@@ -716,8 +753,21 @@ func (k *Kernel) Block(q *obj.WaitQueue, interruptible bool) sys.KErr {
 // thread is queued on its home CPU; a cross-CPU wake that should preempt
 // (or un-idle) the home CPU sends an IPI-like kick.
 func (k *Kernel) wakeThread(t *obj.Thread) {
-	if t.State == obj.ThDead {
+	if !k.wakePrep(t) {
 		return
+	}
+	k.schedEnqueue(k.cur, t)
+	k.maybeResched(t)
+}
+
+// wakePrep does the state half of a wake — dequeue from the wait queue,
+// cancel the sleep timer, close fault-remedy accounting, ThBlocked →
+// ThReady — and reports whether the thread is now runnable (and should be
+// handed to the scheduler). Shared by wakeThread and handoffWake, which
+// differ only in how the runnable thread reaches a CPU.
+func (k *Kernel) wakePrep(t *obj.Thread) bool {
+	if t.State == obj.ThDead {
+		return false
 	}
 	if t.WaitQ != nil {
 		t.WaitQ.Remove(t)
@@ -743,13 +793,79 @@ func (k *Kernel) wakeThread(t *obj.Thread) {
 	if t.State == obj.ThBlocked {
 		t.State = obj.ThReady
 	}
-	if t.Runnable() {
-		k.emit(trace.Wake, t.ID, 0)
-		if k.Metrics != nil {
-			k.Metrics.Wakes.Inc()
-		}
+	if !t.Runnable() {
+		return false
+	}
+	k.emit(trace.Wake, t.ID, 0)
+	if k.Metrics != nil {
+		k.Metrics.Wakes.Inc()
+	}
+	return true
+}
+
+// handoffWake is the IPC fast-path wake: the caller just completed a
+// rendezvous transfer into t and expects to block, so instead of queueing
+// t it stages it in the acting CPU's donation slot — when the caller does
+// block, the scheduler consumes the slot and switches to t directly,
+// donating the rest of the caller's time slice (no run-queue pass, no
+// scheduler pick). If the slot is occupied by another thread, or t is
+// already staged (a full receiver can be re-woken by the sender's
+// zero-length completion check), it degrades gracefully.
+func (k *Kernel) handoffWake(t *obj.Thread) {
+	if t.Donated {
+		return // already staged; nothing more a second wake could add
+	}
+	if !k.ipcFast || k.par != nil {
+		// ParallelHost runs CPUs on real goroutines with threads pinned to
+		// their home CPU; cross-CPU donation would violate the pinning, so
+		// the fast path is a deterministic-mode optimisation only.
+		k.wakeThread(t)
+		return
+	}
+	if !k.wakePrep(t) {
+		return
+	}
+	c := k.cur
+	// Donate only if t would have been the scheduler's next pick anyway:
+	// a queued thread of equal or higher priority goes first under the
+	// slow path's FIFO round-robin, and a handoff past it would starve
+	// it for a whole donation chain while other CPUs may sit idle. (An
+	// idle CPU can still steal a staged donation — see schedSteal — so
+	// staging never strands work during imbalance.)
+	if top, ok := k.schedTopPriority(c); ok && top >= t.Priority {
+		k.countFastpathFallback()
 		k.schedEnqueue(c, t)
 		k.maybeResched(t)
+		return
+	}
+	if !k.schedDonate(c, t) {
+		k.countFastpathFallback()
+		k.schedEnqueue(c, t)
+		k.maybeResched(t)
+	}
+}
+
+// HandoffWake exposes handoffWake to the IPC engine: a wake at a
+// rendezvous-completion point that may ride the direct-handoff fast path.
+func (k *Kernel) HandoffWake(t *obj.Thread) { k.handoffWake(t) }
+
+// CountIPCMiss records a rendezvous block where the peer was not already
+// waiting — the complement of a fast-path hit, counted in both on and off
+// configurations so the hit rate is comparable across runs.
+func (k *Kernel) CountIPCMiss() {
+	k.cur.stats.FastpathMisses++
+	if k.Metrics != nil {
+		k.Metrics.FastpathMisses.Inc()
+	}
+}
+
+// countFastpathFallback records a fast-path attempt that degraded to the
+// slow path: a staged handoff demoted to a normal enqueue, a donation slot
+// found occupied, or a register-carried transfer that faulted.
+func (k *Kernel) countFastpathFallback() {
+	k.cur.stats.FastpathFallbacks++
+	if k.Metrics != nil {
+		k.Metrics.FastpathFallbacks.Inc()
 	}
 }
 

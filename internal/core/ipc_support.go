@@ -63,12 +63,31 @@ func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
 			defer dst.Space.StepMu.Unlock()
 		}
 	}
+	// Register-carried small messages: a transfer that fits in the
+	// register file end-to-end (≤ FastMsgWords words remaining on the
+	// smaller side) moves through registers, not memory, and pays no
+	// per-word copy charge. Everything else about the loop — roll-forward,
+	// fault exits, commits, preemption points — is byte-identical to the
+	// charged path, so restart semantics are unchanged; a fault mid-way is
+	// counted as a fast-path fallback and the restarted remainder (still
+	// ≤ FastMsgWords) stays register-carried.
+	total := src.Regs.R[2]
+	if dst.Regs.R[2] < total {
+		total = dst.Regs.R[2]
+	}
+	perWord := uint64(CycCopyWord)
+	regCarried := k.ipcFast && total <= FastMsgWords
+	if regCarried {
+		perWord = 0
+	}
 	words := uint32(0)       // copied but not yet charged/counted
 	sincePoint := uint32(0)  // bytes since last preemption point
 	sinceCommit := uint32(0) // words since last progress commit
 	flush := func() {
 		if words > 0 {
-			k.ChargeKernel(uint64(words) * CycCopyWord)
+			if perWord > 0 {
+				k.ChargeKernel(uint64(words) * perWord)
+			}
 			if k.Metrics != nil {
 				k.Metrics.IPCBytes.Add(uint64(words) * 4)
 			}
@@ -117,10 +136,16 @@ func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
 			// buffer page is unmapped or misaligned.
 			v, f := src.Space.AS.Load32(src.Regs.R[1])
 			if f != nil {
+				if regCarried {
+					k.countFastpathFallback()
+				}
 				flush()
 				return k.faultOut(t, src.Space, f)
 			}
 			if f := dst.Space.AS.Store32(dst.Regs.R[1], v); f != nil {
+				if regCarried {
+					k.countFastpathFallback()
+				}
 				flush()
 				return k.faultOut(t, dst.Space, f)
 			}

@@ -64,6 +64,14 @@ type Stats struct {
 	IPIs           uint64 // cross-CPU reschedule requests sent
 	Steals         uint64 // threads taken from another CPU's queue
 
+	// IPC fast-path counters (see Config.DisableIPCFastPath): direct
+	// handoffs dispatched, rendezvous blocks with no peer ready, and
+	// staged handoffs or register-carried transfers that fell back to the
+	// slow path.
+	FastpathHits      uint64
+	FastpathMisses    uint64
+	FastpathFallbacks uint64
+
 	// ContinuationsRecognized counts operations the kernel completed by
 	// mutating a waiter's explicit continuation instead of re-running it
 	// (§2.2 continuation recognition; interrupt model with
@@ -146,6 +154,10 @@ type Kernel struct {
 	// fastExec selects the batched StepN execution loop (see
 	// Config.DisableFastPath).
 	fastExec bool
+
+	// ipcFast enables the IPC fast path — direct thread handoff with
+	// register-carried small messages (see Config.DisableIPCFastPath).
+	ipcFast bool
 }
 
 // New creates a kernel with the given configuration. It panics on an
@@ -172,6 +184,7 @@ func New(cfg Config) *Kernel {
 		k.stacksInUse = cfg.NumCPUs // one kernel stack per simulated CPU
 	}
 	k.fastExec = !cfg.DisableFastPath
+	k.ipcFast = !cfg.DisableIPCFastPath
 	k.registerHandlers()
 	return k
 }

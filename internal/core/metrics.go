@@ -77,6 +77,15 @@ type KernelMetrics struct {
 	IPCTransfers *metrics.Counter // CopyWords invocations
 	Commits      *metrics.Counter // roll-forward progress commits
 
+	// IPC fast-path counters (the direct thread handoff): hits are
+	// handoffs dispatched, misses are rendezvous blocks where the peer was
+	// not already waiting, fallbacks are staged handoffs demoted to a
+	// normal wake (donor kept running, slot occupied) plus
+	// register-carried transfers that faulted back to the slow path.
+	FastpathHits      *metrics.Counter
+	FastpathMisses    *metrics.Counter
+	FastpathFallbacks *metrics.Counter
+
 	PagerNotices *metrics.Counter // hard-fault notifications queued to pagers
 
 	ThreadsLive    *metrics.Gauge
@@ -123,6 +132,9 @@ func NewKernelMetrics(reg *metrics.Registry) *KernelMetrics {
 	m.IPCBytes = reg.Counter("ipc.bytes")
 	m.IPCTransfers = reg.Counter("ipc.transfers")
 	m.Commits = reg.Counter("ipc.rollforward_commits")
+	m.FastpathHits = reg.Counter("ipc.fastpath.hits")
+	m.FastpathMisses = reg.Counter("ipc.fastpath.misses")
+	m.FastpathFallbacks = reg.Counter("ipc.fastpath.fallbacks")
 	m.PagerNotices = reg.Counter("pager.fault_notices")
 	m.ThreadsLive = reg.Gauge("threads.live")
 	m.ThreadsCreated = reg.Counter("threads.created")

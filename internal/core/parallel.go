@@ -75,7 +75,7 @@ func (k *Kernel) cpuLoop(c *CPU, stop func() bool) {
 			return
 		}
 		if t := k.schedPick(c); t != nil {
-			k.dispatch(c, t)
+			k.dispatch(c, t, false)
 			continue
 		}
 		// Nothing runnable here: service the local timer queue, else wait

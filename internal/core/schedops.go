@@ -67,16 +67,32 @@ func (k *Kernel) schedSteal(c *CPU) *obj.Thread {
 	n := len(k.cpus)
 	for i := 1; i < n; i++ {
 		o := k.cpus[(c.id+i)%n]
-		if p, ok := o.runq.TopPriority(); ok && p > best {
+		p, ok := o.runq.TopPriority()
+		// A staged handoff is stealable work too: during imbalance the
+		// donor's CPU may be far ahead in virtual time, and leaving the
+		// donation in the slot would idle this CPU until the donor
+		// catches up.
+		if d := o.runq.Donation(); d != nil && d.Runnable() && (!ok || d.Priority > p) {
+			p, ok = d.Priority, true
+		}
+		if ok && p > best {
 			victim, best = o, p
 		}
 	}
 	var t *obj.Thread
+	fromSlot := false
 	if victim != nil {
 		t = victim.runq.Steal()
+		if t == nil {
+			t = victim.runq.TakeDonation()
+			fromSlot = t != nil
+		}
 	}
 	k.lockRelease(c, lockSched)
 	if t != nil {
+		if fromSlot {
+			k.countFastpathFallback()
+		}
 		c.stats.Steals++
 		if k.Metrics != nil {
 			k.Metrics.Steals.Inc()
@@ -87,10 +103,79 @@ func (k *Kernel) schedSteal(c *CPU) *obj.Thread {
 }
 
 // runnableQueuedOn reports whether c's queue holds a runnable thread
-// (quiescence checks; skips stale entries).
+// (quiescence checks; skips stale entries). A staged handoff counts: the
+// donated thread is runnable work even though it bypasses the queue.
 func (k *Kernel) runnableQueuedOn(c *CPU) bool {
+	if d := c.runq.Donation(); d != nil && d.Runnable() {
+		return true
+	}
 	_, ok := c.runq.TopPriority()
 	return ok
+}
+
+// ---------------------------------------------------------------------------
+// The IPC fast path's donation slot. Staging and consuming a handoff
+// touches only the scheduler lock — under per-subsystem locking this is
+// the multicore win: the rendezvous completion never serializes on the
+// object-space lock the way a queue round trip through wake + pick would.
+
+// schedDonate stages t in the acting CPU c's donation slot for a direct
+// handoff, reporting whether the slot was free. On false the caller must
+// fall back to a normal enqueue.
+func (k *Kernel) schedDonate(c *CPU, t *obj.Thread) bool {
+	k.lockAcquire(c, lockSched)
+	ok := c.runq.Donate(t)
+	k.lockRelease(c, lockSched)
+	return ok
+}
+
+// schedTakeDonation consumes c's staged handoff target, or nil. A thread
+// that went non-runnable while staged is dropped, like stale queue
+// entries in Pick.
+func (k *Kernel) schedTakeDonation(c *CPU) *obj.Thread {
+	k.lockAcquire(c, lockSched)
+	t := c.runq.TakeDonation()
+	k.lockRelease(c, lockSched)
+	return t
+}
+
+// schedClaimDispatch returns the next thread for c to run and whether it
+// arrived by direct handoff. The staged donation outranks the queue —
+// that is the fast path — unless a strictly higher-priority thread is
+// queued, in which case the donation is demoted to a normal enqueue (a
+// handoff donates the slice, it never inverts priority) and the pick
+// proceeds normally.
+func (k *Kernel) schedClaimDispatch(c *CPU) (*obj.Thread, bool) {
+	if t := k.schedTakeDonation(c); t != nil {
+		top, ok := k.schedTopPriority(c)
+		if !ok || top <= t.Priority {
+			return t, true
+		}
+		k.countFastpathFallback()
+		k.schedEnqueue(c, t)
+	}
+	return k.schedPick(c), false
+}
+
+// donationPending reports whether c's slot holds a staged handoff
+// (owner-read, like needsResched: the slot is only written by kernel
+// code acting on c, and never in ParallelHost mode).
+func (k *Kernel) donationPending(c *CPU) bool { return c.runq.Donation() != nil }
+
+// schedFlushDonation demotes c's staged handoff to a normal enqueue: the
+// donor kept running (EINTR, fault remedied, call completed without
+// blocking), so the woken peer must compete through the run queue like
+// any other wake. Counted as a fast-path fallback.
+func (k *Kernel) schedFlushDonation(c *CPU) {
+	k.lockAcquire(c, lockSched)
+	t := c.runq.TakeDonation()
+	k.lockRelease(c, lockSched)
+	if t == nil {
+		return
+	}
+	k.countFastpathFallback()
+	k.schedEnqueue(c, t)
+	k.maybeResched(t)
 }
 
 // ---------------------------------------------------------------------------
@@ -177,8 +262,24 @@ func (k *Kernel) armSliceTimer(c *CPU) {
 		}
 		if p, ok := c.runq.TopPriority(); ok && p >= cur.Priority {
 			k.noteResched(c)
+		} else if d := c.runq.Donation(); d != nil && d.Priority >= cur.Priority {
+			// A staged handoff is queued work too: without this, a quantum
+			// expiring between staging and the donor's block would leave
+			// the system timer-less while the staged peer waits.
+			k.noteResched(c)
 		}
 	})
+}
+
+// ensureSliceTimer arms c's quantum timer only if none is pending — used
+// by the direct-handoff switch, where the incoming thread inherits the
+// donor's remaining slice and so must NOT get a fresh quantum; but if the
+// old timer already fired (or was never armed), running on without one
+// would let a handoff chain starve equal-priority queued work.
+func (k *Kernel) ensureSliceTimer(c *CPU) {
+	if c.sliceTimer == nil || c.sliceTimer.Fired() {
+		k.armSliceTimer(c)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -207,8 +308,14 @@ func (k *Kernel) chooseCPU() *CPU {
 }
 
 // cpuClass ranks same-time CPUs for chooseCPU: runnable work first, then
-// pending timers, then idle.
+// pending timers, then idle. A staged handoff counts as runnable work —
+// this is load-bearing for liveness: a CPU holding only a donation must
+// outrank idle peers at the same virtual time, or the interleaver could
+// declare quiescence with a thread still staged in the slot.
 func cpuClass(c *CPU) int {
+	if d := c.runq.Donation(); d != nil && d.Runnable() {
+		return 0
+	}
 	if _, ok := c.runq.TopPriority(); ok {
 		return 0
 	}
@@ -218,20 +325,21 @@ func cpuClass(c *CPU) int {
 	return 2
 }
 
-// idleStep advances an idle CPU: to its next local timer if it has one,
-// otherwise to the earliest activity elsewhere (another CPU's clock or
-// deadline ahead of ours), after which chooseCPU will pick that CPU. It
-// returns false when the whole system is quiescent.
+// idleStep advances an idle CPU to the earliest upcoming event anywhere:
+// its own next timer, another CPU's clock, or another CPU's deadline —
+// whichever is soonest — after which chooseCPU reconsiders. Advancing in
+// these conservative steps (rather than leaping straight to the local
+// deadline, which can be a full quantum away) keeps an idle CPU's clock
+// shadowing the busy CPUs, so it stays eligible to pick up work the
+// moment any appears; overshooting would retire it from chooseCPU until
+// everyone else caught up. It returns false when the whole system is
+// quiescent.
 func (k *Kernel) idleStep(c *CPU) bool {
-	if d, ok := c.clk.NextDeadline(); ok {
-		if now := c.clk.Now(); d > now {
-			c.stats.IdleCycles += d - now
-		}
-		c.clk.AdvanceTo(d)
-		return true
-	}
 	now := c.clk.Now()
 	target, ok := uint64(0), false
+	if d, dok := c.clk.NextDeadline(); dok {
+		target, ok = d, true // may be overdue (d <= now): fires on advance
+	}
 	for _, o := range k.cpus {
 		if o == c {
 			continue
@@ -246,7 +354,9 @@ func (k *Kernel) idleStep(c *CPU) bool {
 	if !ok {
 		return false // no runnable work, no timers anywhere: quiescent
 	}
-	c.stats.IdleCycles += target - now
+	if target > now {
+		c.stats.IdleCycles += target - now
+	}
 	c.clk.AdvanceTo(target)
 	return true
 }

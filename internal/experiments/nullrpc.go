@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mmu"
+	"repro/internal/obj"
+	"repro/internal/prog"
+	"repro/internal/stats"
+	"repro/internal/sys"
+)
+
+// The null-RPC microbenchmark behind the IPC fast path: a client connects,
+// sends a one-word request, turns the connection around, and receives a
+// one-word reply from an echo server — the rendezvous round trip that
+// dominates Tables 5 and 6. With the fast path on, both directions of the
+// round trip should complete as direct handoffs (register-carried payload,
+// no run-queue pass, CycDirectSwitch instead of a full context switch), so
+// kernel cycles per call drop sharply; with Config.DisableIPCFastPath they
+// reproduce the slow-path cost exactly.
+
+// NullRPCResult is the measured per-call cost for one regime.
+type NullRPCResult struct {
+	Fastpath     bool
+	KernelCycles float64 // kernel cycles per RPC round trip
+	TotalCycles  float64 // total (user+kernel) cycles per iteration
+	Hits         uint64  // direct handoffs taken
+}
+
+// NullRPC measures count null RPCs in the process model with the IPC fast
+// path on and off and returns both plus the relative kernel-cycle drop.
+func NullRPC(count int) (on, off NullRPCResult, dropPct float64, err error) {
+	run := func(disable bool) (NullRPCResult, error) {
+		cfg := core.Config{Model: core.ModelProcess, DisableIPCFastPath: disable}
+		k := core.New(cfg)
+		s := k.NewSpace()
+		if err := bindNullRPC(k, s); err != nil {
+			return NullRPCResult{}, err
+		}
+
+		const (
+			sbuf = scData + 0x100
+			rbuf = scData + 0x140
+			ebuf = scData + 0x180
+			erep = scData + 0x1C0
+		)
+		b := prog.New(scCode)
+		b.Label("cli").
+			Movi(4, sbuf).Movi(5, 0x7e57).St(4, 0, 5).
+			Movi(6, 0).Label("cli.loop").
+			IPCClientConnectSendOverReceive(sbuf, 1, scRef, rbuf, 1).
+			IPCClientDisconnect().
+			Addi(6, 6, 1).Movi(5, uint32(count)).Blt(6, 5, "cli.loop").
+			Halt()
+		// Echo server; the two-word receive for a one-word request makes
+		// the receive complete on the client's message-end, and the reply
+		// is staged separately so a retried reply is idempotent.
+		b.Label("echo").
+			IPCWaitReceive(ebuf, 2, scPset).
+			Label("echo.loop").
+			Movi(4, ebuf).Ld(5, 4, 0).
+			Movi(4, erep).St(4, 0, 5).
+			IPCReplyWaitReceive(erep, 1, scPset, ebuf, 2).
+			Jmp("echo.loop")
+		img, err := b.Assemble()
+		if err != nil {
+			return NullRPCResult{}, err
+		}
+		if _, err := k.LoadImage(s, scCode, img); err != nil {
+			return NullRPCResult{}, err
+		}
+		srv := k.NewThread(s, 9)
+		srv.Regs.PC = b.Addr("echo")
+		k.StartThread(srv)
+		cli := k.NewThread(s, 8)
+		cli.Regs.PC = b.Addr("cli")
+		k.StartThread(cli)
+
+		start := k.Clock.Now()
+		k.RunUntil(func() bool { return cli.Exited })
+		if !cli.Exited {
+			return NullRPCResult{}, fmt.Errorf("nullrpc: client stuck at pc=%#x", cli.Regs.PC)
+		}
+		st := k.Stats()
+		return NullRPCResult{
+			Fastpath:     !disable,
+			KernelCycles: float64(st.KernelCycles) / float64(count),
+			TotalCycles:  float64(k.Clock.Now()-start) / float64(count),
+			Hits:         st.FastpathHits,
+		}, nil
+	}
+	if on, err = run(false); err != nil {
+		return
+	}
+	if off, err = run(true); err != nil {
+		return
+	}
+	dropPct = 100 * (off.KernelCycles - on.KernelCycles) / off.KernelCycles
+	return
+}
+
+// bindNullRPC sets up the port/portset/ref triple and the data window in s
+// using the scaling experiment's layout.
+func bindNullRPC(k *core.Kernel, s *obj.Space) error {
+	r, err := k.NewBoundRegion(s, core.KObjBase+0x900, scDataSz, true)
+	if err != nil {
+		return err
+	}
+	if _, err := k.MapInto(s, r, scData, 0, scDataSz, mmu.PermRW); err != nil {
+		return err
+	}
+	po, _ := obj.New(sys.ObjPort)
+	pso, _ := obj.New(sys.ObjPortset)
+	port := po.(*obj.Port)
+	ps := pso.(*obj.Portset)
+	if err := k.Bind(s, scPort, port); err != nil {
+		return err
+	}
+	if err := k.Bind(s, scPset, ps); err != nil {
+		return err
+	}
+	ps.AddPort(port)
+	ref := &obj.Ref{Header: obj.Header{Type: sys.ObjRef}, Target: port}
+	return k.Bind(s, scRef, ref)
+}
+
+// NullRPCRender formats the comparison.
+func NullRPCRender(on, off NullRPCResult, dropPct float64) *stats.Table {
+	t := stats.NewTable("Null-RPC microbenchmark: direct-handoff fast path on vs off (process model)",
+		"IPC fastpath", "kernel cycles/call", "total cycles/iter", "direct handoffs")
+	t.Row("on", on.KernelCycles, on.TotalCycles, on.Hits)
+	t.Row("off", off.KernelCycles, off.TotalCycles, off.Hits)
+	t.Row("kernel-cycle drop", fmt.Sprintf("%.1f%%", dropPct), "", "")
+	return t
+}

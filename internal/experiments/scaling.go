@@ -71,6 +71,17 @@ func runScalingCellK(cpus int, lm core.LockModel, sc ScalingScale) (ScalingRow, 
 		Model: core.ModelInterrupt, Preempt: core.PreemptPartial,
 		NumCPUs: cpus, LockModel: lm,
 	}
+	return runScalingCellCfg(cfg, sc)
+}
+
+// runScalingCellCfg runs the workload on an explicit kernel config (the
+// on/off comparisons toggle cfg.DisableIPCFastPath).
+func runScalingCellCfg(cfg core.Config, sc ScalingScale) (ScalingRow, *core.Kernel, error) {
+	cpus := cfg.NumCPUs
+	if cpus == 0 {
+		cpus = 1
+	}
+	lm := cfg.LockModel
 	k := core.New(cfg)
 
 	sbuf := uint32(scData + 0x1000)

@@ -40,17 +40,23 @@ func FastTable5Scale() Table5Scale {
 	}
 }
 
-// Table5Cell is one workload / configuration measurement. The kernel
-// activity counters come from the metrics registry attached to the run's
-// kernel and feed Table5MetricsAppendix.
+// Table5Cell is one workload / configuration measurement, run under both
+// IPC-fastpath regimes (the Off fields are the Config.DisableIPCFastPath
+// rerun, normalized against the off-regime Process NP base so each column
+// stays internally consistent). The kernel activity counters come from the
+// metrics registry attached to the fastpath-on run's kernel and feed
+// Table5MetricsAppendix.
 type Table5Cell struct {
-	Config     string
-	VirtualMS  float64
-	Normalized float64
+	Config        string
+	VirtualMS     float64
+	Normalized    float64
+	VirtualMSOff  float64
+	NormalizedOff float64
 
-	CtxSwitches uint64
-	Restarts    uint64
-	IPCBytes    uint64
+	CtxSwitches  uint64
+	Restarts     uint64
+	IPCBytes     uint64
+	FastpathHits uint64
 }
 
 // Table5Result holds one column (workload) of the table.
@@ -68,35 +74,51 @@ func Table5(sc Table5Scale) ([]Table5Result, error) {
 		"flukeperf": func(k *core.Kernel) (*workload.Workload, error) { return workload.NewFlukeperf(k, sc.Flukeperf) },
 		"gcc":       func(k *core.Kernel) (*workload.Workload, error) { return workload.NewGCC(k, sc.GCC) },
 	}
+	// One workload run on one configuration; returns (virtual ms, metrics).
+	runOne := func(name string, cfg core.Config) (float64, *core.KernelMetrics, error) {
+		k := core.New(cfg)
+		m := k.EnableMetrics()
+		w, err := mk[name](k)
+		if err != nil {
+			return 0, nil, fmt.Errorf("table5 %s %s: %w", name, cfg.Name(), err)
+		}
+		cycles, err := w.Run(runBudget)
+		if err != nil {
+			return 0, nil, fmt.Errorf("table5 %s %s: %w", name, cfg.Name(), err)
+		}
+		return float64(cycles) / (clock.CyclesPerMicrosecond * 1000), m, nil
+	}
 	var out []Table5Result
 	for _, name := range []string{"memtest", "flukeperf", "gcc"} {
 		res := Table5Result{Workload: name}
-		var base float64
+		var base, baseOff float64
 		for _, cfg := range core.Configurations() {
-			k := core.New(cfg)
-			m := k.EnableMetrics()
-			w, err := mk[name](k)
+			ms, m, err := runOne(name, cfg)
 			if err != nil {
-				return nil, fmt.Errorf("table5 %s %s: %w", name, cfg.Name(), err)
+				return nil, err
 			}
-			cycles, err := w.Run(runBudget)
+			off := cfg
+			off.DisableIPCFastPath = true
+			msOff, _, err := runOne(name, off)
 			if err != nil {
-				return nil, fmt.Errorf("table5 %s %s: %w", name, cfg.Name(), err)
+				return nil, err
 			}
-			ms := float64(cycles) / (clock.CyclesPerMicrosecond * 1000)
 			if cfg.Name() == "Process NP" {
-				base = ms
+				base, baseOff = ms, msOff
 			}
 			res.Cells = append(res.Cells, Table5Cell{
-				Config:      cfg.Name(),
-				VirtualMS:   ms,
-				CtxSwitches: m.CtxSwitches.Value(),
-				Restarts:    m.RestartsTotal.Value(),
-				IPCBytes:    m.IPCBytes.Value(),
+				Config:       cfg.Name(),
+				VirtualMS:    ms,
+				VirtualMSOff: msOff,
+				CtxSwitches:  m.CtxSwitches.Value(),
+				Restarts:     m.RestartsTotal.Value(),
+				IPCBytes:     m.IPCBytes.Value(),
+				FastpathHits: m.FastpathHits.Value(),
 			})
 		}
 		for i := range res.Cells {
 			res.Cells[i].Normalized = res.Cells[i].VirtualMS / base
+			res.Cells[i].NormalizedOff = res.Cells[i].VirtualMSOff / baseOff
 		}
 		out = append(out, res)
 	}
@@ -104,20 +126,24 @@ func Table5(sc Table5Scale) ([]Table5Result, error) {
 }
 
 // Table5Render formats the results like the paper (configurations as
-// rows, workloads as columns; absolute time on the Process NP row).
+// rows, workloads as columns; absolute time on the Process NP row), with
+// each workload column split into an IPC-fastpath on/off pair so the
+// paper's table is reproducible under both regimes.
 func Table5Render(results []Table5Result) *stats.Table {
-	t := stats.NewTable("Table 5: Application performance across kernel configurations (normalized to Process NP)",
-		"Configuration", "memtest", "flukeperf", "gcc")
+	t := stats.NewTable("Table 5: Application performance across kernel configurations (normalized to Process NP; fastpath on/off)",
+		"Configuration", "memtest on", "memtest off", "flukeperf on", "flukeperf off", "gcc on", "gcc off")
 	for i, cfg := range core.Configurations() {
-		cells := make([]any, 0, 4)
+		cells := make([]any, 0, 7)
 		cells = append(cells, cfg.Name())
 		for _, r := range results {
 			c := r.Cells[i]
-			v := fmt.Sprintf("%.2f", c.Normalized)
+			von := fmt.Sprintf("%.2f", c.Normalized)
+			voff := fmt.Sprintf("%.2f", c.NormalizedOff)
 			if cfg.Name() == "Process NP" {
-				v = fmt.Sprintf("1.00 (%.0fms)", c.VirtualMS)
+				von = fmt.Sprintf("1.00 (%.0fms)", c.VirtualMS)
+				voff = fmt.Sprintf("1.00 (%.0fms)", c.VirtualMSOff)
 			}
-			cells = append(cells, v)
+			cells = append(cells, von, voff)
 		}
 		t.Row(cells...)
 	}
@@ -129,11 +155,11 @@ func Table5Render(results []Table5Result) *stats.Table {
 // much: preemption shows up as extra context switches, fault pressure as
 // restarts, and the IPC-bound workloads as bytes through CopyWords.
 func Table5MetricsAppendix(results []Table5Result) *stats.Table {
-	t := stats.NewTable("Table 5 appendix: kernel activity counters per run (from the metrics registry)",
-		"Workload", "Configuration", "ctx switches", "restarts", "IPC bytes")
+	t := stats.NewTable("Table 5 appendix: kernel activity counters per run (from the metrics registry; fastpath-on runs)",
+		"Workload", "Configuration", "ctx switches", "restarts", "IPC bytes", "direct handoffs")
 	for _, r := range results {
 		for _, c := range r.Cells {
-			t.Row(r.Workload, c.Config, c.CtxSwitches, c.Restarts, c.IPCBytes)
+			t.Row(r.Workload, c.Config, c.CtxSwitches, c.Restarts, c.IPCBytes, c.FastpathHits)
 		}
 	}
 	return t

@@ -14,55 +14,68 @@ import (
 // many times it ran, and how many scheduling events it missed because the
 // previous activation had not completed.
 
-// Table6Row is one configuration's latency measurement. The percentiles
-// come from the probe's memoized latency distribution and extend the
-// paper's avg/max with tail shape.
+// Table6Row is one configuration's latency measurement under one IPC
+// fastpath regime. The percentiles come from the probe's memoized latency
+// distribution and extend the paper's avg/max with tail shape.
 type Table6Row struct {
-	Config string
-	AvgUS  float64
-	P50US  float64
-	P95US  float64
-	P99US  float64
-	MaxUS  float64
-	Runs   uint64
-	Misses uint64
+	Config   string
+	Fastpath bool
+	AvgUS    float64
+	P50US    float64
+	P95US    float64
+	P99US    float64
+	MaxUS    float64
+	Runs     uint64
+	Misses   uint64
 }
 
 // Table6 measures all five configurations running flukeperf at the given
-// scale.
+// scale, each as an IPC-fastpath on/off pair (a donated time slice is not
+// a scheduler decision, so the probe's latency distribution is where any
+// fast-path effect on preemption would show up).
 func Table6(sc workload.FlukeperfScale) ([]Table6Row, error) {
 	var rows []Table6Row
-	for _, cfg := range core.Configurations() {
-		k := core.New(cfg)
-		w, err := workload.NewFlukeperf(k, sc)
-		if err != nil {
-			return nil, fmt.Errorf("table6 %s: %w", cfg.Name(), err)
+	for _, base := range core.Configurations() {
+		for _, disable := range []bool{false, true} {
+			cfg := base
+			cfg.DisableIPCFastPath = disable
+			k := core.New(cfg)
+			w, err := workload.NewFlukeperf(k, sc)
+			if err != nil {
+				return nil, fmt.Errorf("table6 %s: %w", cfg.Name(), err)
+			}
+			p := workload.InstallProbe(k, workload.DefaultProbePeriod, workload.DefaultProbeWork)
+			if _, err := w.Run(runBudget); err != nil {
+				return nil, fmt.Errorf("table6 %s: %w", cfg.Name(), err)
+			}
+			p.Stop()
+			rows = append(rows, Table6Row{
+				Config:   cfg.Name(),
+				Fastpath: !disable,
+				AvgUS:    p.Lat.Avg(),
+				P50US:    p.Lat.P50(),
+				P95US:    p.Lat.P95(),
+				P99US:    p.Lat.P99(),
+				MaxUS:    p.Lat.Max(),
+				Runs:     p.Runs,
+				Misses:   p.Misses,
+			})
 		}
-		p := workload.InstallProbe(k, workload.DefaultProbePeriod, workload.DefaultProbeWork)
-		if _, err := w.Run(runBudget); err != nil {
-			return nil, fmt.Errorf("table6 %s: %w", cfg.Name(), err)
-		}
-		p.Stop()
-		rows = append(rows, Table6Row{
-			Config: cfg.Name(),
-			AvgUS:  p.Lat.Avg(),
-			P50US:  p.Lat.P50(),
-			P95US:  p.Lat.P95(),
-			P99US:  p.Lat.P99(),
-			MaxUS:  p.Lat.Max(),
-			Runs:   p.Runs,
-			Misses: p.Misses,
-		})
 	}
 	return rows, nil
 }
 
-// Table6Render formats the rows like the paper.
+// Table6Render formats the rows like the paper, one on/off pair per
+// configuration.
 func Table6Render(rows []Table6Row) *stats.Table {
-	t := stats.NewTable("Table 6: Effect of execution model on preemption latency (flukeperf)",
-		"Configuration", "avg (µs)", "p50", "p95", "p99", "max (µs)", "runs", "missed")
+	t := stats.NewTable("Table 6: Effect of execution model on preemption latency (flukeperf; fastpath on/off pairs)",
+		"Configuration", "fastpath", "avg (µs)", "p50", "p95", "p99", "max (µs)", "runs", "missed")
 	for _, r := range rows {
-		t.Row(r.Config, r.AvgUS, r.P50US, r.P95US, r.P99US, r.MaxUS, r.Runs, r.Misses)
+		fp := "on"
+		if !r.Fastpath {
+			fp = "off"
+		}
+		t.Row(r.Config, fp, r.AvgUS, r.P50US, r.P95US, r.P99US, r.MaxUS, r.Runs, r.Misses)
 	}
 	return t
 }

@@ -52,6 +52,10 @@ func (f *fakeKern) WakeThread(t *obj.Thread) {
 	t.State = obj.ThReady
 }
 
+// The mock has no scheduler, so a handoff wake is just a wake.
+func (f *fakeKern) HandoffWake(t *obj.Thread) { f.WakeThread(t) }
+func (f *fakeKern) CountIPCMiss()             {}
+
 func (f *fakeKern) Return(t *obj.Thread, e sys.Errno) {
 	t.Regs.R[0] = uint32(e)
 	t.Regs.PC = t.Regs.R[cpu.LR]

@@ -54,6 +54,16 @@ type Kern interface {
 	ChargeConnect()
 	Block(q *obj.WaitQueue, interruptible bool) sys.KErr
 	WakeThread(t *obj.Thread)
+	// HandoffWake wakes t at a rendezvous-completion point: the caller
+	// has just finished a transfer into/out of t and is itself about to
+	// block, so the kernel may stage t for a direct time-slice-donating
+	// context switch instead of a run-queue pass (the IPC fast path).
+	// Semantically identical to WakeThread; only scheduling order and
+	// cycle cost differ, and only when the fast path is enabled.
+	HandoffWake(t *obj.Thread)
+	// CountIPCMiss records that a rendezvous found no peer ready and the
+	// caller is about to block — the complement of a fast-path hit.
+	CountIPCMiss()
 	Return(t *obj.Thread, e sys.Errno)
 	SetPC(t *obj.Thread, sysno int)
 	CommitProgress(t *obj.Thread)
@@ -127,12 +137,15 @@ func sysNumOfEntry(pc uint32) int {
 	return int(pc-base) / size
 }
 
-// resetConn clears one connection half.
+// resetConn clears one connection half, keeping the wait queue's ring
+// storage so steady-state connection reuse stays allocation-free.
 func resetConn(st *obj.IPCState) {
 	if st.Wait.Len() != 0 {
 		panic("ipc: resetting connection with parked peer")
 	}
+	wait := st.Wait
 	*st = obj.IPCState{}
+	st.Wait = wait
 }
 
 // establish links client and server into a connection with the client
@@ -182,8 +195,9 @@ func findAccepting(port *obj.Port) *obj.Thread {
 	if port.Set == nil {
 		return nil
 	}
-	for _, s := range port.Set.Servers.Threads() {
-		if s.IPCServer.Accepting {
+	q := &port.Set.Servers
+	for i, n := 0, q.Len(); i < n; i++ {
+		if s := q.At(i); s.IPCServer.Accepting {
 			return s
 		}
 	}
@@ -213,7 +227,8 @@ func connect(k Kern, t *obj.Thread, portArgVA uint32) (sys.Errno, sys.KErr) {
 		// No server ready: wake portset_wait observers (they will see
 		// us queued once we block) and wait on the port.
 		if port.Set != nil {
-			for _, s := range append([]*obj.Thread(nil), port.Set.Servers.Threads()...) {
+			// Threads() snapshots the queue: WakeThread dequeues as we go.
+			for _, s := range port.Set.Servers.Threads() {
 				if !s.IPCServer.Accepting {
 					k.WakeThread(s)
 				}
@@ -254,18 +269,19 @@ func sendLoop(k Kern, t *obj.Thread, r role) (sys.Errno, sys.KErr) {
 		if p.State != obj.ThRunning && ph.WantRecv {
 			if p.Regs.R[2] == 0 {
 				// Receiver's buffer is full; its call completes.
-				k.WakeThread(p)
+				k.HandoffWake(p)
 			} else {
 				if kerr := k.CopyWords(t, p); kerr != sys.KOK {
 					return 0, kerr
 				}
 				if p.Regs.R[2] == 0 {
-					k.WakeThread(p)
+					k.HandoffWake(p)
 				}
 				continue
 			}
 		}
 		st.WantSend = true
+		k.CountIPCMiss()
 		kerr := k.Block(&st.Wait, true)
 		if kerr == sys.KOK {
 			st.WantSend = false
@@ -320,11 +336,12 @@ func recvLoop(k Kern, t *obj.Thread, r role) (sys.Errno, sys.KErr) {
 				return 0, kerr
 			}
 			if p.Regs.R[2] == 0 {
-				k.WakeThread(p)
+				k.HandoffWake(p)
 			}
 			continue
 		}
 		st.WantRecv = true
+		k.CountIPCMiss()
 		kerr := k.Block(&st.Wait, true)
 		if kerr == sys.KOK {
 			st.WantRecv = false
@@ -364,11 +381,15 @@ func flip(k Kern, t *obj.Thread, r role) sys.Errno {
 }
 
 // endMessage marks the message toward p (on its half ph) as complete,
-// waking p if it is waiting for data on that half.
+// waking p if it is waiting for data on that half. The wake is a handoff
+// candidate: p's receive completes with this message end, and the caller
+// (a sender turning the connection around or finishing a reply) is about
+// to block on the reverse direction — the rendezvous pattern the direct
+// switch exists for.
 func endMessage(k Kern, p *obj.Thread, ph *obj.IPCState) {
 	ph.MsgEnd = true
 	if p.State == obj.ThBlocked && ph.WantRecv {
-		k.WakeThread(p)
+		k.HandoffWake(p)
 	}
 }
 

@@ -44,9 +44,36 @@ type Obj interface {
 // Crucially for the atomic API, every thread on a wait queue has its user
 // register state rolled forward to a consistent restart point *before*
 // enqueueing, so the queue never holds hidden continuation state.
+//
+// Storage is a growable ring, like sched's run-queue deque: Enqueue and
+// Dequeue are O(1) and allocation-free once the ring is warm, so the IPC
+// rendezvous path (one park + one unpark per transfer leg) does not
+// allocate per message. It used to be an append/copy-shift slice, which
+// was alloc-free only until resetConn discarded the backing array with
+// the rest of the connection state (see ipc.resetConn, which now
+// preserves it).
 type WaitQueue struct {
 	Name string
-	ts   []*Thread
+	buf  []*Thread
+	head int // index of the first element
+	n    int
+}
+
+func (q *WaitQueue) at(i int) *Thread { return q.buf[(q.head+i)%len(q.buf)] }
+
+func (q *WaitQueue) grow() {
+	if q.n < len(q.buf) {
+		return
+	}
+	newCap := 2 * len(q.buf)
+	if newCap == 0 {
+		newCap = 4
+	}
+	buf := make([]*Thread, newCap)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.at(i)
+	}
+	q.buf, q.head = buf, 0
 }
 
 // Enqueue appends t and records the queue on the thread.
@@ -55,30 +82,39 @@ func (q *WaitQueue) Enqueue(t *Thread) {
 		panic(fmt.Sprintf("obj: thread %d already on queue %q", t.ID, t.WaitQ.Name))
 	}
 	t.WaitQ = q
-	q.ts = append(q.ts, t)
+	q.grow()
+	q.buf[(q.head+q.n)%len(q.buf)] = t
+	q.n++
 }
 
 // Dequeue removes and returns the head, or nil if empty.
 func (q *WaitQueue) Dequeue() *Thread {
-	if len(q.ts) == 0 {
+	if q.n == 0 {
 		return nil
 	}
-	t := q.ts[0]
-	copy(q.ts, q.ts[1:])
-	q.ts[len(q.ts)-1] = nil
-	q.ts = q.ts[:len(q.ts)-1]
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
 	t.WaitQ = nil
 	return t
+}
+
+// removeAt unlinks position i preserving FIFO order of the rest.
+func (q *WaitQueue) removeAt(i int) {
+	for ; i < q.n-1; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = q.at(i + 1)
+	}
+	q.buf[(q.head+q.n-1)%len(q.buf)] = nil
+	q.n--
 }
 
 // Remove unlinks t from the queue (used by thread_interrupt and
 // destruction). It reports whether t was queued here.
 func (q *WaitQueue) Remove(t *Thread) bool {
-	for i, x := range q.ts {
-		if x == t {
-			copy(q.ts[i:], q.ts[i+1:])
-			q.ts[len(q.ts)-1] = nil
-			q.ts = q.ts[:len(q.ts)-1]
+	for i := 0; i < q.n; i++ {
+		if q.at(i) == t {
+			q.removeAt(i)
 			t.WaitQ = nil
 			return true
 		}
@@ -87,18 +123,31 @@ func (q *WaitQueue) Remove(t *Thread) bool {
 }
 
 // Len returns the number of queued threads.
-func (q *WaitQueue) Len() int { return len(q.ts) }
+func (q *WaitQueue) Len() int { return q.n }
 
 // Peek returns the head without removing it.
 func (q *WaitQueue) Peek() *Thread {
-	if len(q.ts) == 0 {
+	if q.n == 0 {
 		return nil
 	}
-	return q.ts[0]
+	return q.buf[q.head]
 }
 
-// Threads returns the queued threads in order (do not mutate).
-func (q *WaitQueue) Threads() []*Thread { return q.ts }
+// At returns the i-th queued thread (0 = head) without removing it —
+// the allocation-free way to scan the queue when the scan itself does
+// not dequeue (e.g. findAccepting on every IPC connect).
+func (q *WaitQueue) At(i int) *Thread { return q.at(i) }
+
+// Threads returns a snapshot of the queued threads in order. It
+// allocates; use Len/At to iterate alloc-free, and this only where the
+// iteration body may mutate the queue (wake-all paths).
+func (q *WaitQueue) Threads() []*Thread {
+	out := make([]*Thread, q.n)
+	for i := range out {
+		out[i] = q.at(i)
+	}
+	return out
+}
 
 // ThreadState is the run state of a thread.
 type ThreadState uint8
@@ -211,6 +260,12 @@ type Thread struct {
 
 	// WaitQ is the wait queue the thread is blocked on, if any.
 	WaitQ *WaitQueue
+
+	// Donated marks a ready thread staged in a run queue's donation
+	// slot: an IPC handoff target that will be dispatched directly,
+	// inheriting the donor's remaining time slice, as soon as the donor
+	// blocks. Maintained by sched's Donate/TakeDonation/Remove.
+	Donated bool
 
 	// SleepTimer is the pending wakeup for thread_sleep/clock_alarm_wait.
 	SleepTimer *clock.Timer

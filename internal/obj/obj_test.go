@@ -52,6 +52,74 @@ func TestWaitQueueRemove(t *testing.T) {
 	}
 }
 
+// The ring-buffer rewrite: a warmed WaitQueue must park and wake threads
+// without allocating (it used to append to a slice on every Enqueue and
+// re-slice on every Dequeue — one allocation per IPC rendezvous).
+func TestWaitQueueEnqueueDequeueDoesNotAllocate(t *testing.T) {
+	var q WaitQueue
+	ts := make([]*Thread, 64)
+	for i := range ts {
+		ts[i] = &Thread{ID: uint32(i)}
+		q.Enqueue(ts[i]) // warm the ring to its steady-state capacity
+	}
+	for range ts {
+		q.Dequeue()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, th := range ts {
+			q.Enqueue(th)
+		}
+		for range ts {
+			q.Dequeue()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Enqueue/Dequeue allocates: %v allocs/run, want 0", allocs)
+	}
+}
+
+// Remove from the middle (interrupted waiter) must be alloc-free too.
+func TestWaitQueueRemoveDoesNotAllocate(t *testing.T) {
+	var q WaitQueue
+	ts := make([]*Thread, 16)
+	for i := range ts {
+		ts[i] = &Thread{ID: uint32(i)}
+		q.Enqueue(ts[i])
+	}
+	for range ts {
+		q.Dequeue()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, th := range ts {
+			q.Enqueue(th)
+		}
+		for i := len(ts) - 1; i >= 0; i-- {
+			q.Remove(ts[i])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Remove allocates: %v allocs/run, want 0", allocs)
+	}
+}
+
+func BenchmarkWaitQueueEnqueueDequeue(b *testing.B) {
+	var q WaitQueue
+	ts := make([]*Thread, 64)
+	for i := range ts {
+		ts[i] = &Thread{ID: uint32(i)}
+		q.Enqueue(ts[i])
+	}
+	for range ts {
+		q.Dequeue()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(ts[i%len(ts)])
+		q.Dequeue()
+	}
+}
+
 func TestDoubleEnqueuePanics(t *testing.T) {
 	var q1, q2 WaitQueue
 	a := &Thread{ID: 1}

@@ -91,10 +91,15 @@ func (d *deque) removeAt(i int) {
 }
 
 // RunQueue holds runnable threads ordered by priority, FIFO within a
-// level.
+// level. It also carries the IPC fast path's donation slot: a single
+// thread staged for a direct handoff, dispatched ahead of every queued
+// thread (it inherits the donor's remaining slice rather than competing
+// for a fresh one) and invisible to Steal (the donation is to *this*
+// CPU; migrating it would forfeit the warm-cache win the handoff models).
 type RunQueue struct {
-	levels [NumPriorities]deque
-	count  int
+	levels  [NumPriorities]deque
+	count   int
+	donated *obj.Thread
 }
 
 // NewRunQueue returns an empty run queue.
@@ -120,6 +125,37 @@ func (rq *RunQueue) EnqueueFront(t *obj.Thread) {
 	rq.levels[t.Priority].pushFront(t)
 	rq.count++
 }
+
+// Donate stages t in the donation slot for a direct handoff. It reports
+// whether the slot was free; on false the caller must fall back to a
+// plain Enqueue (at most one handoff can be pending per CPU).
+func (rq *RunQueue) Donate(t *obj.Thread) bool {
+	if rq.donated != nil {
+		return false
+	}
+	rq.donated = t
+	t.Donated = true
+	return true
+}
+
+// TakeDonation removes and returns the staged handoff target, or nil.
+// A thread that went non-runnable while staged is dropped, exactly as
+// Pick drops stale queue entries.
+func (rq *RunQueue) TakeDonation() *obj.Thread {
+	t := rq.donated
+	rq.donated = nil
+	if t == nil {
+		return nil
+	}
+	t.Donated = false
+	if !t.Runnable() {
+		return nil
+	}
+	return t
+}
+
+// Donation returns the staged handoff target without removing it.
+func (rq *RunQueue) Donation() *obj.Thread { return rq.donated }
 
 // Pick removes and returns the highest-priority runnable thread, or nil.
 // Threads that are stopped or no longer ready are dropped from the queue
@@ -170,6 +206,11 @@ func (rq *RunQueue) TopPriority() (int, bool) {
 
 // Remove unlinks t wherever it is queued. It reports whether t was found.
 func (rq *RunQueue) Remove(t *obj.Thread) bool {
+	if rq.donated == t {
+		rq.donated = nil
+		t.Donated = false
+		return true
+	}
 	d := &rq.levels[t.Priority]
 	for i := 0; i < d.n; i++ {
 		if d.at(i) == t {
@@ -196,8 +237,13 @@ func (rq *RunQueue) Remove(t *obj.Thread) bool {
 }
 
 // Len returns the number of queued threads (including any stale entries
-// not yet skipped by Pick).
-func (rq *RunQueue) Len() int { return rq.count }
+// not yet skipped by Pick, and a staged donation if one is pending).
+func (rq *RunQueue) Len() int {
+	if rq.donated != nil {
+		return rq.count + 1
+	}
+	return rq.count
+}
 
 // WakePolicy decides whether a newly runnable thread at priority p should
 // preempt the currently running thread at priority cur.

@@ -152,6 +152,9 @@ func ExportJSON(w io.Writer, events []Event) error {
 		case Steal:
 			out = append(out, instant(e, "steal",
 				map[string]string{"thread": fmt.Sprintf("t%d", e.B), "victim": fmt.Sprintf("cpu%d", e.A)}))
+		case Handoff:
+			out = append(out, instant(e, "handoff",
+				map[string]string{"incoming": fmt.Sprintf("t%d", e.A)}))
 		default:
 			out = append(out, instant(e, e.Kind.String(), nil))
 		}

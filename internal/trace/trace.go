@@ -38,6 +38,10 @@ const (
 	IPI
 	// Steal: A = victim CPU, B = stolen thread ID.
 	Steal
+	// Handoff: A = incoming thread ID — an IPC fast-path direct switch:
+	// the blocking donor hands its remaining slice straight to the peer,
+	// bypassing the run queue (emitted instead of CtxSwitch).
+	Handoff
 )
 
 func (k Kind) String() string {
@@ -62,6 +66,8 @@ func (k Kind) String() string {
 		return "ipi"
 	case Steal:
 		return "steal"
+	case Handoff:
+		return "handoff"
 	}
 	return fmt.Sprintf("kind%d", uint8(k))
 }
@@ -86,7 +92,7 @@ func (e Event) String() string {
 		}
 	case SyscallExit:
 		detail = fmt.Sprintf("%s -> %v", sys.Name(int(e.A)), sys.KErr(e.B))
-	case CtxSwitch, Wake:
+	case CtxSwitch, Wake, Handoff:
 		detail = fmt.Sprintf("t%d", e.A)
 	case Fault:
 		side := "client"

@@ -1,19 +1,30 @@
 #!/bin/sh
 # Run the PR-tracked benchmark set: the interpreter hot loop, the null
-# system call (wall-clock and virtual kernel-cycles/call), the IPC
-# round-trip under every kernel configuration, and the multiprocessor
-# IPC-scaling matrix (CPU count x lock model).
+# system call (wall-clock and virtual kernel-cycles/call), the null RPC
+# with the IPC direct-handoff fast path on vs off, the IPC round-trip
+# under every kernel configuration, and the multiprocessor IPC-scaling
+# matrix (CPU count x lock model).
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime   value for -benchtime (default 1s; use e.g. 5x for smoke)
 #
-# The kernel-cycles/call metric must NOT move across fast-path changes:
-# the simulator caches are required to be invisible to virtual time
-# (see ARCHITECTURE.md, "Simulator fast paths"). Only ns/op may change.
+# Two kinds of "fast path" with opposite invariants:
+#  - Simulator fast paths (software TLB, decode cache) are host-side
+#    caches and must be invisible to virtual time: kernel-cycles/call in
+#    BenchmarkNullSyscall must NOT move across simulator changes (see
+#    ARCHITECTURE.md, "Simulator fast paths"). Only ns/op may change.
+#  - The IPC direct-handoff fast path is an architectural change and
+#    *intentionally* moves virtual time; BenchmarkNullRPC tracks the
+#    on/off kernel-cycle comparison, and the flukebench -nullrpc run
+#    below prints the same comparison as a table. User-visible state
+#    must stay identical either way (TestIPCFastPathEquivalence).
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-exec go test -run='^$' \
-    -bench='BenchmarkInterpreter$|BenchmarkNullSyscall$|BenchmarkIPCRoundTrip$|BenchmarkIPCScaling$' \
+go test -run='^$' \
+    -bench='BenchmarkInterpreter$|BenchmarkNullSyscall$|BenchmarkNullRPC$|BenchmarkIPCRoundTrip$|BenchmarkIPCScaling$' \
     -benchtime="$BENCHTIME" .
+
+echo
+exec go run ./cmd/flukebench -nullrpc

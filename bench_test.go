@@ -217,6 +217,36 @@ func BenchmarkNullSyscallMetricsOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkBandwidth measures bulk-IPC bandwidth at 64 KiB with the
+// zero-copy frame-sharing path on and off. Like the direct-handoff fast
+// path, zero copy is an architectural change that *intentionally* moves
+// virtual time: the paper-comparable metrics are simulated MB/s per
+// regime and the speedup, which TestBandwidthZeroCopySpeedup pins at ≥4×.
+func BenchmarkBandwidth(b *testing.B) {
+	results := map[string]experiments.BandwidthResult{}
+	for _, mode := range []string{"zerocopy", "copy"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			var r experiments.BandwidthResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = experiments.BandwidthCell(64<<10, mode, 1, core.LockBig)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			results[mode] = r
+			b.ReportMetric(r.MBps, "virtual-MB/s")
+			if cp := results["copy"]; mode == "zerocopy" && cp.MBps > 0 {
+				b.ReportMetric(r.MBps/cp.MBps, "speedup")
+			} else if zc := results["zerocopy"]; mode == "copy" && zc.MBps > 0 {
+				b.ReportMetric(zc.MBps/r.MBps, "speedup")
+			}
+			b.ReportMetric(float64(r.Shares), "page-shares")
+		})
+	}
+}
+
 // BenchmarkIPCRoundTrip measures the simulator's full RPC path (connect,
 // 8-word request, turnaround, 8-word reply, disconnect) — wall-clock
 // cost per simulated RPC.

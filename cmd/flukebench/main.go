@@ -47,9 +47,10 @@ func main() {
 	ablate := flag.Bool("ablate", false, "run only the preemption-parameter ablations")
 	driver := flag.Bool("driver", false, "run only the driver-latency extension experiment")
 	scaling := flag.Bool("scaling", false, "run only the multiprocessor IPC-scaling matrix")
+	bandwidth := flag.Bool("bandwidth", false, "run only the bulk-IPC bandwidth sweep (zero-copy vs copy)")
 	flag.Parse()
 
-	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *nullrpc || *ablate || *driver || *scaling
+	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *nullrpc || *ablate || *driver || *scaling || *bandwidth
 	show := func(sel bool) bool { return sel || !any }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "flukebench:", err)
@@ -154,6 +155,16 @@ func main() {
 			}
 			paperMatrix()
 			fmt.Println(experiments.DriverLatencyRender(rows))
+		})
+	}
+	if show(*bandwidth) {
+		timed("bulk-IPC bandwidth", func() {
+			rows, err := experiments.Bandwidth()
+			if err != nil {
+				fail(err)
+			}
+			matrix("process", "none", "1,2,4", "big,persub")
+			fmt.Println(experiments.BandwidthRender(rows))
 		})
 	}
 	if show(*scaling) {

@@ -38,9 +38,14 @@ func main() {
 	cpus := flag.Int("cpus", 1, "number of simulated CPUs")
 	lockmodel := flag.String("lockmodel", "big", "kernel lock model: big | persub")
 	noFastpath := flag.Bool("no-ipc-fastpath", false, "disable the IPC direct-handoff fast path")
+	noZeroCopy := flag.Bool("no-zerocopy", false, "disable zero-copy bulk IPC (copy-on-write frame sharing)")
+	tlbSize := flag.Int("tlbsize", 0, "software TLB entries per address space (0 = default 256, rounded up to a power of two)")
 	flag.Parse()
 
-	cfg := core.Config{NumCPUs: *cpus, DisableIPCFastPath: *noFastpath}
+	cfg := core.Config{
+		NumCPUs: *cpus, DisableIPCFastPath: *noFastpath,
+		DisableZeroCopy: *noZeroCopy, TLBSize: *tlbSize,
+	}
 	switch *lockmodel {
 	case "big":
 		cfg.LockModel = core.LockBig
@@ -149,6 +154,8 @@ func main() {
 		s.PreemptsUser, s.PreemptsPoint, s.PreemptsKernel)
 	fmt.Printf("  ipc fastpath: hits %d, misses %d, fallbacks %d\n",
 		s.FastpathHits, s.FastpathMisses, s.FastpathFallbacks)
+	fmt.Printf("  ipc zerocopy: shares %d, cow breaks %d, fallbacks %d\n",
+		s.ZeroCopyShares, s.ZeroCopyCOWBreaks, s.ZeroCopyFallbacks)
 	if *cpus > 1 {
 		fmt.Printf("  cross-CPU: ipis %d, steals %d\n", s.IPIs, s.Steals)
 		for _, ls := range k.LockStats() {

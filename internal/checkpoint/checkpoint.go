@@ -68,13 +68,23 @@ type ObjectRecord struct {
 	PortsetPorts  []uint32 // handle VAs of member ports
 }
 
+// FrameRecord captures one physical frame's contents. Regions reference
+// frames by index rather than embedding bytes so that a frame aliased
+// into several region slots by the zero-copy IPC path is captured once
+// and restored as one frame with the same sharing structure (refcount,
+// copy-on-write protection) — not silently deep-copied.
+type FrameRecord struct {
+	Data []byte
+	Cow  bool // stores must fault so the share can be broken
+}
+
 // RegionRecord captures an exportable memory region and its present
-// pages.
+// pages, each page naming its backing frame in Image.Frames.
 type RegionRecord struct {
 	Size        uint32
 	DemandZero  bool
 	PagerPortVA uint32 // handle VA of the pager port within the image, 0 if none
-	Pages       map[uint32][]byte
+	Pages       map[uint32]int
 }
 
 // MappingRecord captures one installed mapping.
@@ -90,6 +100,7 @@ type MappingRecord struct {
 type Image struct {
 	Threads  []ThreadRecord
 	Objects  []ObjectRecord
+	Frames   []FrameRecord
 	Regions  []RegionRecord
 	Mappings []MappingRecord
 }
@@ -109,16 +120,30 @@ func Capture(k *core.Kernel, s *obj.Space) (*Image, error) {
 	}
 	img := &Image{}
 
+	// Frames reachable from captured regions, deduplicated by identity so
+	// a COW-shared frame is recorded once however many slots alias it.
+	frameIdx := map[*mem.Frame]int{}
+	frameOf := func(f *mem.Frame) int {
+		if i, ok := frameIdx[f]; ok {
+			return i
+		}
+		frameIdx[f] = len(img.Frames)
+		img.Frames = append(img.Frames, FrameRecord{
+			Data: append([]byte(nil), f.Data...), Cow: f.Cow,
+		})
+		return frameIdx[f]
+	}
+
 	// Regions reachable from the space's mappings (deduplicated).
 	regIdx := map[*mmu.Region]int{}
 	regionOf := func(r *mmu.Region) int {
 		if i, ok := regIdx[r]; ok {
 			return i
 		}
-		rec := RegionRecord{Size: r.Size, DemandZero: r.DemandZero, Pages: map[uint32][]byte{}}
+		rec := RegionRecord{Size: r.Size, DemandZero: r.DemandZero, Pages: map[uint32]int{}}
 		for off := uint32(0); off < r.Size; off += mem.PageSize {
 			if f := r.FrameAt(off); f != nil {
-				rec.Pages[off] = append([]byte(nil), f.Data...)
+				rec.Pages[off] = frameOf(f)
 			}
 		}
 		if p, ok := r.Pager.(*obj.Port); ok && p != nil && p.Owner == s {
@@ -204,16 +229,28 @@ func Capture(k *core.Kernel, s *obj.Space) (*Image, error) {
 func Restore(k2 *core.Kernel, img *Image) (*obj.Space, []*obj.Thread, error) {
 	s := k2.NewSpace()
 
-	// Regions and their contents.
+	// Regions and their contents. Frames are materialized once, on first
+	// reference; a later slot naming the same frame index shares it, so
+	// the image's COW structure (one backing frame, refcount = number of
+	// region slots) survives the round trip.
+	frames := make([]*mem.Frame, len(img.Frames))
 	regions := make([]*mmu.Region, len(img.Regions))
 	for i, rr := range img.Regions {
 		r := mmu.NewRegion(rr.Size, rr.DemandZero)
-		for off, data := range rr.Pages {
-			f, err := k2.Alloc.Alloc()
-			if err != nil {
-				return nil, nil, err
+		for off, fi := range rr.Pages {
+			f := frames[fi]
+			if f == nil {
+				var err error
+				f, err = k2.Alloc.Alloc()
+				if err != nil {
+					return nil, nil, err
+				}
+				copy(f.Data, img.Frames[fi].Data)
+				f.Cow = img.Frames[fi].Cow
+				frames[fi] = f
+			} else {
+				k2.Alloc.Share(f)
 			}
-			copy(f.Data, data)
 			r.Populate(off, f)
 		}
 		regions[i] = r

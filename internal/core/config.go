@@ -180,6 +180,22 @@ type Config struct {
 	// identical with the path on and off.
 	DisableIPCFastPath bool
 
+	// DisableZeroCopy turns off the zero-copy bulk-transfer path: the
+	// copy-on-write frame sharing that moves page-aligned IPC runs of at
+	// least ZeroCopyMinPages pages by aliasing the sender's frames into
+	// the receiver's region (charged per page, not per word). Like
+	// DisableIPCFastPath this changes virtual time — it is a modeled
+	// kernel optimization — but never user-visible results:
+	// TestZeroCopyEquivalence pins memory contents and Table 3 cause
+	// counts identical with the path on and off.
+	DisableZeroCopy bool
+
+	// TLBSize is the software-TLB capacity per address space, rounded up
+	// to a power of two; 0 selects mmu.DefaultTLBSize (256). Purely a
+	// simulator cache: the capacity changes wall-clock cost only, never
+	// virtual time.
+	TLBSize int
+
 	// TraceSyscalls, when set, receives one line per syscall completion
 	// (debugging aid).
 	TraceSyscalls func(line string)
@@ -214,6 +230,9 @@ func (c Config) Validate() error {
 	}
 	if c.ParallelHost && c.Model != ModelInterrupt {
 		return fmt.Errorf("core: ParallelHost requires the interrupt model (one kernel stack per CPU)")
+	}
+	if c.TLBSize < 0 {
+		return fmt.Errorf("core: negative TLBSize")
 	}
 	return nil
 }

@@ -69,6 +69,29 @@ const (
 	// CycCopyWord is the IPC data copy cost per 32-bit word.
 	CycCopyWord = 2
 
+	// PageWords is one page in 32-bit words (the unit of the zero-copy
+	// share and COW-break charges).
+	PageWords = 1024
+
+	// CycPageShare is the zero-copy transfer cost per page: repointing
+	// one region slot at the sender's frame, adjusting the refcount and
+	// shooting write permission out of the cached translations — page-
+	// table manipulation instead of a 1024-word copy (CycCopyWord would
+	// charge 2048 cycles for the same page).
+	CycPageShare = 40
+
+	// CycCOWBreak is the fixed kernel cost of breaking a copy-on-write
+	// share on the first store to a shared page — fault entry aside:
+	// allocating the private frame and re-deriving translations. The
+	// page copy itself is charged on top at CycCopyWord·PageWords.
+	CycCOWBreak = 300
+
+	// ZeroCopyMinPages is the smallest page-aligned run the zero-copy
+	// path will share rather than copy. Below it the fixed per-page
+	// share-and-protect work plus the risk of COW breaks is not worth
+	// the saved copy.
+	ZeroCopyMinPages = 2
+
 	// CycPreemptPoint is the cost of one explicit preemption check on
 	// the IPC copy path.
 	CycPreemptPoint = 2

@@ -124,6 +124,9 @@ func (k *Kernel) Stats() Stats {
 		out.FastpathHits += s.FastpathHits
 		out.FastpathMisses += s.FastpathMisses
 		out.FastpathFallbacks += s.FastpathFallbacks
+		out.ZeroCopyShares += s.ZeroCopyShares
+		out.ZeroCopyCOWBreaks += s.ZeroCopyCOWBreaks
+		out.ZeroCopyFallbacks += s.ZeroCopyFallbacks
 	}
 	return out
 }

@@ -637,6 +637,47 @@ func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
 		k.releaseHeld()
 		return true
 
+	case mmu.FaultCOW:
+		// A store hit a copy-on-write frame shared by zero-copy IPC.
+		// Resolved in place like a soft fault — by copying the page
+		// (breaking the share), or by restoring write permission when
+		// this region holds the last reference — but it is *not* one of
+		// Table 3's four causes: the copying kernel never raises it, so
+		// countFaultRestart/Remedy (the four-cause instruments) stay
+		// untouched and the zero-copy equivalence test can pin them
+		// bit-identical with the path on and off.
+		c.stats.FaultCount[key]++
+		c.stats.FaultRollback[key] += t.EntryCycles
+		t.EntryCycles = 0
+		start := c.clk.Now()
+		remedy := uint64(CycCOWBreak)
+		if k.cfg.Preempt == PreemptFull {
+			remedy += CycFaultLockSoftFP
+		}
+		k.ChargeKernel(remedy)
+		copied, err := spc.AS.ResolveCOW(f.VA)
+		if err != nil {
+			k.releaseHeld()
+			k.exitThread(t, uint32(0xFFFF_0E00))
+			return false
+		}
+		if copied {
+			k.ChargeKernel(CycCopyWord * PageWords)
+		}
+		c = k.cur // an FP park inside ChargeKernel can migrate us
+		c.stats.ZeroCopyCOWBreaks++
+		if k.Metrics != nil {
+			k.Metrics.ZeroCopyCOWBreaks.Inc()
+		}
+		var copiedBit uint32
+		if copied {
+			copiedBit = 1
+		}
+		k.emit(trace.COWBreak, f.VA, copiedBit)
+		c.stats.FaultRemedy[key] += c.clk.Now() - start
+		k.releaseHeld()
+		return true
+
 	case mmu.FaultHard:
 		c.stats.FaultCount[key]++
 		c.stats.FaultRollback[key] += t.EntryCycles
@@ -866,6 +907,16 @@ func (k *Kernel) countFastpathFallback() {
 	k.cur.stats.FastpathFallbacks++
 	if k.Metrics != nil {
 		k.Metrics.FastpathFallbacks.Inc()
+	}
+}
+
+// countZeroCopyFallback records a transfer whose page-aligned run had to
+// take the copying path anyway (MMIO window, unwritable receiver mapping,
+// or a share the MMU refused).
+func (k *Kernel) countZeroCopyFallback() {
+	k.cur.stats.ZeroCopyFallbacks++
+	if k.Metrics != nil {
+		k.Metrics.ZeroCopyFallbacks.Inc()
 	}
 }
 

@@ -2,8 +2,11 @@ package core
 
 import (
 	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/mmu"
 	"repro/internal/obj"
 	"repro/internal/sys"
+	"repro/internal/trace"
 )
 
 // copyChargeBatch is how many words of IPC copy are charged to the clock
@@ -80,6 +83,12 @@ func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
 	if regCarried {
 		perWord = 0
 	}
+	// Zero-copy eligibility for this transfer as a whole: the page-share
+	// path never runs against MMIO windows (device stores must see every
+	// word) and register-carried messages are far below a page anyway.
+	zcMMIO := src.Space.AS.HasMMIO() || dst.Space.AS.HasMMIO()
+	zcFellBack := false
+	zcStreak := false        // a share run is open: its tail page shares too
 	words := uint32(0)       // copied but not yet charged/counted
 	sincePoint := uint32(0)  // bytes since last preemption point
 	sinceCommit := uint32(0) // words since last progress commit
@@ -95,6 +104,96 @@ func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
 		}
 	}
 	for src.Regs.R[2] > 0 && dst.Regs.R[2] > 0 {
+		// Zero-copy path: when both cursors sit on a page boundary and at
+		// least ZeroCopyMinPages whole pages remain on both sides, move
+		// the page by sharing the sender's frame into the receiver's
+		// region copy-on-write (charged CycPageShare) instead of copying
+		// 1024 words. Restart equivalence with the copying path is kept by
+		// faulting out at exactly the VA and access the word loop's first
+		// touch of this page would raise — src read, then dst write — with
+		// the registers rolled forward to the page boundary, so the
+		// four-cause fault instruments cannot tell the two paths apart.
+		if k.zeroCopy && src.Regs.R[1]%mem.PageSize == 0 && dst.Regs.R[1]%mem.PageSize == 0 {
+			rem := src.Regs.R[2]
+			if dst.Regs.R[2] < rem {
+				rem = dst.Regs.R[2]
+			}
+			// A run must open with at least ZeroCopyMinPages whole pages
+			// to be worth the sharing bookkeeping; once open, it keeps
+			// sharing down to and including its final whole page.
+			if rem >= ZeroCopyMinPages*PageWords || (zcStreak && rem >= PageWords) {
+				srcVA, dstVA := src.Regs.R[1], dst.Regs.R[1]
+				dm := dst.Space.AS.MappingAt(dstVA)
+				switch {
+				case zcMMIO, dm == nil, dm.Perm&mmu.PermWrite == 0:
+					// MMIO space or an unwritable receiver window: the
+					// word loop handles it (storing to a read-only
+					// mapping must raise the same fatal fault it always
+					// did). Count the demotion once per transfer.
+					if !zcFellBack {
+						zcFellBack = true
+						k.countZeroCopyFallback()
+					}
+				case !src.Space.AS.Present(srcVA, cpu.Read):
+					flush()
+					return k.faultOut(t, src.Space, &cpu.Fault{VA: srcVA, Access: cpu.Read})
+				case !dst.Space.AS.HasPTE(dstVA):
+					// Mirror the word loop's first store: soft if the
+					// receiver page is populated, hard if its region
+					// needs the pager. The restart resumes sharing here.
+					flush()
+					return k.faultOut(t, dst.Space, &cpu.Fault{VA: dstVA, Access: cpu.Write})
+				default:
+					flush()
+					c := k.cur
+					k.lockAcquire(c, lockMMU)
+					shared := mmu.ShareCOW(src.Space.AS, srcVA, dst.Space.AS, dstVA)
+					k.lockRelease(c, lockMMU)
+					if !shared {
+						// Both translations were live yet the share was
+						// refused (e.g. the receiver slot is the source
+						// page itself mid-overlap); copy this page.
+						zcStreak = false
+						if !zcFellBack {
+							zcFellBack = true
+							k.countZeroCopyFallback()
+						}
+						break
+					}
+					zcStreak = true
+					k.ChargeKernel(CycPageShare)
+					c = k.cur // ChargeKernel may park and migrate under FP
+					src.Regs.R[1] += mem.PageSize
+					src.Regs.R[2] -= PageWords
+					dst.Regs.R[1] += mem.PageSize
+					dst.Regs.R[2] -= PageWords
+					c.stats.ZeroCopyShares++
+					if k.Metrics != nil {
+						k.Metrics.ZeroCopyShares.Inc()
+						k.Metrics.IPCBytes.Add(mem.PageSize)
+					}
+					if k.Tracer != nil {
+						pfn := uint32(0)
+						if f := dm.Region.FrameAt(dm.RegionOff + (dstVA - dm.Base)); f != nil {
+							pfn = f.PFN
+						}
+						k.emit(trace.Share, dstVA, pfn)
+					}
+					// Each shared page commits: a later fault must not
+					// re-share (and re-charge) pages already delivered.
+					sinceCommit = 0
+					k.CommitProgress(t)
+					sincePoint += mem.PageSize
+					if sincePoint >= k.cfg.PreemptPointBytes {
+						sincePoint = 0
+						if kerr := k.PreemptPoint(); kerr != sys.KOK {
+							return kerr
+						}
+					}
+					continue
+				}
+			}
+		}
 		// Fast path: copy a run of words through direct page windows.
 		// The run is capped at every accounting boundary (charge batch,
 		// progress commit, preemption point) so the charge/commit/

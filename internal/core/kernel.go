@@ -72,6 +72,14 @@ type Stats struct {
 	FastpathMisses    uint64
 	FastpathFallbacks uint64
 
+	// Zero-copy bulk-transfer counters (see Config.DisableZeroCopy):
+	// pages shared copy-on-write instead of copied, stores that broke a
+	// share by copying the page, and eligible pages that fell back to
+	// the copying path.
+	ZeroCopyShares    uint64
+	ZeroCopyCOWBreaks uint64
+	ZeroCopyFallbacks uint64
+
 	// ContinuationsRecognized counts operations the kernel completed by
 	// mutating a waiter's explicit continuation instead of re-running it
 	// (§2.2 continuation recognition; interrupt model with
@@ -158,6 +166,10 @@ type Kernel struct {
 	// ipcFast enables the IPC fast path — direct thread handoff with
 	// register-carried small messages (see Config.DisableIPCFastPath).
 	ipcFast bool
+
+	// zeroCopy enables the zero-copy bulk-transfer path — copy-on-write
+	// frame sharing for page-aligned runs (see Config.DisableZeroCopy).
+	zeroCopy bool
 }
 
 // New creates a kernel with the given configuration. It panics on an
@@ -185,6 +197,7 @@ func New(cfg Config) *Kernel {
 	}
 	k.fastExec = !cfg.DisableFastPath
 	k.ipcFast = !cfg.DisableIPCFastPath
+	k.zeroCopy = !cfg.DisableZeroCopy
 	k.registerHandlers()
 	return k
 }
@@ -208,7 +221,7 @@ func (k *Kernel) NewSpace() *obj.Space {
 }
 
 func (k *Kernel) newSpaceInternal() *obj.Space {
-	s := obj.NewSpace(mmu.NewAddrSpace(k.Alloc))
+	s := obj.NewSpace(mmu.NewAddrSpaceTLB(k.Alloc, k.cfg.TLBSize))
 	s.HomeCPU = k.nextSpaceHome
 	k.nextSpaceHome = (k.nextSpaceHome + 1) % len(k.cpus)
 	if k.cfg.DisableFastPath {

@@ -86,6 +86,15 @@ type KernelMetrics struct {
 	FastpathMisses    *metrics.Counter
 	FastpathFallbacks *metrics.Counter
 
+	// Zero-copy bulk-transfer counters: shares are pages moved by
+	// aliasing the sender's frame into the receiver's region, cowbreaks
+	// are stores that broke a share by copying the page, fallbacks are
+	// page-aligned eligible pages that had to take the copying path
+	// anyway (unresolvable translations, MMIO windows, self-transfers).
+	ZeroCopyShares    *metrics.Counter
+	ZeroCopyCOWBreaks *metrics.Counter
+	ZeroCopyFallbacks *metrics.Counter
+
 	PagerNotices *metrics.Counter // hard-fault notifications queued to pagers
 
 	ThreadsLive    *metrics.Gauge
@@ -135,6 +144,9 @@ func NewKernelMetrics(reg *metrics.Registry) *KernelMetrics {
 	m.FastpathHits = reg.Counter("ipc.fastpath.hits")
 	m.FastpathMisses = reg.Counter("ipc.fastpath.misses")
 	m.FastpathFallbacks = reg.Counter("ipc.fastpath.fallbacks")
+	m.ZeroCopyShares = reg.Counter("ipc.zerocopy.shares")
+	m.ZeroCopyCOWBreaks = reg.Counter("ipc.zerocopy.cowbreaks")
+	m.ZeroCopyFallbacks = reg.Counter("ipc.zerocopy.fallbacks")
 	m.PagerNotices = reg.Counter("pager.fault_notices")
 	m.ThreadsLive = reg.Gauge("threads.live")
 	m.ThreadsCreated = reg.Counter("threads.created")

@@ -44,6 +44,10 @@ func ablationScale() workload.FlukeperfScale {
 }
 
 func runAblation(cfg core.Config) (AblationRow, error) {
+	// Both sweeps vary copy-path preemption parameters, so they must run
+	// the copying kernel: zero-copy sharing would move the big transfers
+	// in a handful of page shares and erase the spacing effect under test.
+	cfg.DisableZeroCopy = true
 	k := core.New(cfg)
 	w, err := workload.NewFlukeperf(k, ablationScale())
 	if err != nil {

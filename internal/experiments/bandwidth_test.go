@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestBandwidthZeroCopySpeedup pins the PR's headline number: at 64 KiB
+// the zero-copy kernel must deliver at least 4× the copying kernel's
+// simulated bandwidth, while below ZeroCopyMinPages (4 KiB = 1 page) the
+// zero-copy kernel must fall back to the word loop and match the copying
+// kernel's number.
+func TestBandwidthZeroCopySpeedup(t *testing.T) {
+	cell := func(size uint32, mode string) BandwidthResult {
+		r, err := BandwidthCell(size, mode, 1, core.LockBig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	zc := cell(64<<10, "zerocopy")
+	cp := cell(64<<10, "copy")
+	if zc.Shares == 0 {
+		t.Fatal("64 KiB zero-copy run shared no pages")
+	}
+	if cp.Shares != 0 {
+		t.Fatalf("copying run shared %d pages", cp.Shares)
+	}
+	if zc.MBps < 4*cp.MBps {
+		t.Fatalf("64 KiB zero-copy bandwidth %.1f MB/s < 4x copy %.1f MB/s", zc.MBps, cp.MBps)
+	}
+
+	// The copying kernel's number is the PR 4 baseline; the direct-handoff
+	// fast path does not move bulk-transfer bandwidth, so all three copying
+	// regimes must agree closely.
+	fo := cell(64<<10, "fastpath-off")
+	if ratio := cp.MBps / fo.MBps; ratio < 0.98 || ratio > 1.02 {
+		t.Fatalf("copy %.1f vs fastpath-off %.1f MB/s: copy path moved", cp.MBps, fo.MBps)
+	}
+
+	zc4 := cell(4<<10, "zerocopy")
+	cp4 := cell(4<<10, "copy")
+	if zc4.Shares != 0 {
+		t.Fatalf("4 KiB (single page) run shared %d pages despite ZeroCopyMinPages", zc4.Shares)
+	}
+	if ratio := zc4.MBps / cp4.MBps; ratio < 0.98 || ratio > 1.02 {
+		t.Fatalf("4 KiB zero-copy %.1f vs copy %.1f MB/s: sub-threshold transfers should match", zc4.MBps, cp4.MBps)
+	}
+}

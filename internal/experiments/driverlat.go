@@ -67,6 +67,9 @@ func driverLatClient(refVA uint32, n int, pauseUS uint32) *prog.Builder {
 func DriverLatency(sc workload.FlukeperfScale, requests int) ([]DriverLatRow, error) {
 	var rows []DriverLatRow
 	for _, cfg := range core.Configurations() {
+		// Copying kernel, as in Table 5/6: the latency bounds under test
+		// come from the word-by-word transfer loop.
+		cfg.DisableZeroCopy = true
 		k := core.New(cfg)
 		w, err := workload.NewFlukeperf(k, sc)
 		if err != nil {

@@ -76,6 +76,11 @@ func Table5(sc Table5Scale) ([]Table5Result, error) {
 	}
 	// One workload run on one configuration; returns (virtual ms, metrics).
 	runOne := func(name string, cfg core.Config) (float64, *core.KernelMetrics, error) {
+		// The paper's tables measure the copying kernel; zero-copy frame
+		// sharing (PR 5) collapses flukeperf's big transfers and with them
+		// the copy-bound ratios the tables reproduce. The Bandwidth
+		// experiment is where zero-copy is exercised.
+		cfg.DisableZeroCopy = true
 		k := core.New(cfg)
 		m := k.EnableMetrics()
 		w, err := mk[name](k)

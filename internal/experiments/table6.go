@@ -39,6 +39,9 @@ func Table6(sc workload.FlukeperfScale) ([]Table6Row, error) {
 		for _, disable := range []bool{false, true} {
 			cfg := base
 			cfg.DisableIPCFastPath = disable
+			// Copying kernel: the probe latency table reproduces the
+			// paper's preemption bounds, which assume word-by-word IPC.
+			cfg.DisableZeroCopy = true
 			k := core.New(cfg)
 			w, err := workload.NewFlukeperf(k, sc)
 			if err != nil {

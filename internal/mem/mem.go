@@ -29,15 +29,31 @@ var ErrNoMemory = errors.New("mem: out of physical memory")
 // call Bump). Derived caches of frame *contents* — the decoded-instruction
 // cache — validate against Gen, so a stale decode can never be executed.
 // Gen is simulator bookkeeping only and never feeds virtual time.
+//
+// Refs is the frame's reference count: the number of region slots holding
+// the frame. Alloc hands out frames with Refs == 1; zero-copy IPC raises it
+// via Allocator.Share, and Free only recycles the frame once the count
+// drops back to zero.
+//
+// Cow marks a frame whose cached translations have been write-protected
+// because it is (or recently was) shared: a store through any mapping of a
+// Cow frame must fault so the MMU can break the share (or, once Refs has
+// dropped back to 1, simply restore write permission). The flag is owned
+// by the MMU layer; mem only clears it on recycle.
 type Frame struct {
 	PFN  uint32 // physical frame number, unique per allocator
 	Gen  uint64 // store generation; bumped on every write to Data
+	Refs int32  // region slots holding this frame; 0 = on the free list
+	Cow  bool   // stores must fault so the share can be broken
 	Data []byte
 }
 
 // Bump invalidates content caches derived from this frame. Writers that
 // mutate Data directly (rather than through the MMU) must call it.
 func (f *Frame) Bump() { f.Gen++ }
+
+// Shared reports whether more than one region slot holds the frame.
+func (f *Frame) Shared() bool { return f.Refs > 1 }
 
 // Allocator hands out page frames from a fixed-size simulated physical
 // memory, modelling the 64 MB machine of the paper's evaluation by default.
@@ -71,6 +87,8 @@ func (a *Allocator) Alloc() (*Frame, error) {
 		a.free = a.free[:n-1]
 		clear(f.Data)
 		f.Bump() // recycled frame: contents changed, derived decodes are stale
+		f.Refs = 1
+		f.Cow = false
 		a.inUse++
 		if a.inUse > a.peak {
 			a.peak = a.inUse
@@ -80,7 +98,7 @@ func (a *Allocator) Alloc() (*Frame, error) {
 	if a.inUse >= a.limit {
 		return nil, ErrNoMemory
 	}
-	f := &Frame{PFN: a.nextPFN, Data: make([]byte, PageSize)}
+	f := &Frame{PFN: a.nextPFN, Refs: 1, Data: make([]byte, PageSize)}
 	a.nextPFN++
 	a.inUse++
 	if a.inUse > a.peak {
@@ -89,19 +107,53 @@ func (a *Allocator) Alloc() (*Frame, error) {
 	return f, nil
 }
 
-// Free returns a frame to the allocator. Freeing nil is a no-op; freeing a
-// frame twice is a programming error and panics.
+// Share raises f's reference count: one more region slot now holds the
+// frame. Sharing a frame that is not live (already on the free list, or
+// never allocated) is a programming error and panics with the frame's
+// identity.
+func (a *Allocator) Share(f *Frame) {
+	if f == nil || f.Refs < 1 {
+		panic(fmt.Sprintf("mem: share of dead frame %s", frameID(f)))
+	}
+	f.Refs++
+}
+
+// Unshare drops one reference from a frame that remains live afterwards.
+// It is Free restricted to the Refs > 1 case: callers who know they are
+// releasing a shared duplicate (and must not recycle the frame) use it to
+// make that invariant explicit.
+func (a *Allocator) Unshare(f *Frame) {
+	if f == nil || f.Refs < 2 {
+		panic(fmt.Sprintf("mem: unshare of unshared frame %s", frameID(f)))
+	}
+	f.Refs--
+}
+
+// Free drops one reference to a frame and recycles it once the count
+// reaches zero. Freeing nil is a no-op; freeing a frame whose count is
+// already zero (a double free, or an underflowing unshare) is a
+// programming error and panics with the frame's identity.
 func (a *Allocator) Free(f *Frame) {
 	if f == nil {
 		return
 	}
-	for _, g := range a.free {
-		if g == f {
-			panic(fmt.Sprintf("mem: double free of frame %d", f.PFN))
-		}
+	if f.Refs < 1 {
+		panic(fmt.Sprintf("mem: double free of frame %s", frameID(f)))
+	}
+	f.Refs--
+	if f.Refs > 0 {
+		return
 	}
 	a.inUse--
 	a.free = append(a.free, f)
+}
+
+// frameID renders a frame's identity for allocator panics.
+func frameID(f *Frame) string {
+	if f == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%d (refs=%d, gen=%d)", f.PFN, f.Refs, f.Gen)
 }
 
 // InUse returns the number of frames currently allocated.

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -162,4 +163,83 @@ func TestPropertyAllocFreePattern(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// Shared frames are recycled only when the last reference is dropped, and
+// InUse counts frames, not references.
+func TestShareRefcount(t *testing.T) {
+	a := NewAllocator(4)
+	f, _ := a.Alloc()
+	if f.Refs != 1 || f.Shared() {
+		t.Fatalf("fresh frame Refs=%d Shared=%v, want 1 false", f.Refs, f.Shared())
+	}
+	a.Share(f)
+	a.Share(f)
+	if f.Refs != 3 || !f.Shared() {
+		t.Fatalf("Refs=%d Shared=%v after two shares, want 3 true", f.Refs, f.Shared())
+	}
+	if a.InUse() != 1 {
+		t.Fatalf("InUse=%d, want 1 (refs are not frames)", a.InUse())
+	}
+	f.Data[3] = 0x5a
+	a.Unshare(f)
+	a.Free(f)
+	if f.Refs != 1 || a.InUse() != 1 {
+		t.Fatalf("Refs=%d InUse=%d after dropping two refs, want 1 1", f.Refs, a.InUse())
+	}
+	if f.Data[3] != 0x5a {
+		t.Fatal("dropping a shared reference must not clear the frame")
+	}
+	a.Free(f)
+	if f.Refs != 0 || a.InUse() != 0 {
+		t.Fatalf("Refs=%d InUse=%d after final free, want 0 0", f.Refs, a.InUse())
+	}
+	g, _ := a.Alloc()
+	if g != f {
+		t.Fatal("frame not recycled after last reference dropped")
+	}
+	if g.Refs != 1 || g.Cow || g.Data[3] != 0 {
+		t.Fatalf("recycled frame Refs=%d Cow=%v Data[3]=%d, want 1 false 0",
+			g.Refs, g.Cow, g.Data[3])
+	}
+}
+
+// Share and Unshare on frames in invalid states panic with the frame's
+// identity rather than corrupting the count.
+func TestShareUnsharePanics(t *testing.T) {
+	a := NewAllocator(2)
+	f, _ := a.Alloc()
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Unshare of unshared frame", func() { a.Unshare(f) })
+	a.Free(f)
+	mustPanic("Share of freed frame", func() { a.Share(f) })
+	mustPanic("Unshare of freed frame", func() { a.Unshare(f) })
+	mustPanic("Share of nil", func() { a.Share(nil) })
+}
+
+// A double free by way of refcount underflow reports the frame identity.
+func TestDoubleFreeMentionsFrame(t *testing.T) {
+	a := NewAllocator(2)
+	f, _ := a.Alloc()
+	f.PFN = 0 // deterministic identity
+	a.Free(f)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double free did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "frame 0") {
+			t.Fatalf("panic %v does not identify the frame", r)
+		}
+	}()
+	a.Free(f)
 }

@@ -196,11 +196,14 @@ type pte struct {
 // and every path that drops a PTE drops the matching TLB slot, so the TLB
 // can never hold a translation the page table lacks. A zeroed slot has
 // perm == 0 and therefore never hits.
-const (
-	tlbBits = 8
-	tlbSize = 1 << tlbBits
-	tlbMask = tlbSize - 1
-)
+//
+// The capacity is per-AddrSpace (DefaultTLBSize unless NewAddrSpaceTLB
+// says otherwise); shrinking it only changes wall-clock cost, never
+// virtual time, so tests can run tiny TLBs to stress eviction and
+// invalidation paths.
+
+// DefaultTLBSize is the TLB capacity used by NewAddrSpace.
+const DefaultTLBSize = 256
 
 type tlbEntry struct {
 	vpn   uint32
@@ -230,6 +233,11 @@ const (
 	FaultSoft
 	// FaultHard: a user-mode pager must provide the page (exception IPC).
 	FaultHard
+	// FaultCOW: a store hit a copy-on-write frame shared by zero-copy
+	// IPC. A soft flavour — the kernel resolves it without leaving the
+	// kernel, by copying the page (breaking the share) or, when the
+	// sharing has already dissolved, by restoring write permission.
+	FaultCOW
 )
 
 func (c FaultClass) String() string {
@@ -240,6 +248,8 @@ func (c FaultClass) String() string {
 		return "soft"
 	case FaultHard:
 		return "hard"
+	case FaultCOW:
+		return "cow"
 	}
 	return "fault?"
 }
@@ -256,9 +266,10 @@ type AddrSpace struct {
 	// tlb caches recent pt entries (see tlbEntry); icache caches decoded
 	// instructions per executable page. Both are invisible to virtual
 	// time: they change only wall-clock cost, never cycles or Stats.
-	tlb    [tlbSize]tlbEntry
-	icache [icSize]icEntry
-	noFast bool // caches disabled (equivalence testing)
+	tlb     []tlbEntry
+	tlbMask uint32
+	icache  [icSize]icEntry
+	noFast  bool // caches disabled (equivalence testing)
 
 	// Faults counts translation faults taken through this space
 	// (diagnostics and tests).
@@ -266,10 +277,32 @@ type AddrSpace struct {
 }
 
 // NewAddrSpace creates an empty address space drawing demand-zero frames
-// from alloc.
+// from alloc, with the default TLB capacity.
 func NewAddrSpace(alloc *mem.Allocator) *AddrSpace {
-	return &AddrSpace{alloc: alloc, pt: make(map[uint32]pte)}
+	return NewAddrSpaceTLB(alloc, DefaultTLBSize)
 }
+
+// NewAddrSpaceTLB is NewAddrSpace with an explicit TLB capacity. size is
+// rounded up to a power of two (the TLB is direct-mapped on a vpn mask);
+// size <= 0 selects DefaultTLBSize.
+func NewAddrSpaceTLB(alloc *mem.Allocator, size int) *AddrSpace {
+	if size <= 0 {
+		size = DefaultTLBSize
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &AddrSpace{
+		alloc:   alloc,
+		pt:      make(map[uint32]pte),
+		tlb:     make([]tlbEntry, n),
+		tlbMask: uint32(n - 1),
+	}
+}
+
+// TLBSize returns the TLB capacity.
+func (as *AddrSpace) TLBSize() int { return len(as.tlb) }
 
 // Allocator exposes the backing allocator (the pager uses it).
 func (as *AddrSpace) Allocator() *mem.Allocator { return as.alloc }
@@ -359,7 +392,7 @@ func (as *AddrSpace) FlushRange(base, size uint32) {
 			}
 		}
 	}
-	if pages >= tlbSize {
+	if pages >= uint64(len(as.tlb)) {
 		clear(as.tlb[:])
 	} else {
 		for vpn := first; vpn <= last; vpn++ {
@@ -385,7 +418,7 @@ func (as *AddrSpace) FlushRange(base, size uint32) {
 
 // flushSlot invalidates the TLB slot for vpn if it holds that vpn.
 func (as *AddrSpace) flushSlot(vpn uint32) {
-	if e := &as.tlb[vpn&tlbMask]; e.perm != 0 && e.vpn == vpn {
+	if e := &as.tlb[vpn&as.tlbMask]; e.perm != 0 && e.vpn == vpn {
 		*e = tlbEntry{}
 	}
 }
@@ -420,14 +453,23 @@ func (as *AddrSpace) Present(va uint32, acc cpu.Access) bool {
 func (as *AddrSpace) PTEs() int { return len(as.pt) }
 
 // Classify decides what kind of fault an access to va is, returning the
-// covering mapping for soft/hard faults.
+// covering mapping for soft/hard/COW faults.
 func (as *AddrSpace) Classify(va uint32, acc cpu.Access) (FaultClass, *Mapping) {
 	m := as.MappingAt(va)
 	if m == nil || m.Perm&needs(acc) == 0 {
 		return FaultFatal, nil
 	}
 	off := m.regionOffFor(va)
-	if m.Region.FrameAt(off) != nil || m.Region.DemandZero {
+	if f := m.Region.FrameAt(off); f != nil {
+		// A store to a copy-on-write frame: the mapping grants write but
+		// cached translations were write-protected when the frame was
+		// shared, so the access trapped here for the share to be broken.
+		if acc == cpu.Write && f.Cow {
+			return FaultCOW, m
+		}
+		return FaultSoft, m
+	}
+	if m.Region.DemandZero {
 		return FaultSoft, m
 	}
 	if m.Region.Pager != nil {
@@ -457,11 +499,153 @@ func (as *AddrSpace) ResolveSoft(va uint32, acc cpu.Access) error {
 		}
 		m.Region.Populate(off, f)
 	}
+	perm := m.Perm
+	if f.Cow {
+		// Copy-on-write frames never get cached write permission: the
+		// next store must trap so the share can be broken (ResolveCOW).
+		perm &^= PermWrite
+	}
 	vpn := mem.VPN(va)
 	as.flushSlot(vpn) // pt[vpn] changes below; keep TLB ⊆ pt
-	as.pt[vpn] = pte{frame: f, perm: m.Perm}
+	as.pt[vpn] = pte{frame: f, perm: perm}
 	return nil
 }
+
+// ResolveCOW resolves a copy-on-write fault for a store to va. If the
+// backing frame is still shared, the share is broken: the page is copied
+// into a fresh frame, the region slot is repointed (flushing every derived
+// translation through the watcher list), and this holder's reference to
+// the shared frame is dropped. If the sharing has already dissolved (this
+// region holds the last reference), write permission is simply restored.
+// Either way a writable PTE is installed so the restarted store hits.
+// Classify must have returned FaultCOW for the same access; copied reports
+// whether a page copy happened (the caller charges for it).
+func (as *AddrSpace) ResolveCOW(va uint32) (copied bool, err error) {
+	m := as.MappingAt(va)
+	if m == nil {
+		return false, fmt.Errorf("mmu: ResolveCOW(%#x): no mapping", va)
+	}
+	off := mem.PageTrunc(m.regionOffFor(va))
+	f := m.Region.FrameAt(off)
+	if f == nil || !f.Cow {
+		return false, fmt.Errorf("mmu: ResolveCOW(%#x): page is not copy-on-write", va)
+	}
+	cur := f
+	if f.Shared() {
+		nf, aerr := as.alloc.Alloc()
+		if aerr != nil {
+			return false, aerr
+		}
+		copy(nf.Data, f.Data)
+		nf.Bump()
+		m.Region.Populate(off, nf) // flushes derived translations everywhere
+		as.alloc.Free(f)           // drop this region's reference
+		cur = nf
+		copied = true
+	} else {
+		// Last reference: no copy needed. Clear the marker; other
+		// write-protected translations of this frame (other mappings or
+		// spaces) upgrade lazily through ordinary soft faults.
+		f.Cow = false
+	}
+	vpn := mem.VPN(va)
+	as.flushSlot(vpn) // pt[vpn] changes below; keep TLB ⊆ pt
+	as.pt[vpn] = pte{frame: cur, perm: m.Perm}
+	return copied, nil
+}
+
+// ShareCOW implements the zero-copy IPC transfer step: the frame backing
+// the page at srcVA in src is installed copy-on-write into the region slot
+// backing dstVA in dst, instead of copying the page's words. Every cached
+// translation of the source page is write-protected (read and exec hits
+// stay intact) and the destination page's translation is re-derived
+// read-only, so the next store through either side raises FaultCOW and
+// breaks the share.
+//
+// Both addresses must be page-aligned, covered by a readable source /
+// writable destination mapping with no MMIO windows, and the source page
+// must be present. ShareCOW reports false without changing anything when a
+// precondition fails — the caller falls back to the copying path, which
+// raises exactly the faults the copy would. Sharing a page with itself, or
+// re-sending a page that is already shared into the same slot, succeeds as
+// a no-op.
+func ShareCOW(src *AddrSpace, srcVA uint32, dst *AddrSpace, dstVA uint32) bool {
+	if srcVA%mem.PageSize != 0 || dstVA%mem.PageSize != 0 {
+		return false
+	}
+	if len(src.io) > 0 || len(dst.io) > 0 {
+		return false
+	}
+	sm := src.MappingAt(srcVA)
+	dm := dst.MappingAt(dstVA)
+	if sm == nil || dm == nil || sm.Perm&PermRead == 0 || dm.Perm&PermWrite == 0 {
+		return false
+	}
+	soff := sm.regionOffFor(srcVA) // page-aligned: mapping bases/offsets are
+	doff := dm.regionOffFor(dstVA)
+	f := sm.Region.FrameAt(soff)
+	if f == nil {
+		return false
+	}
+	if sm.Region == dm.Region && soff == doff {
+		return true // sending a page to itself: already identical
+	}
+	if dm.Region.FrameAt(doff) == f {
+		return true // re-send into the same slot: share already in place
+	}
+	src.alloc.Share(f)
+	f.Cow = true
+	if old := dm.Region.Populate(doff, f); old != nil {
+		src.alloc.Free(old)
+	}
+	// Existing translations of the source page may still grant write
+	// straight into the now-shared frame; downgrade them everywhere.
+	sm.Region.writeProtect(soff)
+	// Populate dropped the destination page's translations; re-derive the
+	// receiver's own (read-only — the frame is Cow) so the receive buffer
+	// stays as mapped as the copying path would have left it.
+	dvpn := mem.VPN(dstVA)
+	dst.flushSlot(dvpn)
+	dst.pt[dvpn] = pte{frame: f, perm: dm.Perm &^ PermWrite}
+	return true
+}
+
+// writeProtect masks write permission out of every cached translation of
+// the region page at off in every importing space, leaving read and exec
+// hits intact: the next store through any of them faults, and the COW
+// logic decides whether to break a share or restore the bit.
+func (r *Region) writeProtect(off uint32) {
+	for _, as := range r.watchers {
+		for _, m := range as.mappings {
+			if m.Region == r && off >= m.RegionOff && off-m.RegionOff < m.Size {
+				as.writeProtectPage(m.Base + (off - m.RegionOff))
+			}
+		}
+	}
+}
+
+// writeProtectPage masks write permission out of the cached PTE and TLB
+// slot for the page containing va, if installed.
+func (as *AddrSpace) writeProtectPage(va uint32) {
+	vpn := mem.VPN(va)
+	if e, ok := as.pt[vpn]; ok && e.perm&PermWrite != 0 {
+		e.perm &^= PermWrite
+		as.pt[vpn] = e
+	}
+	if e := &as.tlb[vpn&as.tlbMask]; e.perm&PermWrite != 0 && e.vpn == vpn {
+		e.perm &^= PermWrite
+	}
+}
+
+// HasPTE reports whether any PTE is installed for the page containing va
+// (regardless of permissions).
+func (as *AddrSpace) HasPTE(va uint32) bool {
+	_, ok := as.pt[mem.VPN(va)]
+	return ok
+}
+
+// HasMMIO reports whether any device-register windows are installed.
+func (as *AddrSpace) HasMMIO() bool { return len(as.io) > 0 }
 
 // translate returns the frame and in-page offset for va, or a fault. A
 // successful translation refills the TLB slot for the page (unless fast
@@ -474,7 +658,7 @@ func (as *AddrSpace) translate(va uint32, acc cpu.Access) (*mem.Frame, uint32, *
 		return nil, 0, &cpu.Fault{VA: va, Access: acc}
 	}
 	if !as.noFast {
-		as.tlb[vpn&tlbMask] = tlbEntry{vpn: vpn, perm: e.perm, frame: e.frame}
+		as.tlb[vpn&as.tlbMask] = tlbEntry{vpn: vpn, perm: e.perm, frame: e.frame}
 	}
 	return e.frame, va & mem.PageMask, nil
 }
@@ -484,7 +668,7 @@ func (as *AddrSpace) translate(va uint32, acc cpu.Access) (*mem.Frame, uint32, *
 // paths use it so their translation probes are invisible to diagnostics.
 func (as *AddrSpace) probe(va uint32, acc cpu.Access) *mem.Frame {
 	vpn := mem.VPN(va)
-	if e := &as.tlb[vpn&tlbMask]; e.vpn == vpn && e.perm&needs(acc) != 0 {
+	if e := &as.tlb[vpn&as.tlbMask]; e.vpn == vpn && e.perm&needs(acc) != 0 {
 		return e.frame
 	}
 	if e, ok := as.pt[vpn]; ok && e.perm&needs(acc) != 0 {
@@ -505,7 +689,7 @@ func (as *AddrSpace) Load32(va uint32) (uint32, *cpu.Fault) {
 		return 0, &cpu.Fault{VA: va, Access: cpu.Read}
 	}
 	vpn := mem.VPN(va)
-	if e := &as.tlb[vpn&tlbMask]; e.vpn == vpn && e.perm&PermRead != 0 {
+	if e := &as.tlb[vpn&as.tlbMask]; e.vpn == vpn && e.perm&PermRead != 0 {
 		d := e.frame.Data[va&mem.PageMask:]
 		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
 	}
@@ -529,7 +713,7 @@ func (as *AddrSpace) Store32(va uint32, v uint32) *cpu.Fault {
 		return &cpu.Fault{VA: va, Access: cpu.Write}
 	}
 	vpn := mem.VPN(va)
-	if e := &as.tlb[vpn&tlbMask]; e.vpn == vpn && e.perm&PermWrite != 0 {
+	if e := &as.tlb[vpn&as.tlbMask]; e.vpn == vpn && e.perm&PermWrite != 0 {
 		e.frame.Gen++
 		d := e.frame.Data[va&mem.PageMask:]
 		d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
@@ -548,7 +732,7 @@ func (as *AddrSpace) Store32(va uint32, v uint32) *cpu.Fault {
 // Load8 implements cpu.Memory.
 func (as *AddrSpace) Load8(va uint32) (byte, *cpu.Fault) {
 	vpn := mem.VPN(va)
-	if e := &as.tlb[vpn&tlbMask]; e.vpn == vpn && e.perm&PermRead != 0 {
+	if e := &as.tlb[vpn&as.tlbMask]; e.vpn == vpn && e.perm&PermRead != 0 {
 		return e.frame.Data[va&mem.PageMask], nil
 	}
 	f, off, flt := as.translate(va, cpu.Read)
@@ -561,7 +745,7 @@ func (as *AddrSpace) Load8(va uint32) (byte, *cpu.Fault) {
 // Store8 implements cpu.Memory.
 func (as *AddrSpace) Store8(va uint32, v byte) *cpu.Fault {
 	vpn := mem.VPN(va)
-	if e := &as.tlb[vpn&tlbMask]; e.vpn == vpn && e.perm&PermWrite != 0 {
+	if e := &as.tlb[vpn&as.tlbMask]; e.vpn == vpn && e.perm&PermWrite != 0 {
 		e.frame.Gen++
 		e.frame.Data[va&mem.PageMask] = v
 		return nil
@@ -582,7 +766,7 @@ func (as *AddrSpace) Fetch32(va uint32) (uint32, *cpu.Fault) {
 		return 0, &cpu.Fault{VA: va, Access: cpu.Exec}
 	}
 	vpn := mem.VPN(va)
-	if e := &as.tlb[vpn&tlbMask]; e.vpn == vpn && e.perm&PermExec != 0 {
+	if e := &as.tlb[vpn&as.tlbMask]; e.vpn == vpn && e.perm&PermExec != 0 {
 		d := e.frame.Data[va&mem.PageMask:]
 		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
 	}

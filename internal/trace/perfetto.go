@@ -135,7 +135,10 @@ func ExportJSON(w io.Writer, events []Event) error {
 			if e.B>>8 != 0 {
 				side = "server"
 			}
-			class := [...]string{"fatal", "soft", "hard"}[e.B&0xFF]
+			class := fmt.Sprintf("class%d", e.B&0xFF)
+			if names := [...]string{"fatal", "soft", "hard", "cow"}; e.B&0xFF < uint32(len(names)) {
+				class = names[e.B&0xFF]
+			}
 			out = append(out, instant(e, "fault "+class,
 				map[string]string{"va": fmt.Sprintf("%#x", e.A), "class": class, "side": side}))
 		case Preempt:
@@ -155,6 +158,16 @@ func ExportJSON(w io.Writer, events []Event) error {
 		case Handoff:
 			out = append(out, instant(e, "handoff",
 				map[string]string{"incoming": fmt.Sprintf("t%d", e.A)}))
+		case Share:
+			out = append(out, instant(e, "share",
+				map[string]string{"va": fmt.Sprintf("%#x", e.A), "pfn": fmt.Sprintf("%d", e.B)}))
+		case COWBreak:
+			mode := "upgrade"
+			if e.B != 0 {
+				mode = "copy"
+			}
+			out = append(out, instant(e, "cowbreak",
+				map[string]string{"va": fmt.Sprintf("%#x", e.A), "mode": mode}))
 		default:
 			out = append(out, instant(e, e.Kind.String(), nil))
 		}

@@ -42,6 +42,13 @@ const (
 	// the blocking donor hands its remaining slice straight to the peer,
 	// bypassing the run queue (emitted instead of CtxSwitch).
 	Handoff
+	// Share: A = receiver-side VA, B = shared frame's PFN — one page
+	// moved by the zero-copy IPC path (copy-on-write frame aliasing
+	// instead of a word copy).
+	Share
+	// COWBreak: A = faulting VA, B = 1 if the page was copied (the share
+	// was still live), 0 if write permission was simply restored.
+	COWBreak
 )
 
 func (k Kind) String() string {
@@ -68,6 +75,10 @@ func (k Kind) String() string {
 		return "steal"
 	case Handoff:
 		return "handoff"
+	case Share:
+		return "share"
+	case COWBreak:
+		return "cowbreak"
 	}
 	return fmt.Sprintf("kind%d", uint8(k))
 }
@@ -99,8 +110,19 @@ func (e Event) String() string {
 		if e.B>>8 != 0 {
 			side = "server"
 		}
-		class := [...]string{"fatal", "soft", "hard"}[e.B&0xFF]
+		class := fmt.Sprintf("class%d", e.B&0xFF)
+		if names := [...]string{"fatal", "soft", "hard", "cow"}; e.B&0xFF < uint32(len(names)) {
+			class = names[e.B&0xFF]
+		}
 		detail = fmt.Sprintf("%#x %s/%s", e.A, class, side)
+	case Share:
+		detail = fmt.Sprintf("%#x pfn=%d", e.A, e.B)
+	case COWBreak:
+		mode := "upgrade"
+		if e.B != 0 {
+			mode = "copy"
+		}
+		detail = fmt.Sprintf("%#x %s", e.A, mode)
 	case Preempt:
 		detail = [...]string{"user-boundary", "explicit-point", "in-kernel"}[e.A]
 	case ThreadExit:

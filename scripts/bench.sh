@@ -2,8 +2,9 @@
 # Run the PR-tracked benchmark set: the interpreter hot loop, the null
 # system call (wall-clock and virtual kernel-cycles/call), the null RPC
 # with the IPC direct-handoff fast path on vs off, the IPC round-trip
-# under every kernel configuration, and the multiprocessor IPC-scaling
-# matrix (CPU count x lock model).
+# under every kernel configuration, the multiprocessor IPC-scaling
+# matrix (CPU count x lock model), and the bulk-IPC bandwidth sweep with
+# zero-copy frame sharing on vs off.
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime   value for -benchtime (default 1s; use e.g. 5x for smoke)
@@ -18,13 +19,18 @@
 #    on/off kernel-cycle comparison, and the flukebench -nullrpc run
 #    below prints the same comparison as a table. User-visible state
 #    must stay identical either way (TestIPCFastPathEquivalence).
+#    Zero-copy bulk IPC is the same kind of change one level up:
+#    BenchmarkBandwidth and the flukebench -bandwidth sweep track the
+#    on/off bandwidth comparison (TestZeroCopyEquivalence pins state).
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
 go test -run='^$' \
-    -bench='BenchmarkInterpreter$|BenchmarkNullSyscall$|BenchmarkNullRPC$|BenchmarkIPCRoundTrip$|BenchmarkIPCScaling$' \
+    -bench='BenchmarkInterpreter$|BenchmarkNullSyscall$|BenchmarkNullRPC$|BenchmarkBandwidth$|BenchmarkIPCRoundTrip$|BenchmarkIPCScaling$' \
     -benchtime="$BENCHTIME" .
 
 echo
-exec go run ./cmd/flukebench -nullrpc
+go run ./cmd/flukebench -nullrpc
+echo
+exec go run ./cmd/flukebench -bandwidth

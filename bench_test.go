@@ -313,7 +313,19 @@ func BenchmarkIPCScaling(b *testing.B) {
 // BenchmarkInterpreter measures raw simulated-CPU throughput
 // (instructions of guest code per wall second).
 func BenchmarkInterpreter(b *testing.B) {
-	k := core.New(core.Config{Model: core.ModelInterrupt})
+	benchInterpreter(b, core.Config{Model: core.ModelInterrupt})
+}
+
+// BenchmarkInterpreterProfiled is the same hot loop with the cycle
+// profiler attributing every charged cycle — the bench.sh comparison
+// against BenchmarkInterpreter measures the profiler's host-side
+// overhead (virtual time is identical by TestProfilerEquivalence).
+func BenchmarkInterpreterProfiled(b *testing.B) {
+	benchInterpreter(b, core.Config{Model: core.ModelInterrupt, EnableProfiler: true})
+}
+
+func benchInterpreter(b *testing.B, cfg core.Config) {
+	k := core.New(cfg)
 	s := k.NewSpace()
 	data := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(0x10000, true)}
 	k.BindFresh(s, data)

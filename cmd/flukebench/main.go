@@ -48,9 +48,10 @@ func main() {
 	driver := flag.Bool("driver", false, "run only the driver-latency extension experiment")
 	scaling := flag.Bool("scaling", false, "run only the multiprocessor IPC-scaling matrix")
 	bandwidth := flag.Bool("bandwidth", false, "run only the bulk-IPC bandwidth sweep (zero-copy vs copy)")
+	critpath := flag.Bool("critpath", false, "run only the causal critical-path decomposition (null-RPC and bulk transfers, hop by hop)")
 	flag.Parse()
 
-	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *nullrpc || *ablate || *driver || *scaling || *bandwidth
+	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *nullrpc || *ablate || *driver || *scaling || *bandwidth || *critpath
 	show := func(sel bool) bool { return sel || !any }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "flukebench:", err)
@@ -165,6 +166,27 @@ func main() {
 			}
 			matrix("process", "none", "1,2,4", "big,persub")
 			fmt.Println(experiments.BandwidthRender(rows))
+		})
+	}
+	if show(*critpath) {
+		timed("critical path", func() {
+			count := 2000
+			if *fast {
+				count = 200
+			}
+			matrix("process", "none", "1", "big")
+			for _, disable := range []bool{false, true} {
+				r, err := experiments.CritPathNullRPC(count, disable)
+				if err != nil {
+					fail(err)
+				}
+				fmt.Println(experiments.CritPathRender(r))
+			}
+			r, err := experiments.CritPathBulk(4, 64)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.CritPathRender(r))
 		})
 	}
 	if show(*scaling) {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/mmu"
+	"repro/internal/observe"
 	"repro/internal/sys"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -40,11 +42,18 @@ func main() {
 	noFastpath := flag.Bool("no-ipc-fastpath", false, "disable the IPC direct-handoff fast path")
 	noZeroCopy := flag.Bool("no-zerocopy", false, "disable zero-copy bulk IPC (copy-on-write frame sharing)")
 	tlbSize := flag.Int("tlbsize", 0, "software TLB entries per address space (0 = default 256, rounded up to a power of two)")
+	traceRing := flag.Int("trace-ring", 1<<18, "trace ring capacity in events (for -trace-out, -spans, and -listen; older events drop once it wraps)")
+	profileOut := flag.String("profile-out", "", "enable the cycle profiler and write its pprof protobuf to FILE (go tool pprof FILE)")
+	profileFolded := flag.String("profile-folded", "", "enable the cycle profiler and write folded stacks to FILE (flamegraph.pl / speedscope input)")
+	spansFlag := flag.Bool("spans", false, "enable causal IPC spans (Perfetto flow events in the -trace-out / -listen export)")
+	listen := flag.String("listen", "", "serve live observation on ADDR (:8080): /metrics Prometheus text, /profile pprof, /trace Perfetto JSON; implies -metrics and the profiler")
 	flag.Parse()
 
 	cfg := core.Config{
 		NumCPUs: *cpus, DisableIPCFastPath: *noFastpath,
 		DisableZeroCopy: *noZeroCopy, TLBSize: *tlbSize,
+		EnableProfiler: *profileOut != "" || *profileFolded != "" || *listen != "",
+		EnableIPCSpans: *spansFlag,
 	}
 	switch *lockmodel {
 	case "big":
@@ -81,18 +90,18 @@ func main() {
 
 	k := core.New(cfg)
 	var m *core.KernelMetrics
-	if *metricsFlag {
+	if *metricsFlag || *listen != "" {
 		m = k.EnableMetrics()
 	}
 	var ring *trace.Ring
 	if *traceBuf > 0 {
 		ring = trace.NewRing(*traceBuf)
 		k.Tracer = ring
-	} else if *traceOut != "" {
+	} else if *traceOut != "" || *spansFlag || *listen != "" {
 		// The exporter needs the typed event ring even when the user
-		// didn't ask for a textual dump; 256Ki events is a few seconds
-		// of flukeperf.
-		ring = trace.NewRing(1 << 18)
+		// didn't ask for a textual dump; the default 256Ki events is a
+		// few seconds of flukeperf (tune with -trace-ring).
+		ring = trace.NewRing(*traceRing)
 		k.Tracer = ring
 	}
 	var (
@@ -131,7 +140,45 @@ func main() {
 	if *probe {
 		p = workload.InstallProbe(k, 0, 0)
 	}
-	cycles, err := w.Run(1 << 62)
+
+	// The live endpoint: HTTP handlers park, the simulation loop answers
+	// at its next inter-dispatch boundary via the RunPolling hook.
+	var poll func()
+	if *listen != "" {
+		srv, err := observe.Listen(*listen)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		take := func() observe.Snapshot {
+			var snap observe.Snapshot
+			snap.VirtualNow = k.Now()
+			if m != nil {
+				k.SyncTraceMetrics()
+				var buf bytes.Buffer
+				if err := m.Registry.Snapshot().WritePrometheus(&buf); err == nil {
+					snap.Metrics = buf.Bytes()
+				}
+			}
+			if k.ProfileEnabled() {
+				var buf bytes.Buffer
+				if err := k.ProfileSnapshot().WritePprof(&buf); err == nil {
+					snap.Profile = buf.Bytes()
+				}
+			}
+			if ring != nil {
+				var buf bytes.Buffer
+				if err := ring.ExportJSON(&buf); err == nil {
+					snap.Trace = buf.Bytes()
+				}
+			}
+			return snap
+		}
+		poll = func() { srv.Poll(take) }
+		fmt.Printf("observing on http://%s (/metrics /profile /trace)\n", srv.Addr())
+	}
+
+	cycles, err := w.RunPolling(1<<62, poll)
 	if err != nil {
 		fail(err)
 	}
@@ -205,7 +252,44 @@ func main() {
 		fmt.Printf("    %-40s %10d\n", sys.Name(t.n), t.c)
 	}
 	if m != nil {
+		k.SyncTraceMetrics()
 		fmt.Print(m.Registry.Render("kernel metrics"))
+	}
+	if k.ProfileEnabled() {
+		snap := k.ProfileSnapshot()
+		fmt.Printf("  profiled cycles: %d attributed (overflow %d)\n", snap.TotalCycles(), snap.Overflow)
+		fmt.Println("  top attribution triples (path / syscall / pc-bucket):")
+		for _, s := range snap.Top(10) {
+			fmt.Printf("    %-16s %-40s %-14s %12d\n", s.Path, s.SysName(), s.PCLabel(), s.Cycles)
+		}
+		if *profileOut != "" {
+			f, err := os.Create(*profileOut)
+			if err != nil {
+				fail(err)
+			}
+			if err := snap.WritePprof(f); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote cycle profile to %s — open with `go tool pprof %s`\n", *profileOut, *profileOut)
+		}
+		if *profileFolded != "" {
+			f, err := os.Create(*profileFolded)
+			if err != nil {
+				fail(err)
+			}
+			if err := snap.WriteFolded(f); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote folded stacks to %s — flamegraph.pl or speedscope input\n", *profileFolded)
+		}
 	}
 	if ring != nil && *traceBuf > 0 {
 		fmt.Println("kernel trace (most recent events):")

@@ -196,6 +196,23 @@ type Config struct {
 	// virtual time.
 	TLBSize int
 
+	// EnableProfiler attaches the cycle-accurate virtual-time profiler
+	// (internal/profile): every charged cycle is attributed to a
+	// (kernel path, syscall, guest PC-bucket) triple in per-CPU
+	// allocation-free shards. Like the metrics layer it never charges
+	// cycles — virtual time, user memory, and Stats are bit-identical
+	// with it on or off (TestProfilerEquivalence) — and the attributed
+	// total equals Stats.TotalCycles exactly.
+	EnableProfiler bool
+
+	// EnableIPCSpans mints a request-scoped causal trace ID at IPC send
+	// and propagates it through rendezvous, direct handoff, donation
+	// steals, and zero-copy transfers, emitting trace.Flow events into
+	// the attached Tracer (exported as Perfetto flow events; consumed by
+	// the flukebench -critpath analyzer). Free when no Tracer is
+	// attached beyond a per-thread ID word; never charges cycles.
+	EnableIPCSpans bool
+
 	// TraceSyscalls, when set, receives one line per syscall completion
 	// (debugging aid).
 	TraceSyscalls func(line string)

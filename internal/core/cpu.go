@@ -89,9 +89,14 @@ func (k *Kernel) Now() uint64 {
 func (k *Kernel) CPUNow(i int) uint64 { return k.cpus[i].clk.Now() }
 
 // Stats returns the kernel counters, merging the per-CPU shards. Maps in
-// the result are freshly allocated. In ParallelHost mode call it only
-// while the kernel is not running.
+// the result are freshly allocated. Safe to call while a ParallelHost run
+// is live: the merge runs under the kernel gate, so it sees a consistent
+// boundary between kernel sections (pinned by the -race merge test).
 func (k *Kernel) Stats() Stats {
+	if k.par != nil {
+		k.par.mu.Lock()
+		defer k.par.mu.Unlock()
+	}
 	out := newStats()
 	for _, c := range k.cpus {
 		s := &c.stats

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/obj"
+	"repro/internal/profile"
 	"repro/internal/sys"
 	"repro/internal/trace"
 )
@@ -234,6 +235,14 @@ func (k *Kernel) ctxSwitch(c *CPU, t *obj.Thread, direct bool) {
 	k.lockAcquire(c, lockSched)
 	c.stats.KernelCycles += cost
 	c.clk.Advance(cost)
+	// Attribute the switch cost to the *incoming* thread explicitly:
+	// c.current is still nil here, and the cost is scheduler work done on
+	// t's behalf (its mid-syscall restarts keep their syscall dimension).
+	if direct {
+		k.profCharge(c, t, profile.PathDirectSwitch, cost)
+	} else {
+		k.profCharge(c, t, profile.PathCtxSwitch, cost)
+	}
 	c.stats.ContextSwitches++
 	t.State = obj.ThRunning
 	c.current = t
@@ -248,6 +257,7 @@ func (k *Kernel) ctxSwitch(c *CPU, t *obj.Thread, direct bool) {
 			k.Metrics.FastpathHits.Inc()
 		}
 		k.emit(trace.Handoff, t.ID, 0)
+		k.spanCheckpoint(t, trace.FlowHandoff)
 		k.ensureSliceTimer(c)
 		return
 	}
@@ -438,6 +448,7 @@ func (k *Kernel) chargeUser(cycles uint64) {
 	c := k.cur
 	c.stats.UserCycles += cycles
 	c.clk.Advance(cycles)
+	k.profCharge(c, c.current, profile.PathUser, cycles)
 	if k.stopAt != 0 && c.clk.Now() >= k.stopAt {
 		k.forceResched(c)
 	}
@@ -459,6 +470,7 @@ func (k *Kernel) ChargeKernel(cycles uint64) {
 			c.stats.KernelCycles += n
 			t.EntryCycles += n
 			c.clk.Advance(n)
+			k.profChargeKernel(c, t, n)
 			cycles -= n
 			if k.needsResched(c) && t.State == obj.ThRunning {
 				c.stats.PreemptsKernel++
@@ -483,6 +495,7 @@ func (k *Kernel) ChargeKernel(cycles uint64) {
 		t.EntryCycles += cycles
 	}
 	c.clk.Advance(cycles)
+	k.profChargeKernel(c, t, cycles)
 }
 
 // ---------------------------------------------------------------------------
@@ -503,7 +516,9 @@ func (k *Kernel) doSyscall(t *obj.Thread, num int, fromUser bool) bool {
 		entry = CycKernelRedispatch
 	}
 	if num < 0 || num >= sys.NumSyscalls || k.handlers[num] == nil {
+		oldTag := profTag(t, profile.PathSyscallEntry)
 		k.ChargeKernel(entry + exit)
+		profRestore(t, oldTag)
 		k.Return(t, sys.EINVAL)
 		return true
 	}
@@ -523,22 +538,34 @@ func (k *Kernel) doSyscall(t *obj.Thread, num int, fromUser bool) bool {
 		}
 	}
 	t.InSyscall = true
+	// The profiler's syscall dimension: set before the entry lock so a
+	// contended acquire's spin already attributes here. It stays set
+	// across blocks and faults (the thread is still inside the call) and
+	// resets at KOK/KIntr completion below.
+	t.CurSys = int16(num)
 	c.inHandler = true
 	// Kernel entry takes the syscall-side lock: the object-space lock
 	// under per-subsystem locking, the big kernel lock under LockBig.
 	k.lockAcquire(c, lockObj)
+	oldTag := profTag(t, profile.PathSyscallEntry)
 	k.ChargeKernel(entry)
 	if k.cfg.Preempt == PreemptFull {
 		// FP needs kernel locking (Table 4); charge the lock traffic.
 		k.ChargeKernel(CycKernelLock)
 	}
+	profRestore(t, oldTag)
+	k.spanSyscallEnter(t, num)
 	kerr := k.handlers[num](k, t)
 	k.emit(trace.SyscallExit, uint32(num), uint32(kerr))
 	switch kerr {
 	case sys.KOK:
 		t.InSyscall = false
 		t.EntryCycles = 0
+		exitTag := profTag(t, profile.PathSyscallExit)
 		k.ChargeKernel(exit)
+		profRestore(t, exitTag)
+		k.spanSyscallExit(t, num)
+		t.CurSys = profile.NoSyscall
 		k.releaseHeld()
 		k.cur.inHandler = false
 		if k.Metrics != nil {
@@ -550,7 +577,11 @@ func (k *Kernel) doSyscall(t *obj.Thread, num int, fromUser bool) bool {
 		k.Return(t, sys.EINTR)
 		t.InSyscall = false
 		t.EntryCycles = 0
+		exitTag := profTag(t, profile.PathSyscallExit)
 		k.ChargeKernel(exit)
+		profRestore(t, exitTag)
+		k.spanSyscallExit(t, num)
+		t.CurSys = profile.NoSyscall
 		k.releaseHeld()
 		k.cur.inHandler = false
 		if k.Metrics != nil {
@@ -625,7 +656,9 @@ func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
 			// fully-preemptible configuration.
 			remedy += CycFaultLockSoftFP
 		}
+		oldTag := profTag(t, profile.PathFaultSoft)
 		k.ChargeKernel(remedy)
+		profRestore(t, oldTag)
 		if err := spc.AS.ResolveSoft(f.VA, f.Access); err != nil {
 			k.releaseHeld()
 			k.exitThread(t, uint32(0xFFFF_0E00))
@@ -654,9 +687,11 @@ func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
 		if k.cfg.Preempt == PreemptFull {
 			remedy += CycFaultLockSoftFP
 		}
+		oldTag := profTag(t, profile.PathFaultCOW)
 		k.ChargeKernel(remedy)
 		copied, err := spc.AS.ResolveCOW(f.VA)
 		if err != nil {
+			profRestore(t, oldTag)
 			k.releaseHeld()
 			k.exitThread(t, uint32(0xFFFF_0E00))
 			return false
@@ -664,6 +699,7 @@ func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
 		if copied {
 			k.ChargeKernel(CycCopyWord * PageWords)
 		}
+		profRestore(t, oldTag)
 		c = k.cur // an FP park inside ChargeKernel can migrate us
 		c.stats.ZeroCopyCOWBreaks++
 		if k.Metrics != nil {
@@ -694,6 +730,7 @@ func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
 		t.FaultStart = c.clk.Now()
 		t.FaultClass = class
 		t.FaultCross = side == FaultCross
+		oldTag := profTag(t, profile.PathFaultHard)
 		k.ChargeKernel(CycHardFaultKernel)
 		if side == FaultCross {
 			k.ChargeKernel(CycCrossSpaceFaultExtra)
@@ -702,6 +739,7 @@ func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
 			k.ChargeKernel(CycFaultLockHardFP)
 		}
 		k.queueFault(reg, port, off)
+		profRestore(t, oldTag)
 		// Wait for the pager to populate the page. The wait is not
 		// EINTR-interruptible — an instruction restart would just
 		// re-fault — but the thread's exported state stays clean
@@ -856,6 +894,10 @@ func (k *Kernel) handoffWake(t *obj.Thread) {
 	if t.Donated {
 		return // already staged; nothing more a second wake could add
 	}
+	// Rendezvous-completion wakes carry the causal span: the waker just
+	// finished a transfer into (or out of) t, so t is the span's next hop
+	// whichever dispatch path — handoff, run queue, or steal — it takes.
+	k.spanTouch(k.cur.current, t, trace.FlowWake)
 	if !k.ipcFast || k.par != nil {
 		// ParallelHost runs CPUs on real goroutines with threads pinned to
 		// their home CPU; cross-CPU donation would violate the pinning, so

@@ -5,6 +5,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/obj"
+	"repro/internal/profile"
 	"repro/internal/sys"
 	"repro/internal/trace"
 )
@@ -33,6 +34,14 @@ func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
 	if k.Metrics != nil {
 		k.Metrics.IPCTransfers.Inc()
 	}
+	// The whole transfer is the IPC copy path for the profiler (the
+	// zero-copy share charges retag per page below); the tag rides
+	// through FP parks and is restored on every exit, fault included.
+	oldTag := profTag(t, profile.PathIPCCopy)
+	defer profRestore(t, oldTag)
+	// Data is about to flow src → dst: propagate the causal span before
+	// any transfer so even a zero-length rendezvous records the hop.
+	k.spanTouch(src, dst, trace.FlowCopy)
 	// Under per-subsystem locking the bulk copy runs outside the
 	// object-space lock — data transfer touches only the two buffers, so
 	// concurrent CPUs can overlap their copies (this is where the
@@ -161,7 +170,9 @@ func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
 						break
 					}
 					zcStreak = true
+					shareTag := profTag(t, profile.PathIPCShare)
 					k.ChargeKernel(CycPageShare)
+					profRestore(t, shareTag)
 					c = k.cur // ChargeKernel may park and migrate under FP
 					src.Regs.R[1] += mem.PageSize
 					src.Regs.R[2] -= PageWords
@@ -280,4 +291,12 @@ func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
 }
 
 // ChargeConnect charges the IPC connection-establishment cost.
-func (k *Kernel) ChargeConnect() { k.ChargeKernel(CycIPCConnect) }
+func (k *Kernel) ChargeConnect() {
+	if t := k.cur.current; t != nil {
+		oldTag := profTag(t, profile.PathIPCConnect)
+		k.ChargeKernel(CycIPCConnect)
+		profRestore(t, oldTag)
+		return
+	}
+	k.ChargeKernel(CycIPCConnect)
+}

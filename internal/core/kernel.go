@@ -9,6 +9,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/obj"
+	"repro/internal/profile"
 	"repro/internal/sys"
 	"repro/internal/trace"
 )
@@ -154,6 +155,17 @@ type Kernel struct {
 	// never perturbs virtual time.
 	Metrics *KernelMetrics
 
+	// prof, when non-nil, is the cycle-accurate virtual-time profiler:
+	// every charge site mirrors its cycles into the acting CPU's shard
+	// (profile.go). Like Metrics it costs one branch when nil and never
+	// charges cycles itself.
+	prof *profile.Profiler
+
+	// spans enables causal IPC span tracking (Config.EnableIPCSpans);
+	// nextSpan is the last span ID minted (span.go).
+	spans    bool
+	nextSpan uint32
+
 	// stacksInUse tracks live kernel stacks for the memory accountant:
 	// one per CPU in the interrupt model, one per live thread in the
 	// process model.
@@ -198,6 +210,18 @@ func New(cfg Config) *Kernel {
 	k.fastExec = !cfg.DisableFastPath
 	k.ipcFast = !cfg.DisableIPCFastPath
 	k.zeroCopy = !cfg.DisableZeroCopy
+	k.spans = cfg.EnableIPCSpans
+	if cfg.EnableProfiler {
+		k.EnableProfiler()
+	}
+	if cfg.ParallelHost && cfg.NumCPUs > 1 {
+		// The ParallelHost gate lives for the kernel's whole lifetime (not
+		// per RunUntil call) so observation snapshots — Stats(),
+		// ProfileSnapshot() — can lock it and run concurrently with the CPU
+		// goroutines. Matches RunUntil's runParallel condition exactly: at
+		// one CPU the serial loop runs and k.par must stay nil.
+		k.par = newParState()
+	}
 	k.registerHandlers()
 	return k
 }
@@ -280,6 +304,7 @@ func (k *Kernel) makeThread(s *obj.Space, priority int) *obj.Thread {
 		Priority: priority,
 		State:    obj.ThReady,
 		Stopped:  true,
+		CurSys:   profile.NoSyscall, // outside any syscall
 	}
 	if k.cfg.ParallelHost {
 		// Space affinity: threads of one space all live on the space's

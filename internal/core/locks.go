@@ -31,6 +31,8 @@ package core
 // interleaving, not virtual-time modeling, decides contention there); the
 // hold/acquire counters still run.
 
+import "repro/internal/profile"
+
 // lockID names one kernel lock.
 type lockID uint8
 
@@ -158,6 +160,7 @@ func (k *Kernel) lockAcquire(c *CPU, id lockID) {
 				k.Metrics.LockWaitCycles[m].Add(wait)
 			}
 			c.clk.Advance(wait)
+			k.profCharge(c, c.current, profile.PathLockSpin, wait)
 		}
 	}
 	c.holds[m] = 1

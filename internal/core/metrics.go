@@ -112,6 +112,12 @@ type KernelMetrics struct {
 
 	IPIs   *metrics.Counter // cross-CPU reschedule kicks sent
 	Steals *metrics.Counter // threads taken from a peer's run queue
+
+	// TraceDropped mirrors the trace ring's overwrite count
+	// (trace.Ring.Dropped) so exported metric snapshots declare how much
+	// of the trace a wrapped ring lost. The ring keeps its own counter
+	// on the hot path; SyncTraceMetrics copies it in at snapshot time.
+	TraceDropped *metrics.Gauge
 }
 
 // NewKernelMetrics registers the kernel's instruments on reg (a fresh
@@ -158,7 +164,17 @@ func NewKernelMetrics(reg *metrics.Registry) *KernelMetrics {
 	}
 	m.IPIs = reg.Counter("sched.ipis")
 	m.Steals = reg.Counter("sched.steals")
+	m.TraceDropped = reg.Gauge("trace.dropped")
 	return m
+}
+
+// SyncTraceMetrics refreshes the metrics that mirror other observability
+// layers (today: the trace ring's dropped-event count). Call before
+// rendering or exporting a metrics snapshot.
+func (k *Kernel) SyncTraceMetrics() {
+	if k.Metrics != nil && k.Tracer != nil {
+		k.Metrics.TraceDropped.Set(int64(k.Tracer.Dropped()))
+	}
 }
 
 // RestartsByCause returns the restart counts in FaultCauseNames order —

@@ -13,6 +13,8 @@ import (
 	"reflect"
 	"regexp"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -214,6 +216,14 @@ func bindPairIPC(t *testing.T, k *core.Kernel, server, client *obj.Space) {
 // pairs plus one compute space, runs them under ParallelHost, and checks
 // every client observed correct replies.
 func runParallelPairs(t *testing.T, cfg core.Config, pairs, rpcs int) *core.Kernel {
+	return runParallelPairsHook(t, cfg, pairs, rpcs, nil)
+}
+
+// runParallelPairsHook is runParallelPairs with a hook invoked just
+// before the run starts; the hook returns a stop function called after
+// the run completes. Snapshot-concurrency tests use it to observe the
+// kernel from another goroutine while the CPU goroutines step.
+func runParallelPairsHook(t *testing.T, cfg core.Config, pairs, rpcs int, hook func(*core.Kernel) func()) *core.Kernel {
 	t.Helper()
 	k := core.New(cfg)
 
@@ -282,7 +292,14 @@ func runParallelPairs(t *testing.T, cfg core.Config, pairs, rpcs int) *core.Kern
 	wt.Regs.PC = comp.Addr("spin")
 	k.StartThread(wt)
 
+	var stop func()
+	if hook != nil {
+		stop = hook(k)
+	}
 	k.RunFor(8_000_000_000)
+	if stop != nil {
+		stop()
+	}
 
 	var want uint32
 	for i := 0; i < rpcs; i++ {
@@ -326,6 +343,68 @@ func TestParallelHostIPCPairs(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestParallelHostSnapshotsDuringRun reads Stats() and ProfileSnapshot()
+// from a separate goroutine while the per-CPU goroutines step — the live
+// observation pattern. The gate mutex makes each read a consistent
+// inter-dispatch view; -race (the CI race job runs TestParallelHost*)
+// checks the synchronization, this test checks the semantics: snapshot
+// totals never go backwards mid-run, and once the run quiesces the
+// profiler's attributed cycles equal Stats().TotalCycles() exactly —
+// the double-entry invariant holds across concurrent shard merges.
+func TestParallelHostSnapshotsDuringRun(t *testing.T) {
+	for _, lm := range lockModels {
+		lm := lm
+		t.Run(fmt.Sprintf("lockmodel=%v", lm), func(t *testing.T) {
+			cfg := core.Config{
+				Model: core.ModelInterrupt, Preempt: core.PreemptPartial,
+				NumCPUs: 4, LockModel: lm, ParallelHost: true,
+				EnableProfiler: true,
+			}
+			var snaps atomic.Int64
+			hook := func(k *core.Kernel) func() {
+				done := make(chan struct{})
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var lastProf, lastStats uint64
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						st := k.Stats()
+						if tot := st.TotalCycles(); tot < lastStats {
+							t.Errorf("Stats total went backwards: %d -> %d", lastStats, tot)
+							return
+						} else {
+							lastStats = tot
+						}
+						if tot := k.ProfileSnapshot().TotalCycles(); tot < lastProf {
+							t.Errorf("profile total went backwards: %d -> %d", lastProf, tot)
+							return
+						} else {
+							lastProf = tot
+						}
+						snaps.Add(1)
+					}
+				}()
+				return func() { close(done); wg.Wait() }
+			}
+			k := runParallelPairsHook(t, cfg, 3, 16, hook)
+			if snaps.Load() == 0 {
+				t.Fatal("snapshot goroutine never completed a read")
+			}
+			attributed := k.ProfileSnapshot().TotalCycles()
+			if want := k.Stats().TotalCycles(); attributed != want {
+				t.Fatalf("attributed cycles %d != Stats total %d after concurrent snapshots",
+					attributed, want)
+			}
+		})
 	}
 }
 

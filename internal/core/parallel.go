@@ -2,6 +2,8 @@ package core
 
 import (
 	"sync"
+
+	"repro/internal/profile"
 )
 
 // ParallelHost execution (Config.ParallelHost): one host goroutine per
@@ -27,6 +29,16 @@ type parState struct {
 	done bool
 }
 
+// newParState builds the gate. It is created once, in New, for any
+// ParallelHost kernel with more than one CPU — not per run — so
+// observation snapshots (Kernel.Stats, Kernel.ProfileSnapshot) can lock
+// the same mutex the CPU goroutines hold and read live state race-free.
+func newParState() *parState {
+	p := &parState{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
 // gateLock enters a kernel section on CPU c: takes the gate and installs c
 // as the acting CPU. k.cur is only meaningful while the gate is held.
 func (k *Kernel) gateLock(c *CPU) {
@@ -43,9 +55,11 @@ func (k *Kernel) gateUnlock() {
 // runParallel drives the CPUs on one host goroutine each until stop()
 // reports true or the system is quiescent.
 func (k *Kernel) runParallel(stop func() bool) {
-	p := &parState{}
-	p.cond = sync.NewCond(&p.mu)
-	k.par = p
+	p := k.par // created in New; lives across runs (see newParState)
+	p.mu.Lock()
+	p.done = false
+	p.idle = 0
+	p.mu.Unlock()
 	var wg sync.WaitGroup
 	for _, c := range k.cpus {
 		wg.Add(1)
@@ -55,7 +69,6 @@ func (k *Kernel) runParallel(stop func() bool) {
 		}(c)
 	}
 	wg.Wait()
-	k.par = nil
 	k.cur = k.cpus[0]
 }
 
@@ -83,6 +96,7 @@ func (k *Kernel) cpuLoop(c *CPU, stop func() bool) {
 		if d, ok := c.clk.NextDeadline(); ok {
 			if now := c.clk.Now(); d > now {
 				c.stats.IdleCycles += d - now
+				k.profCharge(c, nil, profile.PathIdle, d-now)
 			}
 			c.clk.AdvanceTo(d)
 			continue

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/obj"
+	"repro/internal/profile"
 	"repro/internal/trace"
 )
 
@@ -98,6 +99,9 @@ func (k *Kernel) schedSteal(c *CPU) *obj.Thread {
 			k.Metrics.Steals.Inc()
 		}
 		k.emit(trace.Steal, uint32(victim.id), t.ID)
+		// A stolen spanned thread (queued or staged donation) migrates the
+		// request to this CPU — a cross-CPU hop on its causal chain.
+		k.spanCheckpoint(t, trace.FlowSteal)
 	}
 	return t
 }
@@ -356,6 +360,7 @@ func (k *Kernel) idleStep(c *CPU) bool {
 	}
 	if target > now {
 		c.stats.IdleCycles += target - now
+		k.profCharge(c, nil, profile.PathIdle, target-now)
 	}
 	c.clk.AdvanceTo(target)
 	return true

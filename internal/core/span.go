@@ -1,0 +1,115 @@
+package core
+
+import (
+	"repro/internal/obj"
+	"repro/internal/sys"
+	"repro/internal/trace"
+)
+
+// Causal IPC spans (Config.EnableIPCSpans): a request-scoped trace ID
+// minted when a thread enters a send-bearing IPC syscall with no span,
+// carried in Thread.Span, and propagated to every thread the request's
+// data or control reaches — through the rendezvous copy (CopyWords, both
+// the word loop and the zero-copy share path), the rendezvous wake and
+// direct handoff, and cross-CPU donation steals. Each checkpoint emits a
+// trace.Flow event; the Perfetto export draws them as flow arrows across
+// CPU lanes and flukebench -critpath decomposes the begin→end interval
+// hop by hop. The span ends — FlowEnd, ID released — when the minting
+// thread's IPC syscall completes (KOK or EINTR).
+//
+// Spans never charge cycles and write only Thread.Span/SpanOwner, which
+// nothing else reads, so the simulated timeline and all kernel state stay
+// bit-identical with them on or off (TestProfilerEquivalence covers the
+// spans-on configuration too).
+
+// spanSendBearing marks the IPC syscalls that carry data toward a peer —
+// the mint points. Receive-only entries (setup_wait, wait_receive,
+// client/server receive) never mint: they inherit the sender's span.
+var spanSendBearing = func() [sys.NumSyscalls]bool {
+	var m [sys.NumSyscalls]bool
+	for _, n := range []int{
+		sys.NIPCClientConnectSend,
+		sys.NIPCClientConnectSendOverReceive,
+		sys.NIPCClientSend,
+		sys.NIPCClientSendOverReceive,
+		sys.NIPCServerSend,
+		sys.NIPCServerSendOverReceive,
+		sys.NIPCServerAckSend,
+		sys.NIPCServerAckSendOverReceive,
+		sys.NIPCServerAckSendWaitReceive,
+		sys.NIPCReply,
+		sys.NIPCReplyWaitReceive,
+		sys.NIPCSendOneway,
+	} {
+		m[n] = true
+	}
+	return m
+}()
+
+// spanFlow emits one flow checkpoint for span id.
+func (k *Kernel) spanFlow(id, point uint32) {
+	k.emit(trace.Flow, id, point)
+}
+
+// spanSyscallEnter mints a span when t enters a send-bearing IPC syscall
+// unspanned. A thread already carrying a span (a server replying to a
+// spanned request, or a faulted restart of the same send) never re-mints.
+func (k *Kernel) spanSyscallEnter(t *obj.Thread, num int) {
+	if !k.spans || !spanSendBearing[num] || t.Span != 0 {
+		return
+	}
+	k.nextSpan++
+	if k.nextSpan == 0 { // skip 0: it means "no span"
+		k.nextSpan = 1
+	}
+	t.Span = k.nextSpan
+	t.SpanOwner = true
+	k.spanFlow(t.Span, trace.FlowBegin)
+}
+
+// spanSyscallExit ends t's span when the thread that minted it completes
+// a syscall (KOK or EINTR). The completing number is not checked against
+// spanSendBearing: stage chaining rewrites a blocked sender's PC to the
+// next-stage entrypoint (ipc_client_connect_send_over_receive restarts as
+// ipc_client_receive), so the owner's logical call often completes under
+// a receive-only number — but the owner cannot run any other syscall
+// while inside the minted one, so its first completion IS the RPC's end.
+// Non-owning carriers (servers) keep the ID until the next request's
+// copy overwrites it.
+func (k *Kernel) spanSyscallExit(t *obj.Thread, num int) {
+	if !k.spans || !t.SpanOwner || t.Span == 0 {
+		return
+	}
+	k.spanFlow(t.Span, trace.FlowEnd)
+	t.Span = 0
+	t.SpanOwner = false
+}
+
+// spanTouch records that data or control flowed src → dst, propagating
+// src's span (overwriting any stale one dst carried) and emitting the
+// given checkpoint. Called with the acting CPU current, so the event
+// lands on the emitting CPU's lane at its local time.
+func (k *Kernel) spanTouch(src, dst *obj.Thread, point uint32) {
+	if !k.spans || src == nil || dst == nil {
+		return
+	}
+	id := src.Span
+	if id == 0 {
+		return
+	}
+	if dst != src && dst.Span != id {
+		dst.Span = id
+		dst.SpanOwner = false
+	}
+	k.spanFlow(id, point)
+}
+
+// spanCheckpoint emits a checkpoint for t's span, if it has one — used at
+// hops that move a spanned thread without a peer (handoff dispatch,
+// cross-CPU steal).
+func (k *Kernel) spanCheckpoint(t *obj.Thread, point uint32) {
+	if !k.spans || t == nil || t.Span == 0 {
+		return
+	}
+	k.spanFlow(t.Span, point)
+}

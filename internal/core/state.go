@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/obj"
+	"repro/internal/profile"
 	"repro/internal/sys"
 )
 
@@ -127,7 +128,9 @@ func (k *Kernel) opGetState(t *obj.Thread, ot sys.ObjType) sys.KErr {
 		k.Return(t, e)
 		return sys.KOK
 	}
+	oldTag := profTag(t, profile.PathGetSetState)
 	k.ChargeKernel(CycGetSetState)
+	profRestore(t, oldTag)
 	buf := t.Regs.R[2]
 	var words []uint32
 	switch x := o.(type) {
@@ -207,7 +210,9 @@ func (k *Kernel) opSetState(t *obj.Thread, ot sys.ObjType) sys.KErr {
 		k.Return(t, e)
 		return sys.KOK
 	}
+	oldTag := profTag(t, profile.PathGetSetState)
 	k.ChargeKernel(CycGetSetState)
+	profRestore(t, oldTag)
 	buf := t.Regs.R[2]
 	switch x := o.(type) {
 	case *obj.Thread:

@@ -4,6 +4,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/mmu"
 	"repro/internal/obj"
+	"repro/internal/profile"
 	"repro/internal/sys"
 )
 
@@ -114,7 +115,9 @@ func (k *Kernel) LoadUser8(t *obj.Thread, spc *obj.Space, va uint32) (byte, sys.
 // allowDead permits resolving objects that have been destroyed but whose
 // handle is still bound (thread_wait on an exited thread).
 func (k *Kernel) objAt(t *obj.Thread, va uint32, want sys.ObjType, allowDead bool) (obj.Obj, sys.Errno, sys.KErr) {
+	oldTag := profTag(t, profile.PathObjLookup)
 	k.ChargeKernel(CycObjLookup)
+	profRestore(t, oldTag)
 	if !t.Space.AS.Present(va, cpu.Read) {
 		cl, _ := t.Space.AS.Classify(va, cpu.Read)
 		if cl == mmu.FaultFatal {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/obj"
+	"repro/internal/profile"
 	"repro/internal/sys"
 )
 
@@ -80,6 +81,10 @@ func (k *Kernel) grantMutexByContinuation(m *obj.Mutex) bool {
 	m.Holder = w
 	k.Return(w, sys.EOK)
 	w.InSyscall = false
+	// The waiter's mutex_lock completed here, not through doSyscall's exit
+	// path: clear the profiler's syscall dimension so the user cycles it
+	// runs next are not attributed to a call it is no longer inside.
+	w.CurSys = profile.NoSyscall
 	w.EntryCycles = 0
 	k.cur.stats.ContinuationsRecognized++
 	k.wakeOne(&m.Waiters)
@@ -126,6 +131,10 @@ func (k *Kernel) signalByContinuation(t *obj.Thread, c *obj.Cond) bool {
 	mo.Holder = w
 	k.Return(w, sys.EOK)
 	w.InSyscall = false
+	// The waiter's mutex_lock completed here, not through doSyscall's exit
+	// path: clear the profiler's syscall dimension so the user cycles it
+	// runs next are not attributed to a call it is no longer inside.
+	w.CurSys = profile.NoSyscall
 	w.EntryCycles = 0
 	k.cur.stats.ContinuationsRecognized++
 	k.wakeOne(&c.Waiters)
@@ -668,7 +677,9 @@ func (k *Kernel) sysRegionSearch(t *obj.Thread) sys.KErr {
 			chunk = t.Regs.R[2]
 		}
 		pages := (chunk + mem.PageSize - 1) / mem.PageSize
+		oldTag := profTag(t, profile.PathRegionSearch)
 		k.ChargeKernel(uint64(pages) * CycRegionSearchPage)
+		profRestore(t, oldTag)
 		var best uint32
 		found := false
 		for va := range t.Space.Objects {

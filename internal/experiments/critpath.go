@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Critical-path decomposition (flukebench -critpath): run a workload with
+// causal IPC spans enabled (Config.EnableIPCSpans), reconstruct every
+// request's begin→end chain from the trace ring's Flow events, and
+// account its wall-cycle length hop by hop. The telescoping invariant of
+// trace.SpanPaths guarantees the hops of a complete span sum to exactly
+// its length — the table always covers 100% of the measured interval
+// (pinned by TestCritPathNullRPCFullCoverage).
+
+// CritPathResult is one workload's aggregated span decomposition.
+type CritPathResult struct {
+	Name       string
+	Spans      int // complete spans analyzed
+	Incomplete int // spans still in flight (or truncated) at run end
+	SpanCycles uint64
+	Hops       []trace.HopTotal
+	Longest    trace.SpanPath
+	HasLongest bool
+}
+
+// CoveragePct is the share of the summed span intervals the hop table
+// accounts for — 100 by construction; recomputed (not assumed) so the
+// render and the acceptance test both measure rather than assert.
+func (r CritPathResult) CoveragePct() float64 {
+	if r.SpanCycles == 0 {
+		return 0
+	}
+	var hopCycles uint64
+	for _, h := range r.Hops {
+		hopCycles += h.Cycles
+	}
+	return 100 * float64(hopCycles) / float64(r.SpanCycles)
+}
+
+// critPathAnalyze reduces a finished run's trace ring to a result.
+func critPathAnalyze(name string, ring *trace.Ring) CritPathResult {
+	spans := trace.SpanPaths(ring.Events())
+	r := CritPathResult{Name: name}
+	for _, s := range spans {
+		if s.Complete {
+			r.Spans++
+		} else {
+			r.Incomplete++
+		}
+	}
+	r.Hops, r.SpanCycles = trace.Decompose(spans)
+	r.Longest, r.HasLongest = trace.Longest(spans)
+	return r
+}
+
+// critPathRing sizes the span ring: every RPC emits a handful of flow
+// checkpoints, and the ring must also hold the interleaved non-flow
+// events, so give each iteration generous headroom.
+func critPathRing(iters int) *trace.Ring {
+	n := 64 * iters
+	if n < 1<<12 {
+		n = 1 << 12
+	}
+	return trace.NewRing(n)
+}
+
+// CritPathNullRPC decomposes count null-RPC round trips, with the IPC
+// direct-handoff fast path on or off — on, the chain shows the two
+// handoff hops that replaced the run-queue passes.
+func CritPathNullRPC(count int, disableFast bool) (CritPathResult, error) {
+	cfg := core.Config{
+		Model:              core.ModelProcess,
+		DisableIPCFastPath: disableFast,
+		EnableIPCSpans:     true,
+	}
+	ring := critPathRing(count)
+	_, _, err := nullRPCKernel(cfg, count, func(k *core.Kernel) { k.Tracer = ring })
+	if err != nil {
+		return CritPathResult{}, err
+	}
+	name := "null-RPC, fastpath on"
+	if disableFast {
+		name = "null-RPC, fastpath off"
+	}
+	return critPathAnalyze(name, ring), nil
+}
+
+// CritPathBulk decomposes transfers one-way bulk sends of pages pages
+// each (page-aligned, so the zero-copy share path is eligible), acked by
+// a one-word reply — the bandwidth experiment's shape with spans on.
+func CritPathBulk(pages, transfers int) (CritPathResult, error) {
+	cfg := core.Config{Model: core.ModelProcess, EnableIPCSpans: true}
+	ring := critPathRing(transfers)
+	k := core.New(cfg)
+	k.Tracer = ring
+	s := k.NewSpace()
+	if err := bindNullRPC(k, s); err != nil {
+		return CritPathResult{}, err
+	}
+
+	// Page-aligned halves of the 16-page data window: send buffer in
+	// pages 4..4+pages, receive buffer in pages 8..8+pages (pages ≤ 4
+	// keeps both inside the window with the small ack buffers below).
+	if pages < 1 || pages > 4 {
+		return CritPathResult{}, fmt.Errorf("critpath: pages must be 1..4, got %d", pages)
+	}
+	words := uint32(pages) * 1024
+	const (
+		sbuf = scData + 0x4000
+		ebuf = scData + 0x8000
+		rbuf = scData + 0x100
+		erep = scData + 0x140
+	)
+	b := prog.New(scCode)
+	b.Label("cli").
+		Movi(4, sbuf).Movi(5, 0xb1d).St(4, 0, 5).
+		Movi(6, 0).Label("cli.loop").
+		IPCClientConnectSendOverReceive(sbuf, words, scRef, rbuf, 1).
+		IPCClientDisconnect().
+		Addi(6, 6, 1).Movi(5, uint32(transfers)).Blt(6, 5, "cli.loop").
+		Halt()
+	b.Label("sink").
+		IPCWaitReceive(ebuf, words+1, scPset).
+		Label("sink.loop").
+		Movi(4, ebuf).Ld(5, 4, 0).
+		Movi(4, erep).St(4, 0, 5).
+		IPCReplyWaitReceive(erep, 1, scPset, ebuf, words+1).
+		Jmp("sink.loop")
+	img, err := b.Assemble()
+	if err != nil {
+		return CritPathResult{}, err
+	}
+	if _, err := k.LoadImage(s, scCode, img); err != nil {
+		return CritPathResult{}, err
+	}
+	srv := k.NewThread(s, 9)
+	srv.Regs.PC = b.Addr("sink")
+	k.StartThread(srv)
+	cli := k.NewThread(s, 8)
+	cli.Regs.PC = b.Addr("cli")
+	k.StartThread(cli)
+	k.RunUntil(func() bool { return cli.Exited })
+	if !cli.Exited {
+		return CritPathResult{}, fmt.Errorf("critpath: bulk client stuck at pc=%#x", cli.Regs.PC)
+	}
+	return critPathAnalyze(fmt.Sprintf("bulk %d-page send", pages), ring), nil
+}
+
+// CritPathRender formats one decomposition: the aggregated hop table with
+// its coverage line and the longest complete chain.
+func CritPathRender(r CritPathResult) string {
+	t := stats.NewTable(
+		fmt.Sprintf("Critical path: %s (%d spans, %d in flight at end)",
+			r.Name, r.Spans, r.Incomplete),
+		"hop", "count", "cycles", "avg cycles/span", "% of span time")
+	for _, h := range r.Hops {
+		avg := float64(h.Cycles)
+		if r.Spans > 0 {
+			avg /= float64(r.Spans)
+		}
+		t.Row(h.Point, h.Count, h.Cycles, avg,
+			fmt.Sprintf("%.1f%%", 100*float64(h.Cycles)/float64(max64(r.SpanCycles, 1))))
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "accounted: %.1f%% of %d span cycles (%.1f cycles/span)\n",
+		r.CoveragePct(), r.SpanCycles, float64(r.SpanCycles)/float64(max64(uint64(r.Spans), 1)))
+	if r.HasLongest {
+		b.WriteString("longest chain: ")
+		b.WriteString(trace.FormatChain(r.Longest))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// TestCritPathNullRPCFullCoverage is the tentpole acceptance check for
+// the analyzer: the hop decomposition of a null-RPC run accounts for
+// exactly 100% of the summed span intervals — no cycle of any request's
+// begin→end window is lost or double-counted — and the chain shapes match
+// the fast-path regime (direct handoffs on, run-queue wakes off).
+func TestCritPathNullRPCFullCoverage(t *testing.T) {
+	const count = 40
+	for _, disable := range []bool{false, true} {
+		r, err := CritPathNullRPC(count, disable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Spans < count {
+			t.Fatalf("disable=%v: %d complete spans, want >= %d (one per RPC)", disable, r.Spans, count)
+		}
+		var hopCycles uint64
+		for _, h := range r.Hops {
+			hopCycles += h.Cycles
+		}
+		if hopCycles != r.SpanCycles {
+			t.Fatalf("disable=%v: hops cover %d of %d span cycles", disable, hopCycles, r.SpanCycles)
+		}
+		if got := r.CoveragePct(); got != 100 {
+			t.Fatalf("disable=%v: coverage %.4f%%, want exactly 100%%", disable, got)
+		}
+		if !r.HasLongest {
+			t.Fatalf("disable=%v: no longest chain", disable)
+		}
+		points := map[string]bool{}
+		for _, h := range r.Hops {
+			points[h.Point] = true
+		}
+		if !points["end"] || !points["wake"] || !points["copy"] {
+			t.Fatalf("disable=%v: hop set %v missing end/wake/copy", disable, points)
+		}
+		if !disable && !points["handoff"] {
+			t.Fatalf("fastpath on: hop set %v has no direct handoffs", points)
+		}
+		if disable && points["handoff"] {
+			t.Fatalf("fastpath off: hop set %v contains handoffs", points)
+		}
+		out := CritPathRender(r)
+		if !strings.Contains(out, "accounted: 100.0%") {
+			t.Fatalf("render missing full-coverage line:\n%s", out)
+		}
+		if !strings.Contains(out, "longest chain: span") {
+			t.Fatalf("render missing longest chain:\n%s", out)
+		}
+	}
+}
+
+// TestCritPathBulkTransfers: the bulk one-way stream decomposes too, and
+// every transfer's span completes.
+func TestCritPathBulkTransfers(t *testing.T) {
+	const transfers = 6
+	r, err := CritPathBulk(4, transfers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Spans < transfers {
+		t.Fatalf("%d complete spans, want >= %d", r.Spans, transfers)
+	}
+	if got := r.CoveragePct(); got != 100 {
+		t.Fatalf("coverage %.4f%%, want exactly 100%%", got)
+	}
+	var hopCycles uint64
+	for _, h := range r.Hops {
+		hopCycles += h.Cycles
+	}
+	if hopCycles != r.SpanCycles {
+		t.Fatalf("hops cover %d of %d span cycles", hopCycles, r.SpanCycles)
+	}
+}
+
+// TestProfilerSmokeNullRPC is the CI profiler smoke assertion: run the
+// null RPC with the profiler on, export the pprof protobuf, decode it,
+// and check the top entry (most attributed cycles, aggregated by the
+// stack's root syscall frame) is an IPC path.
+func TestProfilerSmokeNullRPC(t *testing.T) {
+	cfg := core.Config{Model: core.ModelProcess, EnableProfiler: true}
+	k, _, err := nullRPCKernel(cfg, 200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := k.ProfileSnapshot()
+	var buf bytes.Buffer
+	if err := snap.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := profile.DecodePprof(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported pprof does not parse: %v", err)
+	}
+	var total uint64
+	bySys := map[string]uint64{}
+	for _, d := range dec {
+		total += uint64(d.Cycles)
+		root := d.Stack[len(d.Stack)-1]
+		bySys[root] += uint64(d.Cycles)
+	}
+	if total != snap.TotalCycles() {
+		t.Fatalf("decoded total %d != snapshot total %d", total, snap.TotalCycles())
+	}
+	top, topCycles := "", uint64(0)
+	for root, cyc := range bySys {
+		if root == "-" { // user batches and idle sit outside any syscall
+			continue
+		}
+		if cyc > topCycles {
+			top, topCycles = root, cyc
+		}
+	}
+	if !strings.HasPrefix(top, "ipc_") {
+		t.Fatalf("top syscall by attributed cycles is %q (%d cycles), want an ipc_* path; per-syscall: %v",
+			top, topCycles, bySys)
+	}
+}

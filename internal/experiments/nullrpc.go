@@ -28,65 +28,82 @@ type NullRPCResult struct {
 	Hits         uint64  // direct handoffs taken
 }
 
+// nullRPCKernel builds the null-RPC workload on cfg (client + echo server
+// in one space, as in Tables 5/6's rendezvous round trip), runs count
+// round trips, and returns the kernel plus the elapsed virtual cycles —
+// the shared substrate of NullRPC, the critical-path decomposition, and
+// the profiler smoke test. prep, when non-nil, runs on the fresh kernel
+// before any thread starts (attach a trace ring, enable the profiler...).
+func nullRPCKernel(cfg core.Config, count int, prep func(*core.Kernel)) (*core.Kernel, uint64, error) {
+	k := core.New(cfg)
+	if prep != nil {
+		prep(k)
+	}
+	s := k.NewSpace()
+	if err := bindNullRPC(k, s); err != nil {
+		return nil, 0, err
+	}
+
+	const (
+		sbuf = scData + 0x100
+		rbuf = scData + 0x140
+		ebuf = scData + 0x180
+		erep = scData + 0x1C0
+	)
+	b := prog.New(scCode)
+	b.Label("cli").
+		Movi(4, sbuf).Movi(5, 0x7e57).St(4, 0, 5).
+		Movi(6, 0).Label("cli.loop").
+		IPCClientConnectSendOverReceive(sbuf, 1, scRef, rbuf, 1).
+		IPCClientDisconnect().
+		Addi(6, 6, 1).Movi(5, uint32(count)).Blt(6, 5, "cli.loop").
+		Halt()
+	// Echo server; the two-word receive for a one-word request makes
+	// the receive complete on the client's message-end, and the reply
+	// is staged separately so a retried reply is idempotent.
+	b.Label("echo").
+		IPCWaitReceive(ebuf, 2, scPset).
+		Label("echo.loop").
+		Movi(4, ebuf).Ld(5, 4, 0).
+		Movi(4, erep).St(4, 0, 5).
+		IPCReplyWaitReceive(erep, 1, scPset, ebuf, 2).
+		Jmp("echo.loop")
+	img, err := b.Assemble()
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := k.LoadImage(s, scCode, img); err != nil {
+		return nil, 0, err
+	}
+	srv := k.NewThread(s, 9)
+	srv.Regs.PC = b.Addr("echo")
+	k.StartThread(srv)
+	cli := k.NewThread(s, 8)
+	cli.Regs.PC = b.Addr("cli")
+	k.StartThread(cli)
+
+	start := k.Clock.Now()
+	k.RunUntil(func() bool { return cli.Exited })
+	if !cli.Exited {
+		return nil, 0, fmt.Errorf("nullrpc: client stuck at pc=%#x", cli.Regs.PC)
+	}
+	return k, k.Clock.Now() - start, nil
+}
+
 // NullRPC measures count null RPCs in the process model with the IPC fast
 // path on and off and returns both plus the relative kernel-cycle drop.
 func NullRPC(count int) (on, off NullRPCResult, dropPct float64, err error) {
 	run := func(disable bool) (NullRPCResult, error) {
 		cfg := core.Config{Model: core.ModelProcess, DisableIPCFastPath: disable}
-		k := core.New(cfg)
-		s := k.NewSpace()
-		if err := bindNullRPC(k, s); err != nil {
-			return NullRPCResult{}, err
-		}
-
-		const (
-			sbuf = scData + 0x100
-			rbuf = scData + 0x140
-			ebuf = scData + 0x180
-			erep = scData + 0x1C0
-		)
-		b := prog.New(scCode)
-		b.Label("cli").
-			Movi(4, sbuf).Movi(5, 0x7e57).St(4, 0, 5).
-			Movi(6, 0).Label("cli.loop").
-			IPCClientConnectSendOverReceive(sbuf, 1, scRef, rbuf, 1).
-			IPCClientDisconnect().
-			Addi(6, 6, 1).Movi(5, uint32(count)).Blt(6, 5, "cli.loop").
-			Halt()
-		// Echo server; the two-word receive for a one-word request makes
-		// the receive complete on the client's message-end, and the reply
-		// is staged separately so a retried reply is idempotent.
-		b.Label("echo").
-			IPCWaitReceive(ebuf, 2, scPset).
-			Label("echo.loop").
-			Movi(4, ebuf).Ld(5, 4, 0).
-			Movi(4, erep).St(4, 0, 5).
-			IPCReplyWaitReceive(erep, 1, scPset, ebuf, 2).
-			Jmp("echo.loop")
-		img, err := b.Assemble()
+		k, elapsed, err := nullRPCKernel(cfg, count, nil)
 		if err != nil {
 			return NullRPCResult{}, err
-		}
-		if _, err := k.LoadImage(s, scCode, img); err != nil {
-			return NullRPCResult{}, err
-		}
-		srv := k.NewThread(s, 9)
-		srv.Regs.PC = b.Addr("echo")
-		k.StartThread(srv)
-		cli := k.NewThread(s, 8)
-		cli.Regs.PC = b.Addr("cli")
-		k.StartThread(cli)
-
-		start := k.Clock.Now()
-		k.RunUntil(func() bool { return cli.Exited })
-		if !cli.Exited {
-			return NullRPCResult{}, fmt.Errorf("nullrpc: client stuck at pc=%#x", cli.Regs.PC)
 		}
 		st := k.Stats()
 		return NullRPCResult{
 			Fastpath:     !disable,
 			KernelCycles: float64(st.KernelCycles) / float64(count),
-			TotalCycles:  float64(k.Clock.Now()-start) / float64(count),
+			TotalCycles:  float64(elapsed) / float64(count),
 			Hits:         st.FastpathHits,
 		}, nil
 	}

@@ -1,0 +1,69 @@
+package metrics
+
+// Prometheus text exposition of a registry snapshot — the /metrics
+// endpoint of flukerun -listen. Instrument names map to the Prometheus
+// namespace by prefixing "fluke_" and folding every non-identifier rune
+// to '_' ("ipc.fastpath.hits" → fluke_ipc_fastpath_hits). Histograms
+// render as summaries: the memoized log2-bucket quantiles as
+// {quantile="..."} series plus _sum and _count, all in virtual cycles.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promName sanitizes an instrument name into a Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("fluke_")
+	for _, r := range name {
+		switch {
+		// The fluke_ prefix guarantees a legal leading rune, so digits
+		// are fine anywhere in the remainder.
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Deterministic: the snapshot is already sorted
+// by name within each instrument kind.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name) + "_cycles"
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", n); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			label string
+			v     uint64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %d\n", n, q.label, q.v); err != nil {
+				return err
+			}
+		}
+		// Sum is reconstructed from the exact mean the snapshot carries.
+		if _, err := fmt.Fprintf(w, "%s_sum %.0f\n%s_count %d\n",
+			n, h.MeanCycles*float64(h.Count), n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"ipc.fastpath.hits":    "fluke_ipc_fastpath_hits",
+		"lock.hold_cycles.big": "fluke_lock_hold_cycles_big",
+		"trace.dropped":        "fluke_trace_dropped",
+		"weird-name:0/x":       "fluke_weird_name_0_x",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheus renders a small registry and checks the exposition
+// shape: typed counters/gauges, histograms as summaries with quantile
+// labels, and an empty histogram rendered as clean zeros (no NaN).
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("ipc.transfers").Add(42)
+	r.Gauge("threads.live").Set(-3)
+	h := r.Histogram("syscall.latency.null")
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	r.Histogram("sched.preempt_latency") // stays empty
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE fluke_ipc_transfers counter\nfluke_ipc_transfers 42\n",
+		"# TYPE fluke_threads_live gauge\nfluke_threads_live -3\n",
+		"# TYPE fluke_syscall_latency_null_cycles summary\n",
+		`fluke_syscall_latency_null_cycles{quantile="0.5"} `,
+		`fluke_syscall_latency_null_cycles{quantile="0.99"} `,
+		"fluke_syscall_latency_null_cycles_sum 5050\n",
+		"fluke_syscall_latency_null_cycles_count 100\n",
+		`fluke_sched_preempt_latency_cycles{quantile="0.5"} 0` + "\n",
+		"fluke_sched_preempt_latency_cycles_sum 0\n",
+		"fluke_sched_preempt_latency_cycles_count 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("exposition contains NaN:\n%s", out)
+	}
+}

@@ -94,7 +94,7 @@ func TestRegionIntrospection(t *testing.T) {
 	if r.PresentPages() != 1 {
 		t.Fatal("PresentPages after populate")
 	}
-	if r.Evict(10 * mem.PageSize) != nil {
+	if r.Evict(10*mem.PageSize) != nil {
 		t.Fatal("Evict beyond region returned frame")
 	}
 }

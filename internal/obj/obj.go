@@ -314,6 +314,24 @@ type Thread struct {
 	FaultStart uint64
 	FaultClass mmu.FaultClass
 	FaultCross bool
+
+	// CurSys is the syscall number the thread is currently dispatched
+	// in, or -1 — the syscall dimension of profiler attribution
+	// (maintained by internal/core when the profiler is enabled).
+	CurSys int16
+
+	// ProfPath is the kernel-path tag (a profile.Path) ambient kernel
+	// charges on behalf of this thread are attributed to; 0 is the
+	// generic kernel bucket. Set/restored around tagged stretches
+	// (IPC copy, fault remedies, handle lookups) by internal/core.
+	ProfPath uint8
+
+	// Span is the causal IPC span the thread is currently part of
+	// (0 = none), and SpanOwner marks the thread that minted it — the
+	// client whose send opened the request. Maintained by internal/core
+	// when Config.EnableIPCSpans is set.
+	Span      uint32
+	SpanOwner bool
 }
 
 // Runnable reports whether the scheduler may pick this thread.

@@ -1,0 +1,147 @@
+// Package observe is the live observation endpoint behind
+// `flukerun -listen :PORT`: an HTTP server exposing a running
+// simulation's metrics (Prometheus text), cycle profile (pprof
+// protobuf), and kernel trace (Perfetto JSON) without stopping it.
+//
+// The simulation is single-goroutine by design (the deterministic
+// interleaver), so HTTP handlers never touch kernel state. Instead each
+// request parks on a channel; the simulation loop calls Server.Poll
+// between dispatches (workload.RunPolling wires it into the RunUntil
+// stop check), notices the waiters, renders one consistent snapshot of
+// all three views on the simulation goroutine, and hands it over. The
+// request therefore observes a clean inter-dispatch boundary — the same
+// consistency point checkpoints use — and costs the simulation nothing
+// when nobody is asking (one atomic load per poll).
+package observe
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Snapshot is one consistent, pre-rendered view of the simulation.
+type Snapshot struct {
+	// Metrics is the Prometheus text exposition (may be empty when the
+	// kernel runs without a metrics registry).
+	Metrics []byte
+	// Profile is the gzipped pprof protobuf of attributed virtual
+	// cycles (empty without the profiler).
+	Profile []byte
+	// Trace is the Perfetto/Chrome trace_event JSON of the trace ring
+	// (empty without a ring).
+	Trace []byte
+	// VirtualNow is the kernel's virtual-time frontier in cycles.
+	VirtualNow uint64
+}
+
+// Server is the endpoint. Create with Listen, pump with Poll, stop with
+// Close.
+type Server struct {
+	ln      net.Listener
+	srv     *http.Server
+	pending atomic.Int32
+	reqs    chan chan Snapshot
+}
+
+// Listen starts serving on addr (":0" picks a free port; see Addr).
+func Listen(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, reqs: make(chan chan Snapshot, 16)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.index)
+	mux.HandleFunc("/metrics", s.view("text/plain; version=0.0.4", func(sn Snapshot) []byte { return sn.Metrics }))
+	mux.HandleFunc("/profile", s.view("application/octet-stream", func(sn Snapshot) []byte { return sn.Profile }))
+	mux.HandleFunc("/trace", s.view("application/json", func(sn Snapshot) []byte { return sn.Trace }))
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the listener's address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections. In-flight snapshot waiters get a
+// 503 via their timeout.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Poll services any parked requests by rendering one snapshot with take
+// and fanning it out. Call it from the simulation goroutine between
+// dispatches; with no waiters it is one atomic load.
+func (s *Server) Poll(take func() Snapshot) {
+	if s.pending.Load() == 0 {
+		return
+	}
+	var snap Snapshot
+	taken := false
+	for {
+		select {
+		case c := <-s.reqs:
+			if !taken {
+				snap = take()
+				taken = true
+			}
+			c <- snap
+		default:
+			return
+		}
+	}
+}
+
+// snapshot parks until the simulation loop answers, or fails after a
+// grace period (the simulation may have finished, or be stuck in one
+// enormous dispatch).
+func (s *Server) snapshot() (Snapshot, error) {
+	c := make(chan Snapshot, 1)
+	s.pending.Add(1)
+	defer s.pending.Add(-1)
+	deadline := time.After(5 * time.Second)
+	select {
+	case s.reqs <- c:
+	case <-deadline:
+		return Snapshot{}, fmt.Errorf("simulation did not reach a poll point in time")
+	}
+	select {
+	case snap := <-c:
+		return snap, nil
+	case <-deadline:
+		return Snapshot{}, fmt.Errorf("simulation did not reach a poll point in time")
+	}
+}
+
+// view builds a handler serving one rendered section of the snapshot.
+func (s *Server) view(contentType string, sel func(Snapshot) []byte) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap, err := s.snapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		body := sel(snap)
+		if len(body) == 0 {
+			http.Error(w, "not enabled for this run (see flukerun -metrics / -profile-out / -trace-out)",
+				http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Header().Set("X-Fluke-Virtual-Cycles", fmt.Sprintf("%d", snap.VirtualNow))
+		w.Write(body)
+	}
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, `fluke live observation endpoint
+  /metrics  Prometheus text exposition of the kernel metrics registry
+  /profile  pprof protobuf of attributed virtual cycles (go tool pprof)
+  /trace    Perfetto/Chrome trace_event JSON of the kernel trace ring
+`)
+}

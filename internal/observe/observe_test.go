@@ -1,0 +1,109 @@
+package observe
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSnapshotRoundTrip: requests park until the simulation's poll loop
+// answers; every served view carries the snapshot the loop rendered, and
+// rendering happens once per poll however many requests are waiting.
+func TestSnapshotRoundTrip(t *testing.T) {
+	s, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var takes atomic.Int32
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { // the "simulation loop"
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Poll(func() Snapshot {
+				n := takes.Add(1)
+				return Snapshot{
+					Metrics:    []byte(fmt.Sprintf("fluke_take %d\n", n)),
+					Profile:    []byte("pprof-bytes"),
+					VirtualNow: uint64(n) * 1000,
+				}
+			})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	get := func(path string) (int, string, http.Header) {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	code, body, hdr := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d, body %q", code, body)
+	}
+	if !strings.HasPrefix(body, "fluke_take ") {
+		t.Fatalf("/metrics body = %q", body)
+	}
+	if hdr.Get("X-Fluke-Virtual-Cycles") == "" {
+		t.Fatal("/metrics missing virtual-time header")
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+
+	code, body, _ = get("/profile")
+	if code != http.StatusOK || body != "pprof-bytes" {
+		t.Fatalf("/profile: status %d body %q", code, body)
+	}
+
+	// Trace was never rendered by the loop: the endpoint must say so
+	// rather than serve an empty document.
+	code, _, _ = get("/trace")
+	if code != http.StatusNotFound {
+		t.Fatalf("/trace with no ring: status %d, want 404", code)
+	}
+
+	code, body, _ = get("/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: status %d body %q", code, body)
+	}
+	if code, _, _ := get("/nope"); code != http.StatusNotFound {
+		t.Fatal("unknown path did not 404")
+	}
+
+	if takes.Load() == 0 {
+		t.Fatal("take was never invoked")
+	}
+}
+
+// TestPollWithoutWaiters: an idle Poll must not render anything.
+func TestPollWithoutWaiters(t *testing.T) {
+	s, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	called := false
+	s.Poll(func() Snapshot { called = true; return Snapshot{} })
+	if called {
+		t.Fatal("Poll rendered a snapshot with no requests parked")
+	}
+}

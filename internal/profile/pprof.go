@@ -1,0 +1,407 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// pprof-compatible protobuf export, hand-encoded against the pprof
+// Profile schema (github.com/google/pprof/proto/profile.proto) so the
+// repository keeps its zero-dependency rule. One pprof sample per
+// attribution triple with a three-frame stack, leaf first:
+//
+//	path  ->  pc bucket  ->  syscall (root)
+//
+// so `go tool pprof -top` (flat = leaf) aggregates by kernel path and a
+// flamegraph reads syscall -> path -> PC bucket. The gzip stream is
+// written with a zero modification time, so equal snapshots produce
+// byte-equal files (deterministic per seed).
+
+// Profile message field numbers (profile.proto).
+const (
+	profSampleType  = 1
+	profSample      = 2
+	profLocation    = 4
+	profFunction    = 5
+	profStringTable = 6
+	profPeriodType  = 11
+	profPeriod      = 12
+)
+
+// Sub-message field numbers.
+const (
+	vtType = 1
+	vtUnit = 2
+
+	sampleLocationID = 1
+	sampleValue      = 2
+
+	locID   = 1
+	locLine = 4
+
+	lineFunctionID = 1
+
+	fnID         = 1
+	fnName       = 2
+	fnSystemName = 3
+)
+
+// pbuf is a minimal protobuf writer.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) key(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+// uintField emits a varint field (omitted when zero, per proto3).
+func (p *pbuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.key(field, 0)
+	p.varint(v)
+}
+
+// bytesField emits a length-delimited field.
+func (p *pbuf) bytesField(field int, b []byte) {
+	p.key(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+// packed emits a packed repeated varint field (omitted when empty).
+func (p *pbuf) packed(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner pbuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// WritePprof writes the snapshot as a gzipped pprof protobuf.
+func (s Snapshot) WritePprof(w io.Writer) error {
+	// String table: index 0 must be "".
+	strIdx := map[string]uint64{"": 0}
+	strs := []string{""}
+	intern := func(str string) uint64 {
+		if i, ok := strIdx[str]; ok {
+			return i
+		}
+		i := uint64(len(strs))
+		strIdx[str] = i
+		strs = append(strs, str)
+		return i
+	}
+
+	// One function and one location per distinct frame name.
+	locIdx := map[string]uint64{}
+	var locNames []string
+	locOf := func(name string) uint64 {
+		if id, ok := locIdx[name]; ok {
+			return id
+		}
+		id := uint64(len(locNames) + 1) // ids are 1-based
+		locIdx[name] = id
+		locNames = append(locNames, name)
+		return id
+	}
+
+	var body pbuf
+	// sample_type: one value per sample, "cycles" of unit "count"
+	// (virtual cycles; pprof has no cycles unit, count renders raw).
+	var vt pbuf
+	vt.uintField(vtType, intern("cycles"))
+	vt.uintField(vtUnit, intern("count"))
+	body.bytesField(profSampleType, vt.b)
+
+	emitSample := func(stack []string, cycles uint64) {
+		ids := make([]uint64, len(stack))
+		for i, name := range stack {
+			ids[i] = locOf(name)
+		}
+		var sm pbuf
+		sm.packed(sampleLocationID, ids)
+		sm.packed(sampleValue, []uint64{cycles})
+		body.bytesField(profSample, sm.b)
+	}
+	for _, smp := range s.Samples {
+		emitSample([]string{smp.Path.String(), smp.PCLabel(), smp.SysName()}, smp.Cycles)
+	}
+	if s.Overflow > 0 {
+		emitSample([]string{"overflow"}, s.Overflow)
+	}
+
+	for i, name := range locNames {
+		id := uint64(i + 1)
+		var ln pbuf
+		ln.uintField(lineFunctionID, id)
+		var loc pbuf
+		loc.uintField(locID, id)
+		loc.bytesField(locLine, ln.b)
+		body.bytesField(profLocation, loc.b)
+
+		var fn pbuf
+		fn.uintField(fnID, id)
+		fn.uintField(fnName, intern(name))
+		fn.uintField(fnSystemName, intern(name))
+		body.bytesField(profFunction, fn.b)
+	}
+	for _, str := range strs {
+		body.bytesField(profStringTable, []byte(str))
+	}
+	var pt pbuf
+	pt.uintField(vtType, intern("cycles"))
+	pt.uintField(vtUnit, intern("count"))
+	body.bytesField(profPeriodType, pt.b)
+	body.uintField(profPeriod, 1)
+
+	gz := gzip.NewWriter(w) // zero ModTime: deterministic bytes
+	if _, err := gz.Write(body.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Minimal decoder — enough to validate an exported profile and answer
+// "which stack holds the most cycles" (the CI smoke assertion) without
+// depending on the pprof module.
+
+type pparser struct {
+	b   []byte
+	pos int
+}
+
+func (p *pparser) done() bool { return p.pos >= len(p.b) }
+
+func (p *pparser) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if p.pos >= len(p.b) {
+			return 0, fmt.Errorf("profile: truncated varint")
+		}
+		c := p.b[p.pos]
+		p.pos++
+		v |= uint64(c&0x7F) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("profile: varint overflow")
+}
+
+// field reads one key and its payload: wire 0 returns the varint in v,
+// wire 2 returns the bytes in raw.
+func (p *pparser) field() (field int, v uint64, raw []byte, err error) {
+	k, err := p.varint()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	field, wire := int(k>>3), int(k&7)
+	switch wire {
+	case 0:
+		v, err = p.varint()
+		return field, v, nil, err
+	case 2:
+		n, err := p.varint()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if uint64(p.pos)+n > uint64(len(p.b)) {
+			return 0, 0, nil, fmt.Errorf("profile: truncated field %d", field)
+		}
+		raw = p.b[p.pos : p.pos+int(n)]
+		p.pos += int(n)
+		return field, 0, raw, nil
+	case 5: // fixed32 (unused by our encoder; skip for robustness)
+		if p.pos+4 > len(p.b) {
+			return 0, 0, nil, fmt.Errorf("profile: truncated fixed32")
+		}
+		p.pos += 4
+		return field, 0, nil, nil
+	case 1: // fixed64
+		if p.pos+8 > len(p.b) {
+			return 0, 0, nil, fmt.Errorf("profile: truncated fixed64")
+		}
+		p.pos += 8
+		return field, 0, nil, nil
+	default:
+		return 0, 0, nil, fmt.Errorf("profile: unsupported wire type %d", wire)
+	}
+}
+
+func parsePacked(raw []byte) ([]uint64, error) {
+	pp := pparser{b: raw}
+	var out []uint64
+	for !pp.done() {
+		v, err := pp.varint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// DecodedSample is one pprof sample resolved back to frame names.
+type DecodedSample struct {
+	Stack  []string // leaf first
+	Cycles int64
+}
+
+// DecodePprof parses a gzipped pprof protobuf (as written by WritePprof,
+// but tolerant of any single-valued pprof profile) back into resolved
+// samples. It validates the structural invariants the CI smoke test
+// cares about: the stream gunzips, every location resolves to a named
+// function, and every sample carries a value.
+func DecodePprof(data []byte) ([]DecodedSample, error) {
+	gz, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("profile: gunzip: %w", err)
+	}
+	defer gz.Close()
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		return nil, fmt.Errorf("profile: gunzip read: %w", err)
+	}
+
+	var strs []string
+	locFn := map[uint64]uint64{}   // location id -> function id
+	fnNames := map[uint64]uint64{} // function id -> string index
+	type rawSample struct {
+		locs []uint64
+		vals []uint64
+	}
+	var samples []rawSample
+
+	p := pparser{b: raw}
+	for !p.done() {
+		field, _, msg, err := p.field()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case profStringTable:
+			strs = append(strs, string(msg))
+		case profSample:
+			sp := pparser{b: msg}
+			var rs rawSample
+			for !sp.done() {
+				f, v, b, err := sp.field()
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case sampleLocationID:
+					if b != nil {
+						vs, err := parsePacked(b)
+						if err != nil {
+							return nil, err
+						}
+						rs.locs = append(rs.locs, vs...)
+					} else {
+						rs.locs = append(rs.locs, v)
+					}
+				case sampleValue:
+					if b != nil {
+						vs, err := parsePacked(b)
+						if err != nil {
+							return nil, err
+						}
+						rs.vals = append(rs.vals, vs...)
+					} else {
+						rs.vals = append(rs.vals, v)
+					}
+				}
+			}
+			samples = append(samples, rs)
+		case profLocation:
+			lp := pparser{b: msg}
+			var id, fid uint64
+			for !lp.done() {
+				f, v, b, err := lp.field()
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case locID:
+					id = v
+				case locLine:
+					llp := pparser{b: b}
+					for !llp.done() {
+						lf, lv, _, err := llp.field()
+						if err != nil {
+							return nil, err
+						}
+						if lf == lineFunctionID {
+							fid = lv
+						}
+					}
+				}
+			}
+			locFn[id] = fid
+		case profFunction:
+			fp := pparser{b: msg}
+			var id, nameIdx uint64
+			for !fp.done() {
+				f, v, _, err := fp.field()
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case fnID:
+					id = v
+				case fnName:
+					nameIdx = v
+				}
+			}
+			fnNames[id] = nameIdx
+		}
+	}
+
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("profile: no samples")
+	}
+	out := make([]DecodedSample, 0, len(samples))
+	for _, rs := range samples {
+		if len(rs.vals) == 0 {
+			return nil, fmt.Errorf("profile: sample with no value")
+		}
+		ds := DecodedSample{Cycles: int64(rs.vals[0])}
+		for _, lid := range rs.locs {
+			fid, ok := locFn[lid]
+			if !ok {
+				return nil, fmt.Errorf("profile: sample references unknown location %d", lid)
+			}
+			nameIdx, ok := fnNames[fid]
+			if !ok || nameIdx >= uint64(len(strs)) {
+				return nil, fmt.Errorf("profile: location %d has no named function", lid)
+			}
+			ds.Stack = append(ds.Stack, strs[nameIdx])
+		}
+		out = append(out, ds)
+	}
+	return out, nil
+}
+
+// TopSample returns the decoded sample with the largest value.
+func TopSample(samples []DecodedSample) DecodedSample {
+	top := samples[0]
+	for _, s := range samples[1:] {
+		if s.Cycles > top.Cycles {
+			top = s
+		}
+	}
+	return top
+}

@@ -1,0 +1,279 @@
+// Package profile is the kernel's cycle-accurate virtual-time profiler.
+// Every cycle the kernel charges to a clock — user batches, kernel work,
+// context switches, lock spins, idle gaps — is attributed to a
+// (kernel path, syscall, guest PC-bucket) triple at the existing charge
+// sites in internal/core, aggregated per-CPU into fixed-size
+// open-addressing tables so the hot path never allocates. The sum of all
+// attributed cycles equals Stats.TotalCycles exactly (pinned by
+// TestProfilerEquivalence): a full table diverts further cycles into a
+// per-shard overflow bucket rather than dropping them.
+//
+// Snapshots merge the shards deterministically and export as folded
+// stacks (flamegraph input) or as a pprof-compatible gzipped protobuf
+// that `go tool pprof` opens natively (pprof.go). Like the metrics and
+// trace layers, the profiler never charges cycles itself, so the
+// simulated timeline is bit-identical with it on or off.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sys"
+)
+
+// Path names one kernel code path a cycle can be charged to — the first
+// dimension of the attribution triple. Path 0 is the generic kernel
+// bucket: handler work between the specifically-tagged stretches.
+type Path uint8
+
+// Kernel paths.
+const (
+	// PathKernel: untagged kernel work (syscall handler bookkeeping).
+	PathKernel Path = iota
+	// PathUser: user-mode instruction batches.
+	PathUser
+	// PathIdle: idle gaps (clock advanced to the next event).
+	PathIdle
+	// PathSyscallEntry / PathSyscallExit: the hardware-mandated
+	// supervisor-mode crossing costs (and FP's kernel-lock traffic).
+	PathSyscallEntry
+	PathSyscallExit
+	// PathCtxSwitch: the general context switch (run-queue pick).
+	PathCtxSwitch
+	// PathDirectSwitch: the IPC fast path's direct thread handoff.
+	PathDirectSwitch
+	// PathLockSpin: contended virtual-lock acquires (multiprocessor).
+	PathLockSpin
+	// PathIPCCopy: the IPC data copy loop (per-word charges).
+	PathIPCCopy
+	// PathIPCShare: the zero-copy page-share path (per-page charges).
+	PathIPCShare
+	// PathIPCConnect: IPC connection establishment.
+	PathIPCConnect
+	// PathFaultSoft / PathFaultCOW / PathFaultHard: the fault remedies.
+	PathFaultSoft
+	PathFaultCOW
+	PathFaultHard
+	// PathObjLookup: handle-table resolution.
+	PathObjLookup
+	// PathRegionSearch: the region_search page scan.
+	PathRegionSearch
+	// PathGetSetState: thread state-frame marshaling.
+	PathGetSetState
+
+	// NumPaths bounds the enum.
+	NumPaths
+)
+
+// PathNames are the path labels in Path order (frame names in exports).
+var PathNames = [NumPaths]string{
+	"kernel", "user", "idle",
+	"syscall.entry", "syscall.exit",
+	"sched.ctxswitch", "sched.handoff", "lock.spin",
+	"ipc.copy", "ipc.share", "ipc.connect",
+	"fault.soft", "fault.cow", "fault.hard",
+	"obj.lookup", "region.search", "thread.state",
+}
+
+func (p Path) String() string {
+	if int(p) < len(PathNames) {
+		return PathNames[p]
+	}
+	return fmt.Sprintf("path%d", uint8(p))
+}
+
+// BucketShift sets the guest-PC bucket granularity: 1 << BucketShift
+// bytes per bucket (256 B — a handful of basic blocks).
+const BucketShift = 8
+
+// NoSyscall is the syscall dimension outside any syscall (scheduler,
+// idle, user batches between traps).
+const NoSyscall = -1
+
+// shardSlots is each per-CPU table's capacity (power of two). At three
+// dimensions of modest cardinality (≈17 paths × ≈100 syscalls × the hot
+// PC buckets of a workload) real runs occupy a few hundred slots;
+// overflow beyond maxUsed diverts to the overflow bucket, keeping Add
+// allocation-free and the cycle sum exact.
+const shardSlots = 1 << 13
+
+// maxUsed caps the load factor at 3/4 so linear probes stay short.
+const maxUsed = shardSlots * 3 / 4
+
+// packKey packs an attribution triple into one non-zero uint64:
+// bit 63 marks occupancy, bits 32..39 the path, 24..31 the syscall
+// (+1, so "no syscall" packs as 0), 0..23 the PC bucket.
+func packKey(p Path, sysno int, pc uint32) uint64 {
+	return 1<<63 | uint64(p)<<32 | uint64(sysno+1)<<24 | uint64(pc>>BucketShift)
+}
+
+func unpackKey(k uint64) (p Path, sysno int, bucket uint32) {
+	return Path(k >> 32 & 0xFF), int(k>>24&0xFF) - 1, uint32(k & 0xFF_FFFF)
+}
+
+// mix is the splitmix64 finalizer — the probe-start hash.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Shard is one CPU's attribution table: open addressing with linear
+// probing over a fixed backing array, so Add never allocates. Cycles
+// that arrive once the table is at capacity land in overflow — counted,
+// never lost.
+type Shard struct {
+	keys     []uint64
+	cycles   []uint64
+	used     int
+	overflow uint64
+}
+
+func newShard() *Shard {
+	return &Shard{
+		keys:   make([]uint64, shardSlots),
+		cycles: make([]uint64, shardSlots),
+	}
+}
+
+// Add charges cycles to the (path, syscall, pc) triple.
+func (s *Shard) Add(p Path, sysno int, pc uint32, cycles uint64) {
+	key := packKey(p, sysno, pc)
+	i := mix(key) & (shardSlots - 1)
+	for {
+		switch s.keys[i] {
+		case key:
+			s.cycles[i] += cycles
+			return
+		case 0:
+			if s.used >= maxUsed {
+				s.overflow += cycles
+				return
+			}
+			s.keys[i] = key
+			s.cycles[i] = cycles
+			s.used++
+			return
+		}
+		i = (i + 1) & (shardSlots - 1)
+	}
+}
+
+// Profiler owns one shard per simulated CPU.
+type Profiler struct {
+	shards []*Shard
+}
+
+// New creates a profiler for ncpu CPUs. All allocation happens here.
+func New(ncpu int) *Profiler {
+	p := &Profiler{shards: make([]*Shard, ncpu)}
+	for i := range p.shards {
+		p.shards[i] = newShard()
+	}
+	return p
+}
+
+// Shard returns CPU i's table.
+func (p *Profiler) Shard(i int) *Shard { return p.shards[i] }
+
+// Sample is one merged attribution triple with its cycle total.
+type Sample struct {
+	Path     Path
+	Sys      int    // syscall number, NoSyscall if none
+	PCBucket uint32 // guest PC >> BucketShift
+	Cycles   uint64
+}
+
+// SysName renders the sample's syscall dimension ("-" outside syscalls).
+func (s Sample) SysName() string {
+	if s.Sys < 0 {
+		return "-"
+	}
+	return sys.Name(s.Sys)
+}
+
+// PCLabel renders the sample's PC bucket as its start address.
+func (s Sample) PCLabel() string {
+	return fmt.Sprintf("pc=%#x", uint64(s.PCBucket)<<BucketShift)
+}
+
+// Snapshot is a deterministic merged view of all shards.
+type Snapshot struct {
+	Samples []Sample
+	// Overflow is the cycle total that arrived after a shard table
+	// filled; still part of TotalCycles.
+	Overflow uint64
+}
+
+// Snapshot merges the shards: samples sorted by (path, syscall, bucket),
+// so equal executions produce byte-equal exports.
+func (p *Profiler) Snapshot() Snapshot {
+	merged := make(map[uint64]uint64)
+	var snap Snapshot
+	for _, s := range p.shards {
+		snap.Overflow += s.overflow
+		for i, k := range s.keys {
+			if k != 0 {
+				merged[k] += s.cycles[i]
+			}
+		}
+	}
+	snap.Samples = make([]Sample, 0, len(merged))
+	for k, cyc := range merged {
+		path, sysno, bucket := unpackKey(k)
+		snap.Samples = append(snap.Samples, Sample{Path: path, Sys: sysno, PCBucket: bucket, Cycles: cyc})
+	}
+	sort.Slice(snap.Samples, func(i, j int) bool {
+		a, b := snap.Samples[i], snap.Samples[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Sys != b.Sys {
+			return a.Sys < b.Sys
+		}
+		return a.PCBucket < b.PCBucket
+	})
+	return snap
+}
+
+// TotalCycles sums every attributed cycle, overflow included.
+func (s Snapshot) TotalCycles() uint64 {
+	total := s.Overflow
+	for _, smp := range s.Samples {
+		total += smp.Cycles
+	}
+	return total
+}
+
+// Top returns the n largest samples by cycles (ties by the snapshot's
+// deterministic order).
+func (s Snapshot) Top(n int) []Sample {
+	out := append([]Sample(nil), s.Samples...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycles > out[j].Cycles })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// WriteFolded writes the snapshot as folded stacks (flamegraph.pl /
+// speedscope input): root-to-leaf frames `syscall;path;pc`, one line per
+// triple, plus an `overflow` line when any shard filled.
+func (s Snapshot) WriteFolded(w io.Writer) error {
+	for _, smp := range s.Samples {
+		if _, err := fmt.Fprintf(w, "%s;%s;%s %d\n", smp.SysName(), smp.Path, smp.PCLabel(), smp.Cycles); err != nil {
+			return err
+		}
+	}
+	if s.Overflow > 0 {
+		if _, err := fmt.Fprintf(w, "overflow %d\n", s.Overflow); err != nil {
+			return err
+		}
+	}
+	return nil
+}

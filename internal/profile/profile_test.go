@@ -1,0 +1,163 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKeyPackRoundTrip(t *testing.T) {
+	cases := []struct {
+		p   Path
+		sys int
+		pc  uint32
+	}{
+		{PathKernel, NoSyscall, 0},
+		{PathUser, NoSyscall, 0x1234_5678},
+		{PathIPCCopy, 84, 0xFFF0_0000},
+		{NumPaths - 1, 106, 0xFFFF_FFFF},
+	}
+	for _, c := range cases {
+		k := packKey(c.p, c.sys, c.pc)
+		if k == 0 {
+			t.Fatalf("packKey(%v,%d,%#x) = 0 (collides with the empty slot)", c.p, c.sys, c.pc)
+		}
+		p, s, b := unpackKey(k)
+		if p != c.p || s != c.sys || b != c.pc>>BucketShift {
+			t.Fatalf("round trip (%v,%d,%#x) -> (%v,%d,%#x)", c.p, c.sys, c.pc, p, s, b)
+		}
+	}
+}
+
+func TestAddAggregatesAndSumsExactly(t *testing.T) {
+	p := New(2)
+	p.Shard(0).Add(PathUser, NoSyscall, 0x100, 10)
+	p.Shard(0).Add(PathUser, NoSyscall, 0x1ff, 5) // same 256-byte bucket
+	p.Shard(1).Add(PathUser, NoSyscall, 0x100, 7) // same triple, other CPU
+	p.Shard(1).Add(PathIPCCopy, 84, 0x100, 3)
+
+	snap := p.Snapshot()
+	if got := snap.TotalCycles(); got != 25 {
+		t.Fatalf("TotalCycles = %d, want 25", got)
+	}
+	if len(snap.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2 (%+v)", len(snap.Samples), snap.Samples)
+	}
+	for _, s := range snap.Samples {
+		switch s.Path {
+		case PathUser:
+			if s.Cycles != 22 {
+				t.Fatalf("user cycles = %d, want 22", s.Cycles)
+			}
+		case PathIPCCopy:
+			if s.Cycles != 3 || s.Sys != 84 {
+				t.Fatalf("ipc sample = %+v", s)
+			}
+		default:
+			t.Fatalf("unexpected sample %+v", s)
+		}
+	}
+}
+
+func TestOverflowKeepsSumExact(t *testing.T) {
+	p := New(1)
+	s := p.Shard(0)
+	var want uint64
+	// Far more distinct triples than maxUsed: distinct PC buckets.
+	for i := uint32(0); i < shardSlots*2; i++ {
+		s.Add(PathUser, NoSyscall, i<<BucketShift, 2)
+		want += 2
+	}
+	snap := p.Snapshot()
+	if snap.Overflow == 0 {
+		t.Fatal("expected overflow after exhausting the table")
+	}
+	if got := snap.TotalCycles(); got != want {
+		t.Fatalf("TotalCycles = %d, want %d (overflow must not lose cycles)", got, want)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		p := New(4)
+		for cpu := 0; cpu < 4; cpu++ {
+			for i := 0; i < 100; i++ {
+				p.Shard(cpu).Add(Path(i%int(NumPaths)), i%10-1, uint32(i*531), uint64(i+1))
+			}
+		}
+		return p.Snapshot()
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteFolded(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("folded output differs across identical builds")
+	}
+	var pa, pb bytes.Buffer
+	if err := build().WritePprof(&pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WritePprof(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pa.Bytes(), pb.Bytes()) {
+		t.Fatal("pprof bytes differ across identical builds")
+	}
+}
+
+func TestFoldedFormat(t *testing.T) {
+	p := New(1)
+	p.Shard(0).Add(PathIPCConnect, 84, 0x4200, 120)
+	var b bytes.Buffer
+	if err := p.Snapshot().WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(b.String())
+	if !strings.HasSuffix(line, " 120") {
+		t.Fatalf("folded line %q lacks the cycle count", line)
+	}
+	if !strings.Contains(line, ";ipc.connect;pc=0x4200") {
+		t.Fatalf("folded line %q lacks the path;pc frames", line)
+	}
+	if strings.Count(line, ";") != 2 {
+		t.Fatalf("folded line %q should have 3 frames", line)
+	}
+}
+
+func TestPprofRoundTrip(t *testing.T) {
+	p := New(2)
+	p.Shard(0).Add(PathIPCConnect, 84, 0x4200, 120)
+	p.Shard(0).Add(PathUser, NoSyscall, 0x100, 990)
+	p.Shard(1).Add(PathIdle, NoSyscall, 0, 40)
+	snap := p.Snapshot()
+
+	var buf bytes.Buffer
+	if err := snap.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePprof(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(snap.Samples) {
+		t.Fatalf("decoded %d samples, want %d", len(got), len(snap.Samples))
+	}
+	var total int64
+	for _, s := range got {
+		total += s.Cycles
+		if len(s.Stack) != 3 {
+			t.Fatalf("sample stack %v, want 3 frames", s.Stack)
+		}
+	}
+	if uint64(total) != snap.TotalCycles() {
+		t.Fatalf("decoded cycle total %d, want %d", total, snap.TotalCycles())
+	}
+	top := TopSample(got)
+	if top.Stack[0] != "user" || top.Cycles != 990 {
+		t.Fatalf("top sample = %+v, want the 990-cycle user sample", top)
+	}
+}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -86,5 +87,57 @@ func TestTableRendering(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 5 { // title, header, rule, 2 rows
 		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+// TestEmptyLatency: every statistic of a recorder with no samples is 0 —
+// never NaN, never a panic. The render paths (tables, Prometheus
+// summaries) format these values directly, so a NaN here would leak into
+// every empty-histogram export.
+func TestEmptyLatency(t *testing.T) {
+	var l Latency
+	checks := map[string]float64{
+		"Avg": l.Avg(), "Min": l.Min(), "Max": l.Max(),
+		"P50": l.P50(), "P95": l.P95(), "P99": l.P99(),
+		"Percentile(0)":   l.Percentile(0),
+		"Percentile(100)": l.Percentile(100),
+	}
+	for name, v := range checks {
+		if v != 0 {
+			t.Errorf("empty Latency %s = %v, want 0", name, v)
+		}
+		if math.IsNaN(v) {
+			t.Errorf("empty Latency %s is NaN", name)
+		}
+	}
+	if l.Count() != 0 {
+		t.Errorf("empty Latency Count = %d", l.Count())
+	}
+}
+
+// TestPercentileMemoInvalidation: the memoized sorted view must be
+// rebuilt after an Add that follows a percentile query — a stale memo
+// would silently report percentiles of the old sample set.
+func TestPercentileMemoInvalidation(t *testing.T) {
+	var l Latency
+	l.Add(3)
+	l.Add(1)
+	l.Add(2)
+	if got := l.P50(); got != 2 { // memoizes the sorted view
+		t.Fatalf("P50 of {1,2,3} = %v, want 2", got)
+	}
+	l.Add(100) // must invalidate the memo
+	if got := l.P99(); got != 100 {
+		t.Fatalf("P99 after adding 100 = %v, want 100 (stale memo?)", got)
+	}
+	if got := l.P50(); got != 2 { // nearest rank 2 of 4
+		t.Fatalf("P50 of {1,2,3,100} = %v, want 2", got)
+	}
+	l.Add(0.5)
+	if got := l.Min(); got != 0.5 {
+		t.Fatalf("Min = %v, want 0.5", got)
+	}
+	if got := l.Percentile(20); got != 0.5 { // rank 1 of 5
+		t.Fatalf("Percentile(20) = %v, want 0.5", got)
 	}
 }

@@ -1,0 +1,163 @@
+package trace
+
+// Critical-path analysis of causal IPC spans. The kernel's span tracker
+// (Config.EnableIPCSpans) emits one Flow event at every causal checkpoint
+// of a request — mint, data copies, rendezvous wakes, handoffs, steals,
+// completion. SpanPaths groups a trace's Flow events by span ID and
+// decomposes each span's begin→end interval into hops: the stretch of
+// virtual time between consecutive checkpoints, named by the checkpoint
+// that ends it. Because consecutive hop lengths telescope, the hop cycles
+// of a complete span sum to exactly its wall-cycle length — every cycle
+// of the request is accounted to some hop, none twice (pinned by
+// TestCritPathFullAccounting and the experiments-level coverage test).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/clock"
+)
+
+// Hop is one segment of a span's causal chain: the virtual time from the
+// previous checkpoint (or the span's begin) up to the checkpoint named by
+// Point, which lands on CPU at virtual time End.
+type Hop struct {
+	Point  string // flow-point name of the checkpoint ending the hop
+	CPU    uint32 // CPU the ending checkpoint was observed on
+	TID    uint32 // thread the ending checkpoint was observed from
+	End    uint64 // virtual time of the ending checkpoint
+	Cycles uint64 // End minus the previous checkpoint's time
+}
+
+// SpanPath is one span's reconstructed causal chain.
+type SpanPath struct {
+	ID       uint32
+	Begin    uint64 // virtual time of FlowBegin
+	BeginCPU uint32 // CPU the span was minted on
+	End      uint64 // virtual time of FlowEnd (== Begin+sum of hop cycles)
+	// Hops are the begin→end segments in time order. Complete spans
+	// satisfy sum(Hops[i].Cycles) == End-Begin exactly.
+	Hops []Hop
+	// Complete marks spans whose FlowEnd was retained; a wrapped ring or
+	// a still-running request leaves Complete false and End at the last
+	// retained checkpoint.
+	Complete bool
+}
+
+// Cycles returns the span's wall-cycle length (last checkpoint minus
+// begin).
+func (s SpanPath) Cycles() uint64 { return s.End - s.Begin }
+
+// SpanPaths reconstructs every span present in events. Spans whose
+// FlowBegin was dropped (ring wraparound) are discarded — without the
+// mint point the first hop length is unknowable. The result is sorted by
+// span ID, and each span's checkpoints by virtual time (emission order
+// breaking ties, so one-CPU traces decompose in exactly causal order).
+func SpanPaths(events []Event) []SpanPath {
+	flows := make(map[uint32][]Event)
+	for _, e := range events {
+		if e.Kind == Flow {
+			flows[e.A] = append(flows[e.A], e)
+		}
+	}
+	out := make([]SpanPath, 0, len(flows))
+	for id, evs := range flows {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+		if evs[0].B != FlowBegin {
+			continue // mint point lost to ring wraparound
+		}
+		sp := SpanPath{ID: id, Begin: evs[0].Time, BeginCPU: evs[0].CPU, End: evs[0].Time}
+		for _, e := range evs[1:] {
+			sp.Hops = append(sp.Hops, Hop{
+				Point:  FlowPointName(e.B),
+				CPU:    e.CPU,
+				TID:    e.TID,
+				End:    e.Time,
+				Cycles: e.Time - sp.End,
+			})
+			sp.End = e.Time
+			if e.B == FlowEnd {
+				sp.Complete = true
+				break
+			}
+		}
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Longest returns the complete span with the largest wall-cycle length
+// (ties to the lowest ID), and false if no span completed.
+func Longest(spans []SpanPath) (SpanPath, bool) {
+	var best SpanPath
+	found := false
+	for _, s := range spans {
+		if !s.Complete {
+			continue
+		}
+		if !found || s.Cycles() > best.Cycles() {
+			best = s
+			found = true
+		}
+	}
+	return best, found
+}
+
+// HopTotal aggregates one hop kind across spans.
+type HopTotal struct {
+	Point  string
+	Count  uint64
+	Cycles uint64
+}
+
+// Decompose aggregates the complete spans' hops by point name, returning
+// the totals sorted by cycles descending (ties by name) plus the summed
+// wall-cycle length of all complete spans. By the telescoping invariant,
+// the returned totals' cycles sum to exactly the returned span total —
+// the decomposition accounts for 100% of the measured interval.
+func Decompose(spans []SpanPath) (hops []HopTotal, spanCycles uint64) {
+	agg := make(map[string]*HopTotal)
+	for _, s := range spans {
+		if !s.Complete {
+			continue
+		}
+		spanCycles += s.Cycles()
+		for _, h := range s.Hops {
+			t := agg[h.Point]
+			if t == nil {
+				t = &HopTotal{Point: h.Point}
+				agg[h.Point] = t
+			}
+			t.Count++
+			t.Cycles += h.Cycles
+		}
+	}
+	for _, t := range agg {
+		hops = append(hops, *t)
+	}
+	sort.Slice(hops, func(i, j int) bool {
+		if hops[i].Cycles != hops[j].Cycles {
+			return hops[i].Cycles > hops[j].Cycles
+		}
+		return hops[i].Point < hops[j].Point
+	})
+	return hops, spanCycles
+}
+
+// FormatChain renders one span's chain as a single line:
+//
+//	span 7: 414 cycles  begin@c0 →(copy 120)c0 →(wake 80)c1 →(end 214)c1
+func FormatChain(s SpanPath) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "span %d: %d cycles (%.2f µs)  begin@c%d",
+		s.ID, s.Cycles(), clock.Micros(s.Cycles()), s.BeginCPU)
+	for _, h := range s.Hops {
+		fmt.Fprintf(&b, " →(%s %d)c%d", h.Point, h.Cycles, h.CPU)
+	}
+	if !s.Complete {
+		b.WriteString(" …incomplete")
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func flowEvent(t uint64, cpu, span, point uint32) Event {
+	return Event{Time: t, CPU: cpu, TID: span + 100, Kind: Flow, A: span, B: point}
+}
+
+// TestCritPathFullAccounting pins the telescoping invariant: a complete
+// span's hop cycles sum to exactly its wall-cycle length, so the
+// decomposition accounts for 100% of the measured interval.
+func TestCritPathFullAccounting(t *testing.T) {
+	events := []Event{
+		flowEvent(100, 0, 1, FlowBegin),
+		flowEvent(130, 0, 1, FlowCopy),
+		flowEvent(150, 1, 1, FlowWake),
+		flowEvent(155, 1, 1, FlowHandoff),
+		flowEvent(300, 1, 1, FlowEnd),
+		// interleaved second span
+		flowEvent(120, 1, 2, FlowBegin),
+		flowEvent(180, 1, 2, FlowCopy),
+		flowEvent(200, 0, 2, FlowEnd),
+		// an unrelated non-flow event must be ignored
+		{Time: 140, CPU: 0, Kind: SyscallEnter, A: 3},
+	}
+	spans := SpanPaths(events)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if !s.Complete {
+			t.Fatalf("span %d not complete", s.ID)
+		}
+		var sum uint64
+		for _, h := range s.Hops {
+			sum += h.Cycles
+		}
+		if sum != s.Cycles() {
+			t.Fatalf("span %d: hop sum %d != span cycles %d", s.ID, sum, s.Cycles())
+		}
+	}
+	if got := spans[0].Cycles(); got != 200 {
+		t.Fatalf("span 1 length = %d, want 200", got)
+	}
+	if got, want := len(spans[0].Hops), 4; got != want {
+		t.Fatalf("span 1 hops = %d, want %d", got, want)
+	}
+	if spans[0].Hops[2].Point != "handoff" || spans[0].Hops[2].CPU != 1 {
+		t.Fatalf("span 1 hop 2 = %+v, want handoff on cpu 1", spans[0].Hops[2])
+	}
+
+	hops, total := Decompose(spans)
+	if total != 200+80 {
+		t.Fatalf("decomposed span total = %d, want 280", total)
+	}
+	var hopSum uint64
+	for _, h := range hops {
+		hopSum += h.Cycles
+	}
+	if hopSum != total {
+		t.Fatalf("aggregate hop cycles %d != span total %d (lost or double-counted)", hopSum, total)
+	}
+
+	long, ok := Longest(spans)
+	if !ok || long.ID != 1 {
+		t.Fatalf("Longest = %+v ok=%v, want span 1", long, ok)
+	}
+	line := FormatChain(long)
+	for _, want := range []string{"span 1", "begin@c0", "(handoff 5)c1", "(end 145)c1"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("FormatChain %q missing %q", line, want)
+		}
+	}
+}
+
+// TestCritPathIncompleteSpans: a span whose end was never emitted (still
+// running) is reconstructed but excluded from Decompose totals, and one
+// whose begin was dropped by ring wraparound is discarded entirely.
+func TestCritPathIncompleteSpans(t *testing.T) {
+	events := []Event{
+		flowEvent(10, 0, 1, FlowBegin),
+		flowEvent(40, 0, 1, FlowCopy), // no end: still in flight
+		flowEvent(50, 0, 2, FlowCopy), // begin lost to wraparound
+		flowEvent(90, 0, 2, FlowEnd),
+	}
+	spans := SpanPaths(events)
+	if len(spans) != 1 || spans[0].ID != 1 {
+		t.Fatalf("spans = %+v, want just span 1", spans)
+	}
+	if spans[0].Complete {
+		t.Fatal("span 1 reported complete without a FlowEnd")
+	}
+	hops, total := Decompose(spans)
+	if len(hops) != 0 || total != 0 {
+		t.Fatalf("incomplete span leaked into Decompose: hops=%v total=%d", hops, total)
+	}
+	if _, ok := Longest(spans); ok {
+		t.Fatal("Longest returned an incomplete span")
+	}
+	if !strings.Contains(FormatChain(spans[0]), "incomplete") {
+		t.Fatal("FormatChain did not flag the incomplete span")
+	}
+}
+
+// TestCritPathEventsAfterEnd: checkpoints recorded after a span's FlowEnd
+// (a non-owning carrier reusing the ID before it is re-minted) must not
+// extend the completed chain.
+func TestCritPathEventsAfterEnd(t *testing.T) {
+	events := []Event{
+		flowEvent(10, 0, 1, FlowBegin),
+		flowEvent(30, 0, 1, FlowEnd),
+		flowEvent(70, 0, 1, FlowCopy), // stale carrier echo
+	}
+	spans := SpanPaths(events)
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if !s.Complete || s.Cycles() != 20 || len(s.Hops) != 1 {
+		t.Fatalf("span = %+v, want complete 20-cycle single-hop chain", s)
+	}
+}

@@ -27,13 +27,18 @@ type jsonEvent struct {
 	Pid  uint32            `json:"pid"`
 	Tid  uint32            `json:"tid"`
 	S    string            `json:"s,omitempty"`
+	ID   string            `json:"id,omitempty"` // flow-event binding ID
+	BP   string            `json:"bp,omitempty"` // flow binding point ("e")
 	Args map[string]string `json:"args,omitempty"`
 }
 
-// jsonTrace is the trace_event JSON Object Format envelope.
+// jsonTrace is the trace_event JSON Object Format envelope. OtherData is
+// the format's free-form metadata map; the ring export records its drop
+// count there so a wrapped trace is visibly incomplete.
 type jsonTrace struct {
-	TraceEvents     []jsonEvent `json:"traceEvents"`
-	DisplayTimeUnit string      `json:"displayTimeUnit"`
+	TraceEvents     []jsonEvent       `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
 }
 
 // pidOf maps a simulated CPU to its trace process ID. CPU 0 is pid 1, so
@@ -57,6 +62,12 @@ func instant(e Event, name string, args map[string]string) jsonEvent {
 // (or vice versa) degrades to an instant, so wrapped rings still export
 // a well-formed trace.
 func ExportJSON(w io.Writer, events []Event) error {
+	return ExportJSONMeta(w, events, nil)
+}
+
+// ExportJSONMeta is ExportJSON with extra envelope metadata (the format's
+// otherData map) — the ring export stamps its drop count there.
+func ExportJSONMeta(w io.Writer, events []Event, meta map[string]string) error {
 	out := make([]jsonEvent, 0, len(events)+8)
 
 	// One process_name metadata record per CPU lane and one thread_name
@@ -168,6 +179,23 @@ func ExportJSON(w io.Writer, events []Event) error {
 			}
 			out = append(out, instant(e, "cowbreak",
 				map[string]string{"va": fmt.Sprintf("%#x", e.A), "mode": mode}))
+		case Flow:
+			// A causal IPC span checkpoint: a flow event (the viewer draws
+			// arrows between same-ID flow records across tracks) plus args
+			// naming the checkpoint. begin opens the flow ("s"), end closes
+			// it ("f" binding to the enclosing slice), middles step ("t").
+			ph, bp := "t", ""
+			switch e.B {
+			case FlowBegin:
+				ph = "s"
+			case FlowEnd:
+				ph, bp = "f", "e"
+			}
+			out = append(out, jsonEvent{
+				Name: "ipc-span", Cat: "ipc", Ph: ph, ID: fmt.Sprintf("%d", e.A), BP: bp,
+				Ts: usOf(e.Time), Pid: pidOf(e.CPU), Tid: e.TID,
+				Args: map[string]string{"span": fmt.Sprintf("%d", e.A), "point": FlowPointName(e.B)},
+			})
 		default:
 			out = append(out, instant(e, e.Kind.String(), nil))
 		}
@@ -182,11 +210,17 @@ func ExportJSON(w io.Writer, events []Event) error {
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
 
-	return json.NewEncoder(w).Encode(jsonTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+	return json.NewEncoder(w).Encode(jsonTrace{TraceEvents: out, DisplayTimeUnit: "ms", OtherData: meta})
 }
 
 // ExportJSON writes the ring's retained events in Chrome trace_event
-// JSON, ready for ui.perfetto.dev.
+// JSON, ready for ui.perfetto.dev. The envelope's otherData records how
+// many earlier events the ring overwrote, so a wrapped trace declares its
+// own incompleteness.
 func (r *Ring) ExportJSON(w io.Writer) error {
-	return ExportJSON(w, r.Events())
+	meta := map[string]string{
+		"droppedEvents":  fmt.Sprintf("%d", r.Dropped()),
+		"retainedEvents": fmt.Sprintf("%d", r.Len()),
+	}
+	return ExportJSONMeta(w, r.Events(), meta)
 }

@@ -21,8 +21,9 @@ type parsedEvent struct {
 }
 
 type parsedTrace struct {
-	TraceEvents     []parsedEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []parsedEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
 }
 
 func exportParsed(t *testing.T, events []Event) parsedTrace {
@@ -150,5 +151,13 @@ func TestExportJSONFromWrappedRing(t *testing.T) {
 	}
 	if len(p.TraceEvents) == 0 {
 		t.Fatal("no events from wrapped ring")
+	}
+	// The export must declare how much of the trace the wrap lost:
+	// 50 events into an 8-slot ring drops 42 and retains 8.
+	if got := p.OtherData["droppedEvents"]; got != "42" {
+		t.Fatalf("otherData.droppedEvents = %q, want \"42\"", got)
+	}
+	if got := p.OtherData["retainedEvents"]; got != "8" {
+		t.Fatalf("otherData.retainedEvents = %q, want \"8\"", got)
 	}
 }

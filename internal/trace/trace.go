@@ -49,7 +49,50 @@ const (
 	// COWBreak: A = faulting VA, B = 1 if the page was copied (the share
 	// was still live), 0 if write permission was simply restored.
 	COWBreak
+	// Flow: A = causal IPC span ID, B = flow point (FlowBegin..FlowEnd).
+	// Emitted by the kernel's span tracker (Config.EnableIPCSpans) at
+	// every causal checkpoint of a request: mint at IPC send, copy and
+	// zero-copy transfers, rendezvous wakes, direct handoffs, donation
+	// steals, and completion. Exported as Perfetto flow events, consumed
+	// by the flukebench -critpath analyzer.
+	Flow
 )
+
+// Flow points (Event.B of a Flow event): where along its causal chain a
+// span was observed.
+const (
+	// FlowBegin: the span was minted — an IPC send syscall entered.
+	FlowBegin uint32 = iota
+	// FlowCopy: a CopyWords transfer moved data along the span.
+	FlowCopy
+	// FlowShare: informational alias of FlowCopy for zero-copy runs
+	// (reserved; the copy checkpoint covers both today).
+	FlowShare
+	// FlowWake: a rendezvous completion woke the span's next hop.
+	FlowWake
+	// FlowHandoff: the next hop was dispatched by direct handoff.
+	FlowHandoff
+	// FlowSteal: the next hop was stolen by another CPU.
+	FlowSteal
+	// FlowEnd: the owning thread's IPC syscall completed.
+	FlowEnd
+
+	// NumFlowPoints bounds the enum.
+	NumFlowPoints
+)
+
+// FlowPointNames are the flow-point labels in constant order.
+var FlowPointNames = [NumFlowPoints]string{
+	"begin", "copy", "share", "wake", "handoff", "steal", "end",
+}
+
+// FlowPointName renders a flow point, tolerating out-of-range values.
+func FlowPointName(p uint32) string {
+	if p < NumFlowPoints {
+		return FlowPointNames[p]
+	}
+	return fmt.Sprintf("point%d", p)
+}
 
 func (k Kind) String() string {
 	switch k {
@@ -79,6 +122,8 @@ func (k Kind) String() string {
 		return "share"
 	case COWBreak:
 		return "cowbreak"
+	case Flow:
+		return "flow"
 	}
 	return fmt.Sprintf("kind%d", uint8(k))
 }
@@ -133,6 +178,8 @@ func (e Event) String() string {
 		detail = fmt.Sprintf("-> cpu%d", e.A)
 	case Steal:
 		detail = fmt.Sprintf("t%d from cpu%d", e.B, e.A)
+	case Flow:
+		detail = fmt.Sprintf("span=%d %s", e.A, FlowPointName(e.B))
 	}
 	return fmt.Sprintf("[%12.2fus] c%d t%-3d %-7s %s", clock.Micros(e.Time), e.CPU, e.TID, e.Kind, detail)
 }

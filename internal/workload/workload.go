@@ -26,6 +26,15 @@ type Workload struct {
 // keep the system from ever quiescing on their own) and returns the
 // elapsed virtual cycles.
 func (w *Workload) Run(budget uint64) (uint64, error) {
+	return w.RunPolling(budget, nil)
+}
+
+// RunPolling is Run with a hook called at every stop check of the
+// scheduler loop — between dispatches, on the simulation goroutine, with
+// the kernel at a consistent boundary. The live observation endpoint
+// (internal/observe) hangs its snapshot service off this hook; a nil
+// poll is exactly Run.
+func (w *Workload) RunPolling(budget uint64, poll func()) (uint64, error) {
 	start := w.K.Clock.Now()
 	end := start + budget
 	if end < start {
@@ -39,7 +48,12 @@ func (w *Workload) Run(budget uint64) (uint64, error) {
 		}
 		return true
 	}
-	w.K.RunUntil(func() bool { return w.K.Clock.Now() >= end || allDone() })
+	w.K.RunUntil(func() bool {
+		if poll != nil {
+			poll()
+		}
+		return w.K.Clock.Now() >= end || allDone()
+	})
 	for _, t := range w.Done {
 		if !t.Exited {
 			return 0, fmt.Errorf("workload %s: thread %d did not finish (state=%v pc=%#x r0=%d)",

@@ -22,15 +22,22 @@
 #    Zero-copy bulk IPC is the same kind of change one level up:
 #    BenchmarkBandwidth and the flukebench -bandwidth sweep track the
 #    on/off bandwidth comparison (TestZeroCopyEquivalence pins state).
+#
+# The cycle profiler is a simulator-side observer: BenchmarkInterpreter
+# vs BenchmarkInterpreterProfiled measures its host-side ns/op overhead,
+# and virtual time must not move at all (TestProfilerEquivalence pins
+# bit-identical final state with the profiler on vs off).
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
 go test -run='^$' \
-    -bench='BenchmarkInterpreter$|BenchmarkNullSyscall$|BenchmarkNullRPC$|BenchmarkBandwidth$|BenchmarkIPCRoundTrip$|BenchmarkIPCScaling$' \
+    -bench='BenchmarkInterpreter$|BenchmarkInterpreterProfiled$|BenchmarkNullSyscall$|BenchmarkNullRPC$|BenchmarkBandwidth$|BenchmarkIPCRoundTrip$|BenchmarkIPCScaling$' \
     -benchtime="$BENCHTIME" .
 
 echo
 go run ./cmd/flukebench -nullrpc
 echo
-exec go run ./cmd/flukebench -bandwidth
+go run ./cmd/flukebench -bandwidth
+echo
+exec go run ./cmd/flukebench -critpath -fast

@@ -324,7 +324,57 @@ func BenchmarkInterpreterProfiled(b *testing.B) {
 	benchInterpreter(b, core.Config{Model: core.ModelInterrupt, EnableProfiler: true})
 }
 
+// BenchmarkInterpreterDecodeCache is the same counted loop with the
+// threaded-code tier off — the decode-cache tier alone. The ratio
+// against BenchmarkInterpreter is the fused-block speedup; bench.sh
+// records both and the CI smoke asserts the fused tier stays ahead.
+func BenchmarkInterpreterDecodeCache(b *testing.B) {
+	benchInterpreter(b, core.Config{Model: core.ModelInterrupt, DisableThreadedCode: true})
+}
+
+// BenchmarkInterpreterStraightLine runs 30 ALU instructions per loop
+// pass — long fused blocks, the threaded tier's best case. ns/op is per
+// loop pass (32 instructions), not per instruction.
+func BenchmarkInterpreterStraightLine(b *testing.B) {
+	benchInterpreterLoop(b, core.Config{Model: core.ModelInterrupt}, func(pb *prog.Builder) {
+		pb.Movi(1, 1)
+		for i := 0; i < 10; i++ {
+			pb.Add(2, 2, 1).Xor(3, 3, 2).Addi(4, 4, 5)
+		}
+	})
+}
+
+// BenchmarkInterpreterBranchHeavy takes a branch on every instruction
+// (eight always-taken hops per pass) — blocks cannot fuse anything, so
+// this pins the threaded tier's overhead on its worst case.
+func BenchmarkInterpreterBranchHeavy(b *testing.B) {
+	n := 0
+	benchInterpreterLoop(b, core.Config{Model: core.ModelInterrupt}, func(pb *prog.Builder) {
+		for i := 0; i < 8; i++ {
+			lbl := fmt.Sprintf("bh%d.%d", n, i)
+			pb.Bge(6, 0, lbl).Label(lbl)
+		}
+		n++
+	})
+}
+
+// BenchmarkInterpreterSelfModifying stores into the executing code page
+// every pass, invalidating the page's decode slots and fused blocks each
+// time around — the adversarial shape the block-thrash guard exists for.
+func BenchmarkInterpreterSelfModifying(b *testing.B) {
+	benchInterpreterLoop(b, core.Config{Model: core.ModelInterrupt}, func(pb *prog.Builder) {
+		pb.St(0, 0x0001_0F00, 6)
+	})
+}
+
 func benchInterpreter(b *testing.B, cfg core.Config) {
+	benchInterpreterLoop(b, cfg, nil)
+}
+
+// benchInterpreterLoop runs b.N passes of a counted loop whose body is
+// emitted by body (nil for the bare counter), measuring host time only —
+// virtual time is pinned elsewhere.
+func benchInterpreterLoop(b *testing.B, cfg core.Config, body func(pb *prog.Builder)) {
 	k := core.New(cfg)
 	s := k.NewSpace()
 	data := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(0x10000, true)}
@@ -334,8 +384,11 @@ func benchInterpreter(b *testing.B, cfg core.Config) {
 	}
 	pb := prog.New(0x0001_0000)
 	pb.Movi(6, 0).Movi(5, uint32(b.N)).
-		Label("loop").
-		Addi(6, 6, 1).
+		Label("loop")
+	if body != nil {
+		body(pb)
+	}
+	pb.Addi(6, 6, 1).
 		Blt(6, 5, "loop").
 		Halt()
 	th, err := k.SpawnProgram(s, 0x0001_0000, pb.MustAssemble(), 8)

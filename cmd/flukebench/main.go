@@ -49,9 +49,10 @@ func main() {
 	scaling := flag.Bool("scaling", false, "run only the multiprocessor IPC-scaling matrix")
 	bandwidth := flag.Bool("bandwidth", false, "run only the bulk-IPC bandwidth sweep (zero-copy vs copy)")
 	critpath := flag.Bool("critpath", false, "run only the causal critical-path decomposition (null-RPC and bulk transfers, hop by hop)")
+	interp := flag.Bool("interp", false, "run only the interpreter-tier comparison (slow vs decode-cache vs threaded code)")
 	flag.Parse()
 
-	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *nullrpc || *ablate || *driver || *scaling || *bandwidth || *critpath
+	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *nullrpc || *ablate || *driver || *scaling || *bandwidth || *critpath || *interp
 	show := func(sel bool) bool { return sel || !any }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "flukebench:", err)
@@ -187,6 +188,20 @@ func main() {
 				fail(err)
 			}
 			fmt.Println(experiments.CritPathRender(r))
+		})
+	}
+	if *interp {
+		timed("interpreter tiers", func() {
+			iters := 2_000_000
+			if *fast {
+				iters = 200_000
+			}
+			rows, err := experiments.InterpreterTiers(iters)
+			if err != nil {
+				fail(err)
+			}
+			matrix("process", "none", "1", "big")
+			fmt.Println(experiments.InterpreterTiersRender(rows))
 		})
 	}
 	if show(*scaling) {

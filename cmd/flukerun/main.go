@@ -41,6 +41,7 @@ func main() {
 	lockmodel := flag.String("lockmodel", "big", "kernel lock model: big | persub")
 	noFastpath := flag.Bool("no-ipc-fastpath", false, "disable the IPC direct-handoff fast path")
 	noZeroCopy := flag.Bool("no-zerocopy", false, "disable zero-copy bulk IPC (copy-on-write frame sharing)")
+	noThreaded := flag.Bool("no-threaded-code", false, "disable the threaded-code interpreter tier (fused superinstruction blocks)")
 	tlbSize := flag.Int("tlbsize", 0, "software TLB entries per address space (0 = default 256, rounded up to a power of two)")
 	traceRing := flag.Int("trace-ring", 1<<18, "trace ring capacity in events (for -trace-out, -spans, and -listen; older events drop once it wraps)")
 	profileOut := flag.String("profile-out", "", "enable the cycle profiler and write its pprof protobuf to FILE (go tool pprof FILE)")
@@ -51,7 +52,8 @@ func main() {
 
 	cfg := core.Config{
 		NumCPUs: *cpus, DisableIPCFastPath: *noFastpath,
-		DisableZeroCopy: *noZeroCopy, TLBSize: *tlbSize,
+		DisableZeroCopy: *noZeroCopy, DisableThreadedCode: *noThreaded,
+		TLBSize:        *tlbSize,
 		EnableProfiler: *profileOut != "" || *profileFolded != "" || *listen != "",
 		EnableIPCSpans: *spansFlag,
 	}
@@ -203,6 +205,10 @@ func main() {
 		s.FastpathHits, s.FastpathMisses, s.FastpathFallbacks)
 	fmt.Printf("  ipc zerocopy: shares %d, cow breaks %d, fallbacks %d\n",
 		s.ZeroCopyShares, s.ZeroCopyCOWBreaks, s.ZeroCopyFallbacks)
+	es := k.ExecStats()
+	fmt.Printf("  cpu decode: pages %d, stale resets %d\n", es.PagesDecoded, es.StaleResets)
+	fmt.Printf("  cpu blocks: built %d, hits %d, bails %d, invalidations %d\n",
+		es.BlocksBuilt, es.BlockHits, es.BlockBails, es.BlockInvalidations)
 	if *cpus > 1 {
 		fmt.Printf("  cross-CPU: ipis %d, steals %d\n", s.IPIs, s.Steals)
 		for _, ls := range k.LockStats() {

@@ -168,6 +168,17 @@ type Config struct {
 	// debugging the fast paths themselves.
 	DisableFastPath bool
 
+	// DisableThreadedCode turns off the threaded-code interpreter tier:
+	// the fused superinstruction blocks StepN compiles from warm decode
+	// pages and runs with one budget check per block. Like
+	// DisableFastPath this is a simulator-side switch — results are
+	// bit-identical either way (TestThreadedCodeEquivalence pins memory,
+	// Stats, and the clock across every configuration) — so it exists
+	// only for that comparison, for tiered benchmarking, and for
+	// debugging the block builder. DisableFastPath implies it: with the
+	// decode cache off there are no pages to fuse.
+	DisableThreadedCode bool
+
 	// DisableIPCFastPath turns off the kernel's IPC fast path: the
 	// direct thread handoff that, when a sender completes its peer's
 	// receive, donates the rest of its time slice and switches straight

@@ -251,6 +251,9 @@ func (k *Kernel) newSpaceInternal() *obj.Space {
 	if k.cfg.DisableFastPath {
 		s.AS.SetFastPaths(false)
 	}
+	if k.cfg.DisableThreadedCode {
+		s.AS.SetThreadedCode(false)
+	}
 	// Reserved handle window: eagerly-mapped demand-zero pages.
 	r := mmu.NewRegion(KObjPages*mem.PageSize, true)
 	m := &mmu.Mapping{Region: r, Base: KObjBase, Size: r.Size, Perm: mmu.PermRW}
@@ -272,6 +275,17 @@ func (k *Kernel) newSpaceInternal() *obj.Space {
 
 // Spaces returns all spaces ever created on this kernel.
 func (k *Kernel) Spaces() []*obj.Space { return k.spaces }
+
+// ExecStats sums the decode-cache and fused-block counters across every
+// space. Host-side diagnostics only: these never feed back into
+// simulated state, so reading them is always safe.
+func (k *Kernel) ExecStats() cpu.ExecStats {
+	var total cpu.ExecStats
+	for _, s := range k.spaces {
+		total.Add(s.AS.ExecStats())
+	}
+	return total
+}
 
 // kernelHandleVA hands out slots in the reserved handle window.
 func kernelHandleVA(s *obj.Space) uint32 {

@@ -118,6 +118,17 @@ type KernelMetrics struct {
 	// of the trace a wrapped ring lost. The ring keeps its own counter
 	// on the hot path; SyncTraceMetrics copies it in at snapshot time.
 	TraceDropped *metrics.Gauge
+
+	// Interpreter-tier mirrors (cpu.ExecStats aggregated over spaces):
+	// decode-cache and fused-block activity. The address spaces keep the
+	// live counters on the hot path; SyncTraceMetrics copies them in at
+	// snapshot time, so the interpreter never touches the registry.
+	DecodePages        *metrics.Gauge // cpu.decode.pages
+	DecodeStaleResets  *metrics.Gauge // cpu.decode.stale_resets
+	BlocksBuilt        *metrics.Gauge // cpu.blocks.built
+	BlockHits          *metrics.Gauge // cpu.blocks.hits
+	BlockBails         *metrics.Gauge // cpu.blocks.bails
+	BlockInvalidations *metrics.Gauge // cpu.blocks.invalidations
 }
 
 // NewKernelMetrics registers the kernel's instruments on reg (a fresh
@@ -165,16 +176,33 @@ func NewKernelMetrics(reg *metrics.Registry) *KernelMetrics {
 	m.IPIs = reg.Counter("sched.ipis")
 	m.Steals = reg.Counter("sched.steals")
 	m.TraceDropped = reg.Gauge("trace.dropped")
+	m.DecodePages = reg.Gauge("cpu.decode.pages")
+	m.DecodeStaleResets = reg.Gauge("cpu.decode.stale_resets")
+	m.BlocksBuilt = reg.Gauge("cpu.blocks.built")
+	m.BlockHits = reg.Gauge("cpu.blocks.hits")
+	m.BlockBails = reg.Gauge("cpu.blocks.bails")
+	m.BlockInvalidations = reg.Gauge("cpu.blocks.invalidations")
 	return m
 }
 
 // SyncTraceMetrics refreshes the metrics that mirror other observability
-// layers (today: the trace ring's dropped-event count). Call before
-// rendering or exporting a metrics snapshot.
+// layers: the trace ring's dropped-event count and the interpreter's
+// decode/fused-block counters. Call before rendering or exporting a
+// metrics snapshot.
 func (k *Kernel) SyncTraceMetrics() {
-	if k.Metrics != nil && k.Tracer != nil {
+	if k.Metrics == nil {
+		return
+	}
+	if k.Tracer != nil {
 		k.Metrics.TraceDropped.Set(int64(k.Tracer.Dropped()))
 	}
+	es := k.ExecStats()
+	k.Metrics.DecodePages.Set(int64(es.PagesDecoded))
+	k.Metrics.DecodeStaleResets.Set(int64(es.StaleResets))
+	k.Metrics.BlocksBuilt.Set(int64(es.BlocksBuilt))
+	k.Metrics.BlockHits.Set(int64(es.BlockHits))
+	k.Metrics.BlockBails.Set(int64(es.BlockBails))
+	k.Metrics.BlockInvalidations.Set(int64(es.BlockInvalidations))
 }
 
 // RestartsByCause returns the restart counts in FaultCauseNames order —

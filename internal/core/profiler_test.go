@@ -27,6 +27,10 @@ import (
 // models: with the profiler and IPC spans enabled, observable memory,
 // Stats, and the virtual-time frontier are bit-identical to the disabled
 // run, and every attributed cycle sums exactly to Stats.TotalCycles.
+// A third run per seed profiles with the threaded-code tier disabled:
+// fused blocks must charge cycles to exactly the same
+// (path × syscall × guest-PC) keys as single-step execution, so the
+// folded profiles must be byte-identical.
 func TestProfilerEquivalence(t *testing.T) {
 	seeds := []int64{1, 42}
 	if testing.Short() {
@@ -67,6 +71,21 @@ func TestProfilerEquivalence(t *testing.T) {
 						}
 						if offK.ProfileEnabled() {
 							t.Fatalf("seed %d: disabled run grew a profiler", seed)
+						}
+						// Threaded code on vs off: identical attribution.
+						noTC := on
+						noTC.DisableThreadedCode = true
+						_, noTCK := runSeed(t, noTC, seed)
+						var tcF, noTCF bytes.Buffer
+						if err := snap.WriteFolded(&tcF); err != nil {
+							t.Fatal(err)
+						}
+						if err := noTCK.ProfileSnapshot().WriteFolded(&noTCF); err != nil {
+							t.Fatal(err)
+						}
+						if !bytes.Equal(tcF.Bytes(), noTCF.Bytes()) {
+							t.Fatalf("seed %d: profile attribution differs with threaded code on vs off:\non:\n%s\noff:\n%s",
+								seed, tcF.Bytes(), noTCF.Bytes())
 						}
 					}
 				})

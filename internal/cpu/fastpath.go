@@ -34,18 +34,36 @@ type decoded struct {
 // frame (through the MMU, DMA, or frame recycling) bumps the generation
 // and makes the page stale, so self-modifying code can never execute a
 // stale decode.
+//
+// Alongside the decode slots it caches fused blocks (threaded.go), one
+// per possible entry slot, dropped by the same Reset: the store
+// generation is the single invalidation signal for both tiers.
 type DecodedPage struct {
 	slots [decSlots]decoded
 	gen   *uint64 // the backing frame's store-generation counter
 	snap  uint64  // generation when the slots were (re)initialized
+
+	// NoBlocks disables the threaded-code tier for this page (set by the
+	// owner after Reset when Config.DisableThreadedCode is on).
+	NoBlocks bool
+	blocks   [decSlots]*block // fused blocks keyed by entry slot
+	built    int              // real blocks in blocks (excludes noBlock)
 }
 
-// Reset drops all cached decodes and revalidates the page against gen.
+// Reset drops all cached decodes and fused blocks and revalidates the
+// page against gen. NoBlocks is sticky: the owner decides it per space,
+// not per generation.
 func (p *DecodedPage) Reset(gen *uint64) {
 	clear(p.slots[:])
+	clear(p.blocks[:])
+	p.built = 0
 	p.gen = gen
 	p.snap = *gen
 }
+
+// BuiltBlocks returns the number of fused blocks currently cached, so
+// callers about to Reset the page can account the invalidations.
+func (p *DecodedPage) BuiltBlocks() int { return p.built }
 
 // Stale reports whether the backing frame has been written since Reset.
 func (p *DecodedPage) Stale() bool { return *p.gen != p.snap }
@@ -53,10 +71,13 @@ func (p *DecodedPage) Stale() bool { return *p.gen != p.snap }
 // DecodedSource is the memory view StepN runs against: ordinary Memory
 // plus a probe for the decoded-page cache. DecodedPageFor must be a pure
 // probe — no faults counted, no translations installed — and may return
-// nil to force the Step slow path for that page.
+// nil to force the Step slow path for that page. ExecStats returns the
+// source's decode/block counters; it must be non-nil and stable for the
+// duration of a StepN call.
 type DecodedSource interface {
 	Memory
 	DecodedPageFor(pc uint32) *DecodedPage
+	ExecStats() *ExecStats
 }
 
 // syscallSpan is the byte size of the syscall entry page's active window.
@@ -73,6 +94,7 @@ const syscallSpan = MaxSyscalls * InstrSize
 func StepN(r *Regs, m DecodedSource, maxCycles uint64) (uint64, uint64, Trap) {
 	var cycles, retired uint64
 	var dp *DecodedPage
+	st := m.ExecStats()
 	pageVPN := ^uint32(0)
 	// pc shadows r.PC across the loop; every return path writes it back
 	// (r.PC = pc) so the register file is always consistent on exit.
@@ -115,6 +137,45 @@ func StepN(r *Regs, m DecodedSource, maxCycles uint64) (uint64, uint64, Trap) {
 				return cycles, retired, Trap{Kind: TrapNone}
 			}
 			continue
+		}
+
+		// Threaded-code tier: run a fused block when one exists (building
+		// it on first visit) and the remaining budget covers its worst
+		// case. Anything else — un-fusable entries, tight budgets, block
+		// tails after a stale-store bail — falls through to the
+		// single-step path below, which shares dp.slots with the builder.
+		if !dp.NoBlocks {
+			b := dp.blocks[slot]
+			if b == nil {
+				b = dp.buildBlock(m, st, pc, slot)
+			}
+			if b.maxCyc != 0 {
+				if cycles+b.maxCyc <= maxCycles {
+					cyc, ret, hits, next, out, trap := b.run(r, m, dp, maxCycles-cycles)
+					st.BlockHits += hits
+					cycles += cyc
+					retired += ret
+					if out == blockTrap {
+						return cycles, retired, trap
+					}
+					pc = next
+					if out == blockStale {
+						// The block stored into its own page: committed
+						// through that store, now re-validate before
+						// decoding another word.
+						st.BlockBails++
+						dp = nil
+					}
+					if cycles >= maxCycles {
+						r.PC = pc
+						return cycles, retired, Trap{Kind: TrapNone}
+					}
+					continue
+				}
+				// Budget cannot cover the worst case: single-step the
+				// tail so a timer deadline or stopAt lands cycle-exact.
+				st.BlockBails++
+			}
 		}
 
 		d := &dp.slots[slot]

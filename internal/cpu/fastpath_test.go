@@ -13,10 +13,12 @@ import (
 // DecodedPageFor revalidates against it, misaligned or out-of-range
 // accesses fault.
 type fakeMem struct {
-	data   []byte
-	gens   []uint64
-	pages  []*DecodedPage
-	noFast bool
+	data     []byte
+	gens     []uint64
+	pages    []*DecodedPage
+	noFast   bool
+	noBlocks bool
+	exec     ExecStats
 }
 
 func newFakeMem(pages int) *fakeMem {
@@ -89,12 +91,19 @@ func (m *fakeMem) DecodedPageFor(pc uint32) *DecodedPage {
 	if p == nil {
 		p = new(DecodedPage)
 		p.Reset(&m.gens[vpn])
+		m.exec.PagesDecoded++
 		m.pages[vpn] = p
 	} else if p.Stale() {
+		m.exec.BlockInvalidations += uint64(p.BuiltBlocks())
 		p.Reset(&m.gens[vpn])
+		m.exec.PagesDecoded++
+		m.exec.StaleResets++
 	}
+	p.NoBlocks = m.noBlocks
 	return p
 }
+
+func (m *fakeMem) ExecStats() *ExecStats { return &m.exec }
 
 // stepRef runs the reference per-instruction loop with the same budget
 // semantics as StepN.
@@ -163,7 +172,12 @@ func genProgram(m *fakeMem, rng *rand.Rand) {
 
 // TestStepNEquivalenceFuzz: StepN must be observably identical to the
 // per-instruction Step loop — same registers, memory, cycles, retirements
-// and trap — over random programs and budgets.
+// and trap — over random programs and budgets. The generated programs
+// include self-modifying stores into the executing code pages (4% of
+// instructions), so fused-block invalidation mid-block is fuzzed here,
+// not just unit-tested; between batches, random DMA-style writes mutate
+// code bytes directly and bump the store generation, the same signal
+// device DMA and frame recycling raise.
 func TestStepNEquivalenceFuzz(t *testing.T) {
 	for seed := int64(0); seed < 200; seed++ {
 		rng := rand.New(rand.NewSource(seed))
@@ -179,6 +193,19 @@ func TestStepNEquivalenceFuzz(t *testing.T) {
 		mFast, mRef := proto.clone(), proto.clone()
 		rFast, rRef := protoRegs, protoRegs
 		for round := 0; round < 20; round++ {
+			if rng.Intn(4) == 0 {
+				// DMA write to a code page: bytes change without a CPU
+				// store. The fast side must see the generation bump and
+				// drop decoded slots and fused blocks.
+				va := uint32(rng.Intn(2*mem.PageSize)) &^ 3
+				w := rng.Uint32()
+				for i, b := range []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)} {
+					mFast.data[va+uint32(i)] = b
+					mRef.data[va+uint32(i)] = b
+				}
+				mFast.gens[va/mem.PageSize]++
+				mRef.gens[va/mem.PageSize]++
+			}
 			budget := uint64(1 + rng.Intn(4000))
 			fc, fr, ft := StepN(&rFast, mFast, budget)
 			rc, rr, rt := stepRef(&rRef, mRef, budget)

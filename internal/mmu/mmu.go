@@ -219,7 +219,19 @@ type icEntry struct {
 	vpn   uint32
 	frame *mem.Frame
 	page  *cpu.DecodedPage
+	// thrash counts consecutive stale resets of this same page that
+	// discarded fused blocks. A page that keeps dirtying itself (a
+	// self-modifying loop, a DMA target) pays block-build cost on every
+	// reset for blocks that never get to amortize it; past
+	// blockThrashLimit the entry stops building blocks and runs from
+	// decode slots alone. Repointing the entry at a different page
+	// clears the count.
+	thrash uint8
 }
+
+// blockThrashLimit is the number of block-discarding stale resets of one
+// page after which fused-block building is disabled for that page.
+const blockThrashLimit = 8
 
 // FaultClass classifies a page fault (paper Table 3 terminology).
 type FaultClass uint8
@@ -266,10 +278,15 @@ type AddrSpace struct {
 	// tlb caches recent pt entries (see tlbEntry); icache caches decoded
 	// instructions per executable page. Both are invisible to virtual
 	// time: they change only wall-clock cost, never cycles or Stats.
-	tlb     []tlbEntry
-	tlbMask uint32
-	icache  [icSize]icEntry
-	noFast  bool // caches disabled (equivalence testing)
+	tlb      []tlbEntry
+	tlbMask  uint32
+	icache   [icSize]icEntry
+	noFast   bool // caches disabled (equivalence testing)
+	noBlocks bool // threaded-code tier disabled (Config.DisableThreadedCode)
+
+	// exec counts decode-cache and fused-block events (see
+	// cpu.ExecStats); host-side diagnostics, invisible to virtual time.
+	exec cpu.ExecStats
 
 	// Faults counts translation faults taken through this space
 	// (diagnostics and tests).
@@ -433,6 +450,18 @@ func (as *AddrSpace) FlushPage(va uint32) {
 		*e = icEntry{}
 	}
 }
+
+// SetThreadedCode enables or disables the fused-block (threaded-code)
+// interpreter tier for this space. Off, StepN still uses the decode
+// cache but dispatches one instruction at a time. Cached pages are
+// flushed so existing DecodedPages pick up the new setting.
+func (as *AddrSpace) SetThreadedCode(on bool) {
+	as.noBlocks = !on
+	clear(as.icache[:])
+}
+
+// ExecStats returns this space's decode-cache and fused-block counters.
+func (as *AddrSpace) ExecStats() *cpu.ExecStats { return &as.exec }
 
 // SetFastPaths enables or disables the TLB, decoded-instruction cache and
 // direct-window copy paths. Disabling (equivalence testing) also drops any
@@ -796,9 +825,22 @@ func (as *AddrSpace) DecodedPageFor(pc uint32) *cpu.DecodedPage {
 	if e.page == nil || e.vpn != vpn || e.frame != f || e.page.Stale() {
 		if e.page == nil {
 			e.page = new(cpu.DecodedPage)
+		} else {
+			built := e.page.BuiltBlocks()
+			as.exec.BlockInvalidations += uint64(built)
+			if e.vpn == vpn && e.frame == f {
+				as.exec.StaleResets++ // same page, dirtied by a store
+				if built > 0 && e.thrash < blockThrashLimit {
+					e.thrash++
+				}
+			} else {
+				e.thrash = 0
+			}
 		}
+		as.exec.PagesDecoded++
 		e.vpn, e.frame = vpn, f
 		e.page.Reset(&f.Gen)
+		e.page.NoBlocks = as.noBlocks || e.thrash >= blockThrashLimit
 	}
 	return e.page
 }
@@ -830,3 +872,4 @@ func (as *AddrSpace) DirectWindow(va uint32, acc cpu.Access, max uint32) []byte 
 }
 
 var _ cpu.Memory = (*AddrSpace)(nil)
+var _ cpu.DecodedSource = (*AddrSpace)(nil)

@@ -27,14 +27,24 @@
 # vs BenchmarkInterpreterProfiled measures its host-side ns/op overhead,
 # and virtual time must not move at all (TestProfilerEquivalence pins
 # bit-identical final state with the profiler on vs off).
+#
+# The threaded-code tier (fused superinstruction blocks) is a simulator
+# fast path too: BenchmarkInterpreter vs BenchmarkInterpreterDecodeCache
+# is the fused-vs-decode-cache host-time ratio, and the StraightLine /
+# BranchHeavy / SelfModifying variants cover the tier's best, worst, and
+# adversarial guest shapes. Virtual time must not move with the tier on
+# or off (TestThreadedCodeEquivalence); the flukebench -interp table
+# prints the same three shapes against all three tiers.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
 go test -run='^$' \
-    -bench='BenchmarkInterpreter$|BenchmarkInterpreterProfiled$|BenchmarkNullSyscall$|BenchmarkNullRPC$|BenchmarkBandwidth$|BenchmarkIPCRoundTrip$|BenchmarkIPCScaling$' \
+    -bench='BenchmarkInterpreter$|BenchmarkInterpreterProfiled$|BenchmarkInterpreterDecodeCache$|BenchmarkInterpreterStraightLine$|BenchmarkInterpreterBranchHeavy$|BenchmarkInterpreterSelfModifying$|BenchmarkNullSyscall$|BenchmarkNullRPC$|BenchmarkBandwidth$|BenchmarkIPCRoundTrip$|BenchmarkIPCScaling$' \
     -benchtime="$BENCHTIME" .
 
+echo
+go run ./cmd/flukebench -interp -fast
 echo
 go run ./cmd/flukebench -nullrpc
 echo

@@ -47,12 +47,14 @@ func main() {
 	ablate := flag.Bool("ablate", false, "run only the preemption-parameter ablations")
 	driver := flag.Bool("driver", false, "run only the driver-latency extension experiment")
 	scaling := flag.Bool("scaling", false, "run only the multiprocessor IPC-scaling matrix")
+	crossover := flag.Bool("crossover", false, "run only the 1-64 CPU lock-model crossover sweep (big vs persub vs fine)")
+	scale := flag.Int("scale", 64, "largest CPU count in the crossover sweep (CI smoke caps this)")
 	bandwidth := flag.Bool("bandwidth", false, "run only the bulk-IPC bandwidth sweep (zero-copy vs copy)")
 	critpath := flag.Bool("critpath", false, "run only the causal critical-path decomposition (null-RPC and bulk transfers, hop by hop)")
 	interp := flag.Bool("interp", false, "run only the interpreter-tier comparison (slow vs decode-cache vs threaded code)")
 	flag.Parse()
 
-	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *nullrpc || *ablate || *driver || *scaling || *bandwidth || *critpath || *interp
+	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *nullrpc || *ablate || *driver || *scaling || *crossover || *bandwidth || *critpath || *interp
 	show := func(sel bool) bool { return sel || !any }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "flukebench:", err)
@@ -202,6 +204,26 @@ func main() {
 			}
 			matrix("process", "none", "1", "big")
 			fmt.Println(experiments.InterpreterTiersRender(rows))
+		})
+	}
+	if *crossover {
+		timed("lock-model crossover", func() {
+			sc := experiments.DefaultCrossoverScale()
+			if *fast {
+				sc = experiments.FastCrossoverScale()
+			}
+			var cpus []int
+			for _, n := range experiments.CrossoverCPUs {
+				if n <= *scale {
+					cpus = append(cpus, n)
+				}
+			}
+			rows, err := experiments.LockCrossover(sc, cpus)
+			if err != nil {
+				fail(err)
+			}
+			matrix("interrupt", "partial", "1..64", "big,persub,fine")
+			fmt.Println(experiments.LockCrossoverRender(rows))
 		})
 	}
 	if show(*scaling) {

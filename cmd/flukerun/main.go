@@ -38,7 +38,7 @@ func main() {
 	metricsFlag := flag.Bool("metrics", false, "attach the kernel metrics registry and print its snapshot")
 	traceOut := flag.String("trace-out", "", "write the kernel trace as Perfetto/Chrome trace_event JSON to FILE")
 	cpus := flag.Int("cpus", 1, "number of simulated CPUs")
-	lockmodel := flag.String("lockmodel", "big", "kernel lock model: big | persub")
+	lockmodel := flag.String("lockmodel", "big", "kernel lock model: big | persub | fine")
 	noFastpath := flag.Bool("no-ipc-fastpath", false, "disable the IPC direct-handoff fast path")
 	noZeroCopy := flag.Bool("no-zerocopy", false, "disable zero-copy bulk IPC (copy-on-write frame sharing)")
 	noThreaded := flag.Bool("no-threaded-code", false, "disable the threaded-code interpreter tier (fused superinstruction blocks)")
@@ -57,13 +57,13 @@ func main() {
 		EnableProfiler: *profileOut != "" || *profileFolded != "" || *listen != "",
 		EnableIPCSpans: *spansFlag,
 	}
-	switch *lockmodel {
-	case "big":
-		cfg.LockModel = core.LockBig
-	case "persub":
-		cfg.LockModel = core.LockPerSubsystem
-	default:
-		fail(fmt.Errorf("unknown lock model %q", *lockmodel))
+	lm, lmErr := core.ParseLockModel(*lockmodel)
+	if lmErr != nil {
+		usage(lmErr)
+	}
+	cfg.LockModel = lm
+	if *cpus < 1 || *cpus > core.MaxCPUs {
+		usage(fmt.Errorf("-cpus %d out of range: want 1..%d", *cpus, core.MaxCPUs))
 	}
 	switch *model {
 	case "process":
@@ -217,6 +217,22 @@ func main() {
 					ls.Name, ls.Acquires, ls.Contended, ls.WaitCycles)
 			}
 		}
+		if cfg.LockModel == core.LockFine {
+			// Per-instance breakdown: which queues and spaces actually
+			// contend. Capped to the busiest instances; the per-kind rows
+			// above carry the totals.
+			inst := k.FineLockStats()
+			sort.Slice(inst, func(i, j int) bool { return inst[i].Acquires > inst[j].Acquires })
+			const top = 12
+			fmt.Printf("  fine lock instances (top %d by acquires):\n", top)
+			for i, ls := range inst {
+				if i >= top || ls.Acquires == 0 {
+					break
+				}
+				fmt.Printf("    %-8s acquires %8d contended %6d wait %10d cycles\n",
+					ls.Name, ls.Acquires, ls.Contended, ls.WaitCycles)
+			}
+		}
 	}
 	for _, cl := range []mmu.FaultClass{mmu.FaultSoft, mmu.FaultHard} {
 		for _, side := range []core.FaultSide{core.FaultSame, core.FaultCross} {
@@ -321,4 +337,12 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "flukerun:", err)
 	os.Exit(1)
+}
+
+// usage reports a bad flag value and exits with the flag package's usage
+// text and conventional status 2 — no silent defaulting.
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "flukerun:", err)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -40,11 +40,16 @@ type CPU struct {
 	// sums the shards.
 	stats Stats
 
-	// holds are the lock-model re-entrancy counts: holds[id] > 0 means
-	// this CPU's kernel context holds (a mapped form of) lock id.
-	// lockSince stamps the outermost acquire for the hold-time histogram.
-	holds     [numLocks]int16
-	lockSince [numLocks]uint64
+	// holds are the lock-model re-entrancy counts, indexed by lock slot:
+	// holds[slot] > 0 means this CPU's kernel context holds that lock
+	// instance. lockSince stamps the outermost acquire for the hold-time
+	// histogram, and held lists the currently held slots so episode
+	// epilogues release in O(held) rather than scanning the whole table
+	// (the fine model's table grows with CPUs and spaces). Sized by
+	// initLockTable/addLockSlot.
+	holds     []int16
+	lockSince []uint64
+	held      []int32
 }
 
 func newCPU(id int) *CPU {
@@ -53,6 +58,7 @@ func newCPU(id int) *CPU {
 		clk:   clock.New(),
 		runq:  sched.NewRunQueue(),
 		stats: newStats(),
+		held:  make([]int32, 0, maxHeldSlots),
 	}
 }
 
@@ -89,15 +95,41 @@ func (k *Kernel) Now() uint64 {
 func (k *Kernel) CPUNow(i int) uint64 { return k.cpus[i].clk.Now() }
 
 // Stats returns the kernel counters, merging the per-CPU shards. Maps in
-// the result are freshly allocated. Safe to call while a ParallelHost run
-// is live: the merge runs under the kernel gate, so it sees a consistent
-// boundary between kernel sections (pinned by the -race merge test).
+// the result are freshly allocated — callers that snapshot in a loop and
+// can reuse a buffer should call StatsInto instead, which allocates
+// nothing. Safe to call while a ParallelHost run is live: the merge runs
+// under the kernel gate, so it sees a consistent boundary between kernel
+// sections (pinned by the -race merge test).
 func (k *Kernel) Stats() Stats {
-	if k.par != nil {
-		k.par.mu.Lock()
-		defer k.par.mu.Unlock()
-	}
 	out := newStats()
+	k.StatsInto(&out)
+	return out
+}
+
+// StatsInto merges the per-CPU shards into *out, reusing out's maps
+// (cleared first; allocated if nil). Repeated snapshots through the same
+// buffer are allocation-free once the maps have reached their steady-state
+// size — the point at 64 CPUs, where a fresh merge per read would pay map
+// allocations on every poll (pinned by TestStatsIntoAllocs).
+func (k *Kernel) StatsInto(out *Stats) {
+	if k.par != nil {
+		k.snapLock()
+		defer k.snapUnlock()
+	}
+	faultCount, faultRemedy, faultRollback := out.FaultCount, out.FaultRemedy, out.FaultRollback
+	if faultCount == nil {
+		faultCount = make(map[FaultKey]uint64)
+	}
+	if faultRemedy == nil {
+		faultRemedy = make(map[FaultKey]uint64)
+	}
+	if faultRollback == nil {
+		faultRollback = make(map[FaultKey]uint64)
+	}
+	clear(faultCount)
+	clear(faultRemedy)
+	clear(faultRollback)
+	*out = Stats{FaultCount: faultCount, FaultRemedy: faultRemedy, FaultRollback: faultRollback}
 	for _, c := range k.cpus {
 		s := &c.stats
 		out.Syscalls += s.Syscalls
@@ -133,7 +165,6 @@ func (k *Kernel) Stats() Stats {
 		out.ZeroCopyCOWBreaks += s.ZeroCopyCOWBreaks
 		out.ZeroCopyFallbacks += s.ZeroCopyFallbacks
 	}
-	return out
 }
 
 // CPUStats returns CPU i's un-merged stats shard.

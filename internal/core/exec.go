@@ -164,8 +164,24 @@ func (k *Kernel) RunUntil(stop func() bool) {
 		k.runParallel(stop)
 		return
 	}
+	// Multi-CPU: keep the CPUs in a min-clock heap so each episode pays
+	// O(log n) chooser maintenance instead of the O(n) scan. Rebuilt at
+	// every run boundary — host code may move clocks between runs — and
+	// fixed up after each episode, when only the acting CPU's clock has
+	// advanced. Bit-identical to the scan order (TestClockHeapMatchesScan).
+	multi := len(k.cpus) > 1
+	if multi {
+		if k.chooser == nil {
+			k.chooser = newClockHeap(k.cpus)
+		} else {
+			k.chooser.reset()
+		}
+	}
 	for !stop() {
-		c := k.chooseCPU()
+		c := k.cpus[0]
+		if multi {
+			c = k.chooser.pick()
+		}
 		k.cur = c
 		// A staged IPC handoff outranks the run queue: the donor blocked,
 		// and its remaining slice passes straight to the staged peer.
@@ -177,9 +193,15 @@ func (k *Kernel) RunUntil(stop func() bool) {
 			if !k.idleStep(c) {
 				return // quiescent
 			}
+			if multi {
+				k.chooser.fix(c.id)
+			}
 			continue
 		}
 		k.dispatch(c, t, direct)
+		if multi {
+			k.chooser.fix(c.id)
+		}
 	}
 	// A RunFor budget can stop the loop with a handoff still staged;
 	// demote it to a normal enqueue so no thread is stranded in the slot
@@ -621,8 +643,10 @@ func (k *Kernel) trace(t *obj.Thread, num int, outcome string) {
 
 func (k *Kernel) doFault(t *obj.Thread, spc *obj.Space, f cpu.Fault) bool {
 	c := k.cur
-	// The fault path's kernel entry takes the MMU-side lock.
-	k.lockAcquire(c, lockMMU)
+	// The fault path's kernel entry takes the MMU-side lock — under the
+	// fine model, the *faulted* space's instance (a cross-space IPC fault
+	// locks the peer's MMU, not the faulter's).
+	k.lockAcquireSlot(c, k.spaceMMUSlot(spc))
 	if k.par != nil && spc != t.Space {
 		// Cross-space fault in ParallelHost mode: the peer space's home
 		// CPU may be stepping its other threads concurrently.

@@ -42,25 +42,31 @@ func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
 	// Data is about to flow src → dst: propagate the causal span before
 	// any transfer so even a zero-length rendezvous records the hop.
 	k.spanTouch(src, dst, trace.FlowCopy)
-	// Under per-subsystem locking the bulk copy runs outside the
+	// Under per-subsystem and fine locking the bulk copy runs outside the
 	// object-space lock — data transfer touches only the two buffers, so
-	// concurrent CPUs can overlap their copies (this is where the
-	// per-subsystem model earns its scaling). The lock is retaken before
-	// returning to the handler on the success path; fault and preemption
-	// exits leave it released, and the restart reacquires at kernel entry.
+	// concurrent CPUs can overlap their copies (this is where those
+	// models earn their scaling). The lock is retaken before returning to
+	// the handler on the success path; fault and preemption exits leave
+	// it released, and the restart reacquires at kernel entry. The slot
+	// is resolved once up front: under the fine model it is the calling
+	// thread's space instance, and the reacquire must hit that same
+	// instance even if the thread migrates mid-copy.
 	var objHeld int16
-	if k.cfg.LockModel == LockPerSubsystem {
-		if c := k.cur; c.holds[lockObj] > 0 {
-			objHeld = c.holds[lockObj]
-			c.holds[lockObj] = 1
-			k.lockRelease(c, lockObj)
+	objSlot := -1
+	if k.cfg.LockModel != LockBig {
+		c := k.cur
+		if s := k.slotForID(c, lockObj); c.holds[s] > 0 {
+			objSlot = s
+			objHeld = c.holds[s]
+			c.holds[s] = 1
+			k.lockReleaseSlot(c, s)
 		}
 	}
 	reacquire := func() {
-		if objHeld > 0 {
+		if objSlot >= 0 {
 			c := k.cur
-			k.lockAcquire(c, lockObj)
-			c.holds[lockObj] = objHeld
+			k.lockAcquireSlot(c, objSlot)
+			c.holds[objSlot] = objHeld
 		}
 	}
 	if k.par != nil {
@@ -155,9 +161,23 @@ func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
 				default:
 					flush()
 					c := k.cur
-					k.lockAcquire(c, lockMMU)
+					// The share edits both spaces' translations; under the
+					// fine model that is two mmu instances, taken in
+					// ascending slot order (coarser models resolve both to
+					// the same slot and nest).
+					s1, s2 := k.spaceMMUSlot(src.Space), k.spaceMMUSlot(dst.Space)
+					if s2 < s1 {
+						s1, s2 = s2, s1
+					}
+					k.lockAcquireSlot(c, s1)
+					if s2 != s1 {
+						k.lockAcquireSlot(c, s2)
+					}
 					shared := mmu.ShareCOW(src.Space.AS, srcVA, dst.Space.AS, dstVA)
-					k.lockRelease(c, lockMMU)
+					if s2 != s1 {
+						k.lockReleaseSlot(c, s2)
+					}
+					k.lockReleaseSlot(c, s1)
 					if !shared {
 						// Both translations were live yet the share was
 						// refused (e.g. the receiver slot is the source

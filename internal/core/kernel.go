@@ -120,8 +120,16 @@ type Kernel struct {
 	cpus []*CPU
 	cur  *CPU
 
-	// vlocks are the lock-model locks (see locks.go).
-	vlocks [numLocks]vlock
+	// vlocks is the lock-slot table (see locks.go): the four fixed
+	// subsystem slots plus, under the fine model, per-run-queue and
+	// per-space instances. lockKinds/lockNames parallel it.
+	vlocks    []vlock
+	lockKinds []lockID
+	lockNames []string
+
+	// chooser is the deterministic interleaver's min-clock heap over the
+	// CPUs (clockheap.go); built lazily by RunUntil at NumCPUs > 1.
+	chooser *clockHeap
 
 	// par is the ParallelHost run state; nil in deterministic mode.
 	par *parState
@@ -217,11 +225,13 @@ func New(cfg Config) *Kernel {
 	if cfg.ParallelHost && cfg.NumCPUs > 1 {
 		// The ParallelHost gate lives for the kernel's whole lifetime (not
 		// per RunUntil call) so observation snapshots — Stats(),
-		// ProfileSnapshot() — can lock it and run concurrently with the CPU
-		// goroutines. Matches RunUntil's runParallel condition exactly: at
-		// one CPU the serial loop runs and k.par must stay nil.
-		k.par = newParState()
+		// ProfileSnapshot() — can lock it and read live state race-free.
+		// Matches RunUntil's runParallel condition exactly: at one CPU the
+		// serial loop runs and k.par must stay nil. The fine lock model
+		// selects the sharded gate (per-CPU shards + shared kernel mutex).
+		k.par = newParState(cfg.NumCPUs, cfg.LockModel == LockFine)
 	}
+	k.initLockTable()
 	k.registerHandlers()
 	return k
 }
@@ -246,6 +256,13 @@ func (k *Kernel) NewSpace() *obj.Space {
 
 func (k *Kernel) newSpaceInternal() *obj.Space {
 	s := obj.NewSpace(mmu.NewAddrSpaceTLB(k.Alloc, k.cfg.TLBSize))
+	if k.fineSpaceLocks() {
+		// Fine model: this space gets its own obj/mmu lock instance pair
+		// (consecutive slots, obj first — spaceMMUSlot relies on that).
+		n := itoa(len(k.spaces))
+		s.LockSlot = k.addLockSlot(lockObj, "obj.s"+n, spanRingSize(len(k.cpus)))
+		k.addLockSlot(lockMMU, "mmu.s"+n, spanRingSize(len(k.cpus)))
+	}
 	s.HomeCPU = k.nextSpaceHome
 	k.nextSpaceHome = (k.nextSpaceHome + 1) % len(k.cpus)
 	if k.cfg.DisableFastPath {
@@ -507,16 +524,21 @@ func (k *Kernel) RaiseIRQ(line int) {
 // kernel-stack contexts so their goroutines exit) and cancels pending
 // timers. The kernel is not usable afterwards.
 func (k *Kernel) Shutdown() {
-	for {
-		var victim *obj.Thread
+	// Collect victims once rather than re-scanning the table per kill —
+	// the old loop was O(threads²), which shows at 64-CPU thread counts.
+	// DestroyThread can cascade (a dying thread wakes and kills waiters),
+	// so re-collect until the table is empty.
+	victims := make([]*obj.Thread, 0, len(k.threads))
+	for len(k.threads) > 0 {
+		victims = victims[:0]
 		for _, t := range k.threads {
-			victim = t
-			break
+			victims = append(victims, t)
 		}
-		if victim == nil {
-			break
+		for _, t := range victims {
+			if _, live := k.threads[t.ID]; live {
+				k.DestroyThread(t)
+			}
 		}
-		k.DestroyThread(victim)
 	}
 	for _, c := range k.cpus {
 		c.stopSliceTimer()

@@ -8,7 +8,15 @@ package core
 // the spin cycles are charged as kernel time. With one CPU a lock can
 // never be busy (the same clock both sets and tests busyUntil), so every
 // acquire is free and the NumCPUs==1 timeline is bit-identical to the
-// uniprocessor kernel under either model — pinned by the multicpu tests.
+// uniprocessor kernel under any model — pinned by the multicpu tests.
+//
+// Locks are *slots* in a kernel-wide table. The first four slots are the
+// classic subsystem locks (sched, obj, mmu, big); the fine-grained model
+// (LockFine) appends one slot per run queue and, in deterministic mode,
+// one obj/mmu slot pair per space, so disjoint CPUs and spaces stop
+// contending. Every slot carries its subsystem *kind*, which is what
+// feeds the lock.* metrics and LockStats — the fine model fans a kind out
+// across many instances but reports in the same four-row shape.
 //
 // Lock order (deadlock discipline, enforced by construction):
 //
@@ -18,6 +26,10 @@ package core
 //
 // obj and mmu are never nested: a handler that faults returns KFault, the
 // syscall epilogue releases obj, and only then does doFault take mmu.
+// Within the fine model's sched kind, multi-queue paths (steal, remove)
+// hold at most one extra queue lock at a time while scanning, so instance
+// order never matters; the two-space zero-copy share takes its two mmu
+// instances in ascending slot order.
 //
 // Blocking releases: a kernel path that parks (block, yieldCPU, the FP
 // in-kernel park) releases every lock its CPU holds first — the classic
@@ -26,14 +38,20 @@ package core
 // the interrupt model the unwind discards the snapshot and the next
 // kernel entry reacquires from scratch.
 //
-// In ParallelHost mode the host gate mutex (parallel.go) serializes all
-// kernel sections, so the virtual spin waits are disabled (wall-clock
+// In ParallelHost mode the host gate (parallel.go) serializes kernel
+// sections, so the virtual spin waits are disabled (wall-clock
 // interleaving, not virtual-time modeling, decides contention there); the
-// hold/acquire counters still run.
+// hold/acquire counters still run. Under the sharded gate (fine model)
+// the per-queue slot counters are owner-CPU state updated outside the
+// shared kernel mutex, so the non-atomic Metrics registry is skipped for
+// lock events in that mode.
 
-import "repro/internal/profile"
+import (
+	"repro/internal/obj"
+	"repro/internal/profile"
+)
 
-// lockID names one kernel lock.
+// lockID names one kernel lock *kind*.
 type lockID uint8
 
 const (
@@ -44,28 +62,53 @@ const (
 	numLocks
 )
 
-// NumLockKinds is the number of distinct kernel locks (for metrics).
+// The fixed lock-table slots, one per kind, in lockID order. The fine
+// model appends instance slots after these.
+const (
+	slotSched = int(lockSched)
+	slotObj   = int(lockObj)
+	slotMMU   = int(lockMMU)
+	slotBig   = int(lockBig)
+
+	numFixedSlots = int(numLocks)
+)
+
+// NumLockKinds is the number of distinct kernel lock kinds (for metrics).
 const NumLockKinds = int(numLocks)
 
 // LockKindNames are the lock names in lockID order.
 var LockKindNames = [NumLockKinds]string{"sched", "obj", "mmu", "big"}
 
-// lockHistory is how many recent hold intervals each lock remembers. The
-// serial interleaver bounds cross-CPU clock skew to roughly one dispatch
-// episode, so only the holds of the last few episodes can ever overlap an
-// acquirer's local time; older entries are dead weight. Overwriting a
-// still-relevant interval errs toward *less* contention, so the ring is
-// sized generously relative to the holds a single episode performs.
+// lockHistory is how many recent hold intervals each lock remembers at
+// the classic CPU counts. The serial interleaver bounds cross-CPU clock
+// skew to roughly one dispatch episode, so only the holds of the last few
+// episodes can ever overlap an acquirer's local time; older entries are
+// dead weight. Overwriting a still-relevant interval errs toward *less*
+// contention, so the ring is sized generously relative to the holds a
+// single episode performs — and scaled with the CPU count past 4 CPUs
+// (spanRingSize), where a shared slot can see a full system's worth of
+// holds between one CPU's turns. The 1–4 CPU ring stays at the historic
+// 64 so existing seeds reproduce bit-exactly.
 const lockHistory = 64
+
+// spanRingSize returns the hold-interval ring length for a kernel with
+// ncpus processors.
+func spanRingSize(ncpus int) int {
+	if ncpus <= 4 {
+		return lockHistory
+	}
+	return 16 * ncpus
+}
 
 // holdSpan is one completed [from, until) hold of a lock in virtual time.
 type holdSpan struct {
 	from, until uint64
 }
 
-// vlock is one virtual lock: a ring of its recent hold intervals plus
-// contention counters. All access is serialized (by the deterministic
-// scheduler loop, or by the ParallelHost gate).
+// vlock is one virtual lock slot: a ring of its recent hold intervals
+// plus contention counters. Access is serialized by the deterministic
+// scheduler loop, by the ParallelHost gate, or — for a fine-model queue
+// slot under the sharded gate — by the owning CPU's gate shard.
 //
 // Intervals — not just the last release time — matter because the serial
 // interleaver is coarse: one dispatch can run a CPU's clock far ahead of
@@ -76,7 +119,7 @@ type holdSpan struct {
 // charged exactly when the acquirer's clock lands inside a remembered
 // hold, which is when a real CPU would have spun.
 type vlock struct {
-	spans      [lockHistory]holdSpan
+	spans      []holdSpan
 	next       int // ring write cursor
 	acquires   uint64
 	contended  uint64
@@ -108,14 +151,96 @@ type LockStat struct {
 	WaitCycles uint64
 }
 
-// LockStats returns the per-lock acquire/contention counters in
+// initLockTable builds the fixed slots plus, under the fine model, the
+// per-run-queue instance slots. Per-space instances are appended later,
+// as spaces are created (newSpaceInternal).
+func (k *Kernel) initLockTable() {
+	ring := spanRingSize(len(k.cpus))
+	k.vlocks = make([]vlock, 0, numFixedSlots+len(k.cpus))
+	k.lockKinds = make([]lockID, 0, cap(k.vlocks))
+	k.lockNames = make([]string, 0, cap(k.vlocks))
+	for id := lockID(0); id < numLocks; id++ {
+		k.addLockSlot(id, LockKindNames[id], ring)
+	}
+	if k.cfg.LockModel == LockFine {
+		for _, c := range k.cpus {
+			k.addLockSlot(lockSched, "runq"+itoa(c.id), ring)
+		}
+	}
+}
+
+// addLockSlot appends one lock instance of the given kind, growing every
+// CPU's hold-tracking arrays to match. Growing mid-run is safe in the
+// deterministic modes (single-threaded); the sharded ParallelHost gate
+// never grows the table after New (it uses the fixed obj/mmu slots — see
+// fineSpaceLocks).
+func (k *Kernel) addLockSlot(kind lockID, name string, ring int) int {
+	slot := len(k.vlocks)
+	k.vlocks = append(k.vlocks, vlock{spans: make([]holdSpan, ring)})
+	k.lockKinds = append(k.lockKinds, kind)
+	k.lockNames = append(k.lockNames, name)
+	for _, c := range k.cpus {
+		for len(c.holds) < len(k.vlocks) {
+			c.holds = append(c.holds, 0)
+			c.lockSince = append(c.lockSince, 0)
+		}
+	}
+	return slot
+}
+
+// fineSpaceLocks reports whether spaces get their own obj/mmu lock
+// instances: fine model, deterministic mode only. The sharded
+// ParallelHost gate keeps the lock table fixed after New — per-space
+// slots would grow every CPU's hold arrays while other host goroutines
+// read them — and host-level concurrency, not the virtual-time model,
+// decides contention there anyway.
+func (k *Kernel) fineSpaceLocks() bool {
+	return k.cfg.LockModel == LockFine && k.par == nil
+}
+
+// itoa is a dependency-free strconv.Itoa for small non-negative ints
+// (lock slot names; avoids importing strconv into the hot-path file).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// LockStats returns the per-kind acquire/contention counters in
 // LockKindNames order. Under LockBig only the "big" row moves; under
-// LockPerSubsystem the "big" row stays zero.
+// LockPerSubsystem the "big" row stays zero; under LockFine each row sums
+// that kind's instances (per-queue, per-space).
 func (k *Kernel) LockStats() [NumLockKinds]LockStat {
 	var out [NumLockKinds]LockStat
+	for i := range out {
+		out[i].Name = LockKindNames[i]
+	}
+	for i := range k.vlocks {
+		o := &out[k.lockKinds[i]]
+		o.Acquires += k.vlocks[i].acquires
+		o.Contended += k.vlocks[i].contended
+		o.WaitCycles += k.vlocks[i].waitCycles
+	}
+	return out
+}
+
+// FineLockStats returns one row per lock *instance* (slot), in slot
+// order — "sched", "obj", ..., "runq3", "obj.s1" — for the fine model's
+// per-instance contention breakdown. Rows with zero acquires are
+// included; callers filter.
+func (k *Kernel) FineLockStats() []LockStat {
+	out := make([]LockStat, len(k.vlocks))
 	for i := range k.vlocks {
 		out[i] = LockStat{
-			Name:       LockKindNames[i],
+			Name:       k.lockNames[i],
 			Acquires:   k.vlocks[i].acquires,
 			Contended:  k.vlocks[i].contended,
 			WaitCycles: k.vlocks[i].waitCycles,
@@ -124,29 +249,87 @@ func (k *Kernel) LockStats() [NumLockKinds]LockStat {
 	return out
 }
 
-// mapLock applies the configured lock model: under the big kernel lock
-// every subsystem lock is the big lock.
-func (k *Kernel) mapLock(id lockID) lockID {
-	if k.cfg.LockModel == LockBig {
-		return lockBig
+// ---------------------------------------------------------------------------
+// Slot resolution.
+
+// slotForID maps a lock kind to the slot the acting CPU c should take
+// under the configured model. Under the fine model the scheduler kind
+// resolves to c's own run-queue instance and the obj/mmu kinds to the
+// current thread's space instances; paths that act on *another* queue or
+// space resolve explicitly (runqSlot, spaceObjSlot, spaceMMUSlot).
+func (k *Kernel) slotForID(c *CPU, id lockID) int {
+	switch k.cfg.LockModel {
+	case LockBig:
+		return slotBig
+	case LockFine:
+		switch id {
+		case lockSched:
+			return numFixedSlots + c.id
+		case lockObj:
+			if t := c.current; t != nil {
+				return k.spaceObjSlot(t.Space)
+			}
+		case lockMMU:
+			if t := c.current; t != nil {
+				return k.spaceMMUSlot(t.Space)
+			}
+		}
+		return int(id)
+	default:
+		return int(id)
 	}
-	return id
 }
 
-// lockAcquire takes (the mapped form of) lock id on behalf of CPU c.
+// runqSlot returns the lock slot guarding CPU cpuID's run queue.
+func (k *Kernel) runqSlot(cpuID int) int {
+	if k.cfg.LockModel == LockFine {
+		return numFixedSlots + cpuID
+	}
+	if k.cfg.LockModel == LockBig {
+		return slotBig
+	}
+	return slotSched
+}
+
+// spaceObjSlot returns the object-space lock slot for s.
+func (k *Kernel) spaceObjSlot(s *obj.Space) int {
+	if k.cfg.LockModel == LockBig {
+		return slotBig
+	}
+	if k.cfg.LockModel == LockFine && s != nil && s.LockSlot != 0 {
+		return s.LockSlot
+	}
+	return slotObj
+}
+
+// spaceMMUSlot returns the MMU lock slot for s.
+func (k *Kernel) spaceMMUSlot(s *obj.Space) int {
+	if k.cfg.LockModel == LockBig {
+		return slotBig
+	}
+	if k.cfg.LockModel == LockFine && s != nil && s.LockSlot != 0 {
+		return s.LockSlot + 1
+	}
+	return slotMMU
+}
+
+// ---------------------------------------------------------------------------
+// Acquire / release.
+
+// lockAcquireSlot takes the lock in the given slot on behalf of CPU c.
 // Re-acquisition by the same CPU nests (a refcount). A contended acquire
 // spins: the CPU's clock advances to the lock's release time and the wait
 // is charged as kernel cycles.
-func (k *Kernel) lockAcquire(c *CPU, id lockID) {
-	m := k.mapLock(id)
-	if c.holds[m] > 0 {
-		c.holds[m]++
+func (k *Kernel) lockAcquireSlot(c *CPU, slot int) {
+	if c.holds[slot] > 0 {
+		c.holds[slot]++
 		return
 	}
-	vl := &k.vlocks[m]
+	vl := &k.vlocks[slot]
 	vl.acquires++
-	if k.Metrics != nil {
-		k.Metrics.LockAcquires[m].Inc()
+	kind := k.lockKinds[slot]
+	if k.Metrics != nil && !k.shardedPar() {
+		k.Metrics.LockAcquires[kind].Inc()
 	}
 	if k.par == nil {
 		now := c.clk.Now()
@@ -156,38 +339,57 @@ func (k *Kernel) lockAcquire(c *CPU, id lockID) {
 			vl.waitCycles += wait
 			c.stats.KernelCycles += wait
 			if k.Metrics != nil {
-				k.Metrics.LockContended[m].Inc()
-				k.Metrics.LockWaitCycles[m].Add(wait)
+				k.Metrics.LockContended[kind].Inc()
+				k.Metrics.LockWaitCycles[kind].Add(wait)
 			}
 			c.clk.Advance(wait)
 			k.profCharge(c, c.current, profile.PathLockSpin, wait)
 		}
 	}
-	c.holds[m] = 1
-	c.lockSince[m] = c.clk.Now()
+	c.holds[slot] = 1
+	c.lockSince[slot] = c.clk.Now()
+	c.held = append(c.held, int32(slot))
 }
 
-// lockRelease drops one nesting level of (the mapped form of) lock id,
-// publishing the release time when the outermost level unlocks.
-func (k *Kernel) lockRelease(c *CPU, id lockID) {
-	m := k.mapLock(id)
-	if c.holds[m] == 0 {
-		panic("core: lockRelease of unheld lock " + LockKindNames[m])
+// lockReleaseSlot drops one nesting level of the lock in slot, publishing
+// the hold interval when the outermost level unlocks.
+func (k *Kernel) lockReleaseSlot(c *CPU, slot int) {
+	if c.holds[slot] == 0 {
+		panic("core: lockRelease of unheld lock " + k.lockNames[slot])
 	}
-	c.holds[m]--
-	if c.holds[m] > 0 {
+	c.holds[slot]--
+	if c.holds[slot] > 0 {
 		return
 	}
 	now := c.clk.Now()
-	if k.Metrics != nil {
-		k.Metrics.LockHoldCycles[m].Observe(now - c.lockSince[m])
+	if k.Metrics != nil && !k.shardedPar() {
+		k.Metrics.LockHoldCycles[k.lockKinds[slot]].Observe(now - c.lockSince[slot])
 	}
 	// Publish this hold so later (possibly clock-behind) acquirers spin
 	// past it. Zero-length holds need no entry: no clock can land inside.
-	if vl := &k.vlocks[m]; k.par == nil && now > c.lockSince[m] {
-		vl.spans[vl.next] = holdSpan{from: c.lockSince[m], until: now}
-		vl.next = (vl.next + 1) % lockHistory
+	if vl := &k.vlocks[slot]; k.par == nil && now > c.lockSince[slot] {
+		vl.spans[vl.next] = holdSpan{from: c.lockSince[slot], until: now}
+		vl.next = (vl.next + 1) % len(vl.spans)
 	}
+	// Drop slot from the held list (near-LIFO in practice; scan from top).
+	for i := len(c.held) - 1; i >= 0; i-- {
+		if c.held[i] == int32(slot) {
+			c.held = append(c.held[:i], c.held[i+1:]...)
+			break
+		}
+	}
+}
+
+// lockAcquire takes (the model's slot for) lock kind id on behalf of c.
+func (k *Kernel) lockAcquire(c *CPU, id lockID) {
+	k.lockAcquireSlot(c, k.slotForID(c, id))
+}
+
+// lockRelease drops one nesting level of (the model's slot for) kind id.
+// Acquire/release pairs must resolve to the same slot: paths where the
+// current thread can change mid-hold use the slot API directly.
+func (k *Kernel) lockRelease(c *CPU, id lockID) {
+	k.lockReleaseSlot(c, k.slotForID(c, id))
 }
 
 // releaseHeld drops every lock the acting CPU still holds — the idempotent
@@ -195,38 +397,54 @@ func (k *Kernel) lockRelease(c *CPU, id lockID) {
 // so this is a no-op for them; paths that completed or died release here.
 func (k *Kernel) releaseHeld() {
 	c := k.cur
-	for m := lockID(0); m < numLocks; m++ {
-		for c.holds[m] > 0 {
-			c.holds[m] = 1 // collapse nesting: the episode is over
-			k.lockRelease(c, m)
-		}
+	for len(c.held) > 0 {
+		slot := int(c.held[len(c.held)-1])
+		c.holds[slot] = 1 // collapse nesting: the episode is over
+		k.lockReleaseSlot(c, slot)
 	}
 }
 
+// maxHeldSlots bounds how many distinct lock instances one kernel episode
+// can hold at once (entry lock + own queue + one remote queue + slack).
+const maxHeldSlots = 8
+
+// lockSnap is a parkRelease snapshot: the held slots and their nesting
+// counts. It lives on the parked goroutine's stack — threads migrate
+// across CPUs between park and resume, so it must not live on the CPU.
+type lockSnap struct {
+	n     int
+	slots [maxHeldSlots]int32
+	count [maxHeldSlots]int16
+}
+
 // parkRelease releases everything the acting CPU holds before a park,
-// returning the hold counts so a process-model resume can reacquire. The
-// snapshot lives on the parked goroutine's stack — threads migrate across
-// CPUs between park and resume, so it must not live on the CPU.
-func (k *Kernel) parkRelease() [numLocks]int16 {
+// returning the snapshot a process-model resume reacquires from.
+func (k *Kernel) parkRelease() lockSnap {
 	c := k.cur
-	snap := c.holds
-	for m := lockID(0); m < numLocks; m++ {
-		if c.holds[m] > 0 {
-			c.holds[m] = 1
-			k.lockRelease(c, m)
+	var snap lockSnap
+	for len(c.held) > 0 {
+		slot := int(c.held[len(c.held)-1])
+		if snap.n == maxHeldSlots {
+			panic("core: parkRelease: too many held lock slots")
 		}
+		snap.slots[snap.n] = int32(slot)
+		snap.count[snap.n] = c.holds[slot]
+		snap.n++
+		c.holds[slot] = 1
+		k.lockReleaseSlot(c, slot)
 	}
 	return snap
 }
 
 // parkReacquire restores a parkRelease snapshot on whatever CPU the
 // thread resumed on, paying contention there if the lock moved on.
-func (k *Kernel) parkReacquire(snap [numLocks]int16) {
-	for m := lockID(0); m < numLocks; m++ {
-		if snap[m] > 0 {
-			c := k.cur
-			k.lockAcquire(c, m) // note: already-mapped id maps to itself
-			c.holds[m] = snap[m]
-		}
+// Snapshots are slot-resolved, so a fine-model instance reacquires the
+// same instance even if the thread's notion of "its" queue changed.
+func (k *Kernel) parkReacquire(snap lockSnap) {
+	c := k.cur
+	for i := snap.n - 1; i >= 0; i-- {
+		slot := int(snap.slots[i])
+		k.lockAcquireSlot(c, slot)
+		c.holds[slot] = snap.count[i]
 	}
 }

@@ -24,8 +24,8 @@ import (
 	"repro/internal/sys"
 )
 
-// lockModels spans both pluggable locking models.
-var lockModels = []core.LockModel{core.LockBig, core.LockPerSubsystem}
+// lockModels spans the pluggable locking models.
+var lockModels = []core.LockModel{core.LockBig, core.LockPerSubsystem, core.LockFine}
 
 // TestUniprocessorLockModelsBitIdentical pins the acceptance criterion
 // that one simulated CPU under either lock model is bit-identical — final
@@ -71,8 +71,27 @@ func TestMultiCPUDeterministic(t *testing.T) {
 	for _, cfg := range cfgs {
 		cfg := cfg
 		t.Run(cfg.Name(), func(t *testing.T) {
+			type cell struct {
+				n  int
+				lm core.LockModel
+			}
+			var cells []cell
 			for _, n := range []int{2, 4} {
 				for _, lm := range lockModels {
+					cells = append(cells, cell{n, lm})
+				}
+			}
+			// The high CPU counts exercise the clock heap and the
+			// per-instance lock table at scale; fine is the model whose
+			// slot fan-out could plausibly perturb the interleaving.
+			if !testing.Short() {
+				for _, n := range []int{8, 16, 64} {
+					cells = append(cells, cell{n, core.LockFine})
+				}
+			}
+			for _, cl := range cells {
+				n, lm := cl.n, cl.lm
+				{
 					v := cfg
 					v.NumCPUs = n
 					v.LockModel = lm
@@ -406,6 +425,121 @@ func TestParallelHostSnapshotsDuringRun(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestParallelHostFineSnapshotsDuringRun is the sharded-gate version of
+// the snapshot test at the full 64-CPU count: under the fine lock model
+// the ParallelHost gate splits into per-CPU shards plus a shared kernel
+// mutex, and cross-CPU wakes travel through mailboxes. Snapshots must
+// still see consistent, monotone totals, and the double-entry cycle
+// invariant must hold at quiescence. The CI race job runs this under
+// -race; with 64 CPU goroutines plus a snapshot goroutine it is the
+// stress test for the shard/kmu/mailbox ordering.
+func TestParallelHostFineSnapshotsDuringRun(t *testing.T) {
+	cfg := core.Config{
+		Model: core.ModelInterrupt, Preempt: core.PreemptPartial,
+		NumCPUs: 64, LockModel: core.LockFine, ParallelHost: true,
+		EnableProfiler: true,
+	}
+	pairs, rpcs := 12, 8
+	if testing.Short() {
+		pairs, rpcs = 4, 4
+	}
+	var snaps atomic.Int64
+	hook := func(k *core.Kernel) func() {
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf core.Stats
+			var lastProf, lastStats uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				k.StatsInto(&buf)
+				if tot := buf.TotalCycles(); tot < lastStats {
+					t.Errorf("Stats total went backwards: %d -> %d", lastStats, tot)
+					return
+				} else {
+					lastStats = tot
+				}
+				if tot := k.ProfileSnapshot().TotalCycles(); tot < lastProf {
+					t.Errorf("profile total went backwards: %d -> %d", lastProf, tot)
+					return
+				} else {
+					lastProf = tot
+				}
+				snaps.Add(1)
+			}
+		}()
+		return func() { close(done); wg.Wait() }
+	}
+	k := runParallelPairsHook(t, cfg, pairs, rpcs, hook)
+	if snaps.Load() == 0 {
+		t.Fatal("snapshot goroutine never completed a read")
+	}
+	attributed := k.ProfileSnapshot().TotalCycles()
+	if want := k.Stats().TotalCycles(); attributed != want {
+		t.Fatalf("attributed cycles %d != Stats total %d after concurrent snapshots",
+			attributed, want)
+	}
+}
+
+// TestStatsIntoAllocs pins the allocation-free Stats merge: at 64 CPUs a
+// snapshot poll must reuse the caller's buffer (maps cleared, not
+// reallocated) — a fresh merge per read would pay per-CPU map allocations
+// at exactly the scale where polls are most frequent.
+func TestStatsIntoAllocs(t *testing.T) {
+	cfg := core.Config{Model: core.ModelInterrupt, Preempt: core.PreemptPartial,
+		NumCPUs: 64, LockModel: core.LockFine}
+	e := newEnv(t, cfg)
+	b := prog.New(codeBase)
+	b.Label("spin")
+	for i := 0; i < 32; i++ {
+		b.Addi(6, 6, 1)
+	}
+	b.Movi(4, dataBase).St(4, 0, 6).Halt()
+	img := b.MustAssemble()
+	if _, err := e.k.LoadImage(e.s, codeBase, img); err != nil {
+		t.Fatal(err)
+	}
+	var threads []*obj.Thread
+	for i := 0; i < 8; i++ {
+		threads = append(threads, e.spawnAt(b.Addr("spin"), 10))
+	}
+	e.run(t, 1_000_000_000, threads...)
+	var buf core.Stats
+	e.k.StatsInto(&buf) // first call sizes the maps
+	if allocs := testing.AllocsPerRun(100, func() { e.k.StatsInto(&buf) }); allocs != 0 {
+		t.Fatalf("StatsInto allocates %.1f objects per call at 64 CPUs, want 0", allocs)
+	}
+}
+
+// BenchmarkStatsSnapshot measures the 64-CPU snapshot poll both ways:
+// the allocating Stats() and the buffer-reusing StatsInto.
+func BenchmarkStatsSnapshot(b *testing.B) {
+	cfg := core.Config{Model: core.ModelInterrupt, Preempt: core.PreemptPartial,
+		NumCPUs: 64, LockModel: core.LockFine}
+	k := core.New(cfg)
+	b.Run("Stats", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = k.Stats()
+		}
+	})
+	b.Run("StatsInto", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf core.Stats
+		k.StatsInto(&buf)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.StatsInto(&buf)
+		}
+	})
 }
 
 // TestParallelHostRequiresInterruptModel pins the config validation.

@@ -52,8 +52,8 @@ func (k *Kernel) ProfileSnapshot() profile.Snapshot {
 		return profile.Snapshot{}
 	}
 	if k.par != nil {
-		k.par.mu.Lock()
-		defer k.par.mu.Unlock()
+		k.snapLock()
+		defer k.snapUnlock()
 	}
 	return k.prof.Snapshot()
 }

@@ -13,11 +13,21 @@ import (
 // lock of the configured lock model. TestSchedStateAccessRouting enforces
 // the routing textually.
 
-// schedEnqueue appends t to the tail of its home CPU's run queue.
+// schedEnqueue appends t to the tail of its home CPU's run queue, taking
+// that queue's lock (under the fine model a remote enqueue locks the
+// *target* queue instance, not the enqueuer's own). Under the sharded
+// ParallelHost gate a remote queue is owner-only state, so the enqueue is
+// posted to the target CPU's mailbox instead (ordered two-phase: see
+// parallel.go).
 func (k *Kernel) schedEnqueue(c *CPU, t *obj.Thread) {
-	k.lockAcquire(c, lockSched)
+	if k.shardedPar() && t.HomeCPU != c.id {
+		k.mailPostWake(c, t)
+		return
+	}
+	slot := k.runqSlot(t.HomeCPU)
+	k.lockAcquireSlot(c, slot)
 	k.cpus[t.HomeCPU].runq.Enqueue(t)
-	k.lockRelease(c, lockSched)
+	k.lockReleaseSlot(c, slot)
 }
 
 // schedEnqueueFront puts t at the head of the acting CPU's own queue (a
@@ -44,17 +54,58 @@ func (k *Kernel) schedTopPriority(c *CPU) (int, bool) {
 	return p, ok
 }
 
-// schedRemove unlinks t from whichever CPU's queue holds it.
+// schedRemove unlinks t from whichever CPU's queue holds it. The fine
+// model locks one queue instance at a time while probing (home first —
+// the overwhelmingly common case — then the rest), never holding two at
+// once. Under the sharded gate a remote removal is posted to the owning
+// CPU's mailbox; until the owner drains it, the entry sits stale in the
+// queue and Pick's runnable check skips it.
 func (k *Kernel) schedRemove(c *CPU, t *obj.Thread) {
-	k.lockAcquire(c, lockSched)
-	if !k.cpus[t.HomeCPU].runq.Remove(t) {
-		for _, o := range k.cpus {
-			if o.id != t.HomeCPU && o.runq.Remove(t) {
-				break
+	if k.shardedPar() {
+		if t.HomeCPU != c.id {
+			k.mailPostDrop(c, t)
+			return
+		}
+		// Own queue only: ParallelHost pins threads to their home CPU, so
+		// the deterministic fallback probe of the other queues would read
+		// owner-only state for a thread that cannot be there.
+		slot := k.runqSlot(c.id)
+		k.lockAcquireSlot(c, slot)
+		c.runq.Remove(t)
+		k.lockReleaseSlot(c, slot)
+		return
+	}
+	if k.cfg.LockModel != LockFine {
+		k.lockAcquire(c, lockSched)
+		if !k.cpus[t.HomeCPU].runq.Remove(t) {
+			for _, o := range k.cpus {
+				if o.id != t.HomeCPU && o.runq.Remove(t) {
+					break
+				}
 			}
 		}
+		k.lockRelease(c, lockSched)
+		return
 	}
-	k.lockRelease(c, lockSched)
+	home := k.runqSlot(t.HomeCPU)
+	k.lockAcquireSlot(c, home)
+	found := k.cpus[t.HomeCPU].runq.Remove(t)
+	k.lockReleaseSlot(c, home)
+	if found {
+		return
+	}
+	for _, o := range k.cpus {
+		if o.id == t.HomeCPU {
+			continue
+		}
+		slot := k.runqSlot(o.id)
+		k.lockAcquireSlot(c, slot)
+		found = o.runq.Remove(t)
+		k.lockReleaseSlot(c, slot)
+		if found {
+			return
+		}
+	}
 }
 
 // schedSteal rebalances: the idle CPU c takes one thread from the tail of
@@ -62,12 +113,24 @@ func (k *Kernel) schedRemove(c *CPU, t *obj.Thread) {
 // from c.id+1, so a hot CPU 0 is not always the designated victim).
 // Deterministic mode only; ParallelHost pins threads to their home CPU.
 func (k *Kernel) schedSteal(c *CPU) *obj.Thread {
-	k.lockAcquire(c, lockSched)
+	// Under the fine model each victim's queue instance is locked around
+	// its probe (and the chosen victim's again around the steal) — the
+	// steal path pays one short acquire per scanned queue instead of
+	// serializing every CPU on one scheduler lock. At most one queue lock
+	// is held at a time, so instance ordering cannot deadlock. Coarser
+	// models keep the single-acquire scan byte-for-byte (existing seeds).
+	fine := k.cfg.LockModel == LockFine
+	if !fine {
+		k.lockAcquire(c, lockSched)
+	}
 	var victim *CPU
 	best := -1
 	n := len(k.cpus)
 	for i := 1; i < n; i++ {
 		o := k.cpus[(c.id+i)%n]
+		if fine {
+			k.lockAcquireSlot(c, k.runqSlot(o.id))
+		}
 		p, ok := o.runq.TopPriority()
 		// A staged handoff is stealable work too: during imbalance the
 		// donor's CPU may be far ahead in virtual time, and leaving the
@@ -76,6 +139,9 @@ func (k *Kernel) schedSteal(c *CPU) *obj.Thread {
 		if d := o.runq.Donation(); d != nil && d.Runnable() && (!ok || d.Priority > p) {
 			p, ok = d.Priority, true
 		}
+		if fine {
+			k.lockReleaseSlot(c, k.runqSlot(o.id))
+		}
 		if ok && p > best {
 			victim, best = o, p
 		}
@@ -83,13 +149,21 @@ func (k *Kernel) schedSteal(c *CPU) *obj.Thread {
 	var t *obj.Thread
 	fromSlot := false
 	if victim != nil {
+		if fine {
+			k.lockAcquireSlot(c, k.runqSlot(victim.id))
+		}
 		t = victim.runq.Steal()
 		if t == nil {
 			t = victim.runq.TakeDonation()
 			fromSlot = t != nil
 		}
+		if fine {
+			k.lockReleaseSlot(c, k.runqSlot(victim.id))
+		}
 	}
-	k.lockRelease(c, lockSched)
+	if !fine {
+		k.lockRelease(c, lockSched)
+	}
 	if t != nil {
 		if fromSlot {
 			k.countFastpathFallback()
@@ -104,6 +178,43 @@ func (k *Kernel) schedSteal(c *CPU) *obj.Thread {
 		k.spanCheckpoint(t, trace.FlowSteal)
 	}
 	return t
+}
+
+// drainMail applies the cross-CPU operations posted to c's mailbox, in
+// post order (phase two of the sharded gate's two-phase protocol). Runs
+// at the top of each owner loop iteration holding c's gate shard — the
+// lock that owns c's queue — but not kmu. A pending kick sets the
+// owner's own resched flag, stamping the kicker's clock so the
+// preempt-latency histogram keeps its cross-CPU wake-to-dispatch
+// meaning.
+func (k *Kernel) drainMail(c *CPU) {
+	p := k.par
+	q := &p.qmu[c.id]
+	m := &p.mail[c.id]
+	q.Lock()
+	if len(m.ops) == 0 && !m.kicked {
+		q.Unlock()
+		return
+	}
+	ops := m.ops
+	m.ops = m.spare[:0]
+	kicked, stamp := m.kicked, m.stamp
+	m.kicked = false
+	q.Unlock()
+	for _, op := range ops {
+		if op.drop {
+			c.runq.Remove(op.t)
+		} else {
+			c.runq.Enqueue(op.t)
+		}
+	}
+	m.spare = ops[:0]
+	if kicked {
+		c.needResched = true
+		if k.Metrics != nil && c.reschedSince == 0 {
+			c.reschedSince = stamp
+		}
+	}
 }
 
 // runnableQueuedOn reports whether c's queue holds a runnable thread
@@ -225,6 +336,17 @@ func (k *Kernel) observePreemptLatency(c *CPU) {
 // uses the kicker's clock — the latency histogram then measures
 // wake-to-dispatch across CPUs.
 func (k *Kernel) kickCPU(c *CPU, target *CPU) {
+	// Sharded gate: a remote CPU's flag is owner-only state; post the
+	// kick to its mailbox instead (the owner sets its own flag on drain).
+	if k.shardedPar() && target != c {
+		c.stats.IPIs++
+		if k.Metrics != nil {
+			k.Metrics.IPIs.Inc()
+		}
+		k.emit(trace.IPI, uint32(target.id), 0)
+		k.mailPostKick(target)
+		return
+	}
 	target.needResched = true
 	if k.Metrics != nil && target.reschedSince == 0 {
 		target.reschedSince = c.clk.Now()
@@ -235,7 +357,7 @@ func (k *Kernel) kickCPU(c *CPU, target *CPU) {
 	}
 	k.emit(trace.IPI, uint32(target.id), 0)
 	if k.par != nil {
-		k.par.cond.Broadcast()
+		k.par.wakeIdlers()
 	}
 }
 
@@ -289,11 +411,15 @@ func (k *Kernel) ensureSliceTimer(c *CPU) {
 // ---------------------------------------------------------------------------
 // CPU selection for the deterministic serial interleaver.
 
-// chooseCPU returns the CPU to run next: smallest local virtual time,
-// ties preferring a CPU with queued runnable work, then one with a
+// chooseCPUScan returns the CPU to run next: smallest local virtual
+// time, ties preferring a CPU with queued runnable work, then one with a
 // pending timer, then the lowest index. Total order over kernel state ⇒
 // the interleaving is a pure function of the initial state.
-func (k *Kernel) chooseCPU() *CPU {
+//
+// This is the O(n) reference implementation; RunUntil uses the O(log n)
+// clock heap (clockheap.go), which TestClockHeapMatchesScan pins to this
+// exact order.
+func (k *Kernel) chooseCPUScan() *CPU {
 	best := k.cpus[0]
 	bestClass := cpuClass(best)
 	for _, c := range k.cpus[1:] {

@@ -498,6 +498,11 @@ type Space struct {
 	StepMu sync.Mutex
 	// ReapWaiters holds threads in space_reap_wait on this space.
 	ReapWaiters WaitQueue
+	// LockSlot is this space's object-lock slot in the kernel's lock
+	// table under the fine-grained lock model (the paired MMU instance is
+	// LockSlot+1); 0 means no per-space instances (coarser models, or the
+	// sharded ParallelHost gate). Maintained by internal/core.
+	LockSlot int
 }
 
 // NewSpace creates an empty space over the given address space.

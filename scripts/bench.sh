@@ -3,7 +3,8 @@
 # system call (wall-clock and virtual kernel-cycles/call), the null RPC
 # with the IPC direct-handoff fast path on vs off, the IPC round-trip
 # under every kernel configuration, the multiprocessor IPC-scaling
-# matrix (CPU count x lock model), and the bulk-IPC bandwidth sweep with
+# matrix (CPU count x lock model), the 1-64 CPU lock-model crossover
+# sweep (big vs persub vs fine), and the bulk-IPC bandwidth sweep with
 # zero-copy frame sharing on vs off.
 #
 # Usage: scripts/bench.sh [benchtime]
@@ -43,11 +44,18 @@ go test -run='^$' \
     -bench='BenchmarkInterpreter$|BenchmarkInterpreterProfiled$|BenchmarkInterpreterDecodeCache$|BenchmarkInterpreterStraightLine$|BenchmarkInterpreterBranchHeavy$|BenchmarkInterpreterSelfModifying$|BenchmarkNullSyscall$|BenchmarkNullRPC$|BenchmarkBandwidth$|BenchmarkIPCRoundTrip$|BenchmarkIPCScaling$' \
     -benchtime="$BENCHTIME" .
 
+# Stats snapshot cost on a 64-CPU fine-model kernel: the StatsInto row
+# must report 0 allocs/op (the aggregation scans reuse pre-sized
+# buffers; TestStatsIntoAllocs pins the zero).
+go test -run='^$' -bench='BenchmarkStatsSnapshot' -benchtime="$BENCHTIME" ./internal/core/
+
 echo
 go run ./cmd/flukebench -interp -fast
 echo
 go run ./cmd/flukebench -nullrpc
 echo
 go run ./cmd/flukebench -bandwidth
+echo
+go run ./cmd/flukebench -crossover
 echo
 exec go run ./cmd/flukebench -critpath -fast

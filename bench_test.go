@@ -247,6 +247,38 @@ func BenchmarkBandwidth(b *testing.B) {
 	}
 }
 
+// BenchmarkNetload measures the NIC + network-server stack at the
+// CI-smoke scale with the tuned and naive disciplines. Coalescing and
+// zero-copy replies are architectural changes that *intentionally* move
+// virtual time: the paper-comparable metrics are simulated MB/s per
+// regime and the speedup, which TestNetloadSpeedup pins at ≥3× for
+// 64 KiB responses.
+func BenchmarkNetload(b *testing.B) {
+	sc := experiments.FastNetloadScale()
+	results := map[string]experiments.NetloadResult{}
+	for _, mode := range []string{experiments.NetloadTuned, experiments.NetloadNaive} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			var r experiments.NetloadResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = experiments.NetloadCell(mode, 1, core.LockBig, sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			results[mode] = r
+			b.ReportMetric(r.MBPerVirtualS, "virtual-MB/s")
+			b.ReportMetric(r.P99, "p99-us")
+			if nv := results[experiments.NetloadNaive]; mode == experiments.NetloadTuned && nv.MBPerVirtualS > 0 {
+				b.ReportMetric(r.MBPerVirtualS/nv.MBPerVirtualS, "speedup")
+			} else if tn := results[experiments.NetloadTuned]; mode == experiments.NetloadNaive && r.MBPerVirtualS > 0 {
+				b.ReportMetric(tn.MBPerVirtualS/r.MBPerVirtualS, "speedup")
+			}
+		})
+	}
+}
+
 // BenchmarkIPCRoundTrip measures the simulator's full RPC path (connect,
 // 8-word request, turnaround, 8-word reply, disconnect) — wall-clock
 // cost per simulated RPC.

@@ -52,9 +52,10 @@ func main() {
 	bandwidth := flag.Bool("bandwidth", false, "run only the bulk-IPC bandwidth sweep (zero-copy vs copy)")
 	critpath := flag.Bool("critpath", false, "run only the causal critical-path decomposition (null-RPC and bulk transfers, hop by hop)")
 	interp := flag.Bool("interp", false, "run only the interpreter-tier comparison (slow vs decode-cache vs threaded code)")
+	netload := flag.Bool("netload", false, "run only the NIC load generator (coalescing x zero-copy modes, then the tuned CPU x lock-model sweep)")
 	flag.Parse()
 
-	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *nullrpc || *ablate || *driver || *scaling || *crossover || *bandwidth || *critpath || *interp
+	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *nullrpc || *ablate || *driver || *scaling || *crossover || *bandwidth || *critpath || *interp || *netload
 	show := func(sel bool) bool { return sel || !any }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "flukebench:", err)
@@ -224,6 +225,20 @@ func main() {
 			}
 			matrix("interrupt", "partial", "1..64", "big,persub,fine")
 			fmt.Println(experiments.LockCrossoverRender(rows))
+		})
+	}
+	if *netload {
+		timed("netload", func() {
+			sc := experiments.DefaultNetloadScale()
+			if *fast {
+				sc = experiments.FastNetloadScale()
+			}
+			rep, err := experiments.Netload(sc, experiments.NetloadCPUs, experiments.NetloadLockModels)
+			if err != nil {
+				fail(err)
+			}
+			matrix("interrupt", "partial", "1,2,4", "big,persub,fine")
+			fmt.Println(experiments.NetloadRender(rep))
 		})
 	}
 	if show(*scaling) {

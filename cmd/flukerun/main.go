@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	wl := flag.String("workload", "flukeperf", "workload: flukeperf | memtest | gcc | diskbench")
+	wl := flag.String("workload", "flukeperf", "workload: flukeperf | memtest | gcc | diskbench | netserve")
 	model := flag.String("model", "process", "execution model: process | interrupt")
 	preempt := flag.String("preempt", "np", "preemption: np | pp | fp")
 	mb := flag.Uint("mb", 16, "memtest working set in MB")
@@ -41,6 +41,7 @@ func main() {
 	lockmodel := flag.String("lockmodel", "big", "kernel lock model: big | persub | fine")
 	noFastpath := flag.Bool("no-ipc-fastpath", false, "disable the IPC direct-handoff fast path")
 	noZeroCopy := flag.Bool("no-zerocopy", false, "disable zero-copy bulk IPC (copy-on-write frame sharing)")
+	noNICCoalesce := flag.Bool("no-nic-coalesce", false, "disable NIC interrupt coalescing (one interrupt per received frame)")
 	noThreaded := flag.Bool("no-threaded-code", false, "disable the threaded-code interpreter tier (fused superinstruction blocks)")
 	tlbSize := flag.Int("tlbsize", 0, "software TLB entries per address space (0 = default 256, rounded up to a power of two)")
 	traceRing := flag.Int("trace-ring", 1<<18, "trace ring capacity in events (for -trace-out, -spans, and -listen; older events drop once it wraps)")
@@ -53,9 +54,10 @@ func main() {
 	cfg := core.Config{
 		NumCPUs: *cpus, DisableIPCFastPath: *noFastpath,
 		DisableZeroCopy: *noZeroCopy, DisableThreadedCode: *noThreaded,
-		TLBSize:        *tlbSize,
-		EnableProfiler: *profileOut != "" || *profileFolded != "" || *listen != "",
-		EnableIPCSpans: *spansFlag,
+		DisableNICCoalesce: *noNICCoalesce,
+		TLBSize:            *tlbSize,
+		EnableProfiler:     *profileOut != "" || *profileFolded != "" || *listen != "",
+		EnableIPCSpans:     *spansFlag,
 	}
 	lm, lmErr := core.ParseLockModel(*lockmodel)
 	if lmErr != nil {
@@ -131,6 +133,12 @@ func main() {
 			sc = workload.SmallDiskbenchScale()
 		}
 		w, err = workload.NewDiskbench(k, sc)
+	case "netserve":
+		sc := workload.DefaultNetserveScale()
+		if *fastFlag {
+			sc = workload.SmallNetserveScale()
+		}
+		w, err = workload.NewNetserve(k, sc)
 	default:
 		err = fmt.Errorf("unknown workload %q", *wl)
 	}
@@ -157,6 +165,9 @@ func main() {
 			snap.VirtualNow = k.Now()
 			if m != nil {
 				k.SyncTraceMetrics()
+				if w.NIC != nil {
+					w.NIC.PublishMetrics(m.Registry)
+				}
 				var buf bytes.Buffer
 				if err := m.Registry.Snapshot().WritePrometheus(&buf); err == nil {
 					snap.Metrics = buf.Bytes()
@@ -184,6 +195,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if w.Check != nil {
+		if err := w.Check(); err != nil {
+			fail(err)
+		}
+	}
 
 	mp := ""
 	if *cpus > 1 {
@@ -205,6 +221,13 @@ func main() {
 		s.FastpathHits, s.FastpathMisses, s.FastpathFallbacks)
 	fmt.Printf("  ipc zerocopy: shares %d, cow breaks %d, fallbacks %d\n",
 		s.ZeroCopyShares, s.ZeroCopyCOWBreaks, s.ZeroCopyFallbacks)
+	if w.NIC != nil {
+		nc := w.NIC.Counters()
+		fmt.Printf("  nic: irqs %d, coalesced %d, drains %d, ring-full stalls %d, unshares %d\n",
+			nc.IRQs, nc.Coalesced, nc.Drains, nc.RingFullStalls, nc.Unshares)
+		fmt.Printf("  nic bytes: tx %d (%d frames), rx %d (%d frames)\n",
+			nc.TxBytes, nc.TxFrames, nc.RxBytes, nc.RxFrames)
+	}
 	es := k.ExecStats()
 	fmt.Printf("  cpu decode: pages %d, stale resets %d\n", es.PagesDecoded, es.StaleResets)
 	fmt.Printf("  cpu blocks: built %d, hits %d, bails %d, invalidations %d\n",
@@ -275,6 +298,9 @@ func main() {
 	}
 	if m != nil {
 		k.SyncTraceMetrics()
+		if w.NIC != nil {
+			w.NIC.PublishMetrics(m.Registry)
+		}
 		fmt.Print(m.Registry.Render("kernel metrics"))
 	}
 	if k.ProfileEnabled() {

@@ -1,0 +1,47 @@
+// Netserve: the simulated network stack live — a multi-queue NIC with
+// TX/RX descriptor rings in guest memory, a user-mode network server
+// (driver thread draining the ring, protocol workers answering framed
+// requests over IPC), and a fleet of clients hammering it. The example
+// runs the same load twice — everything off, then interrupt coalescing +
+// zero-copy replies — and shows where the cycles went.
+//
+//	go run ./examples/netserve
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	sc := experiments.NetloadScale{
+		Queues: 1, Workers: 4, Clients: 8, RPCs: 8, RespWords: 16384, // 64 KiB responses
+	}
+	fmt.Printf("netserve: %d clients x %d RPCs, %d KiB responses, %d worker(s)\n\n",
+		sc.Clients, sc.RPCs, sc.RespWords*4/1024, sc.Workers)
+
+	run := func(mode, label string) experiments.NetloadResult {
+		res, err := experiments.NetloadCell(mode, 1, core.LockBig, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", label)
+		fmt.Printf("  throughput %8.1f MB/virtual-s   p50 %6.0f µs   p99 %6.0f µs\n",
+			res.MBPerVirtualS, res.P50, res.P99)
+		fmt.Printf("  nic: %d irqs for %d frames (%d coalesced), %d ring-full stalls\n",
+			res.NIC.IRQs, res.NIC.RxFrames, res.NIC.Coalesced, res.NIC.RingFullStalls)
+		fmt.Printf("  kernel: %d cycles, %d zero-copy page shares, %d DMA unshares\n\n",
+			res.KernelCycles, res.ZeroCopyShares, res.NIC.Unshares)
+		return res
+	}
+
+	naive := run(experiments.NetloadNaive, "naive (interrupt per frame, copied replies)")
+	tuned := run(experiments.NetloadTuned, "tuned (coalesced interrupts, zero-copy replies)")
+
+	fmt.Printf("speedup: %.2fx simulated throughput\n", tuned.MBPerVirtualS/naive.MBPerVirtualS)
+	fmt.Println("same client-visible bytes either way — the equivalence tests pin that;")
+	fmt.Println("only the interrupt discipline and the page-copy cycles changed.")
+}

@@ -223,6 +223,18 @@ type Config struct {
 	// counts identical with the path on and off.
 	DisableZeroCopy bool
 
+	// DisableNICCoalesce turns off the simulated NIC's interrupt
+	// coalescing (NAPI-style polling): instead of one interrupt waking
+	// the driver to drain the RX ring until empty before re-arming, the
+	// NIC delivers one frame per interrupt/acknowledge cycle — the
+	// pre-coalescing cost model. Like DisableIPCFastPath this changes
+	// virtual time — coalescing is a modeled device optimization — but
+	// never user-visible results: TestNICCoalesceEquivalence pins client
+	// memory identical with it on and off, and the off configuration
+	// bit-identical (memory, Stats, clock) run to run. The kernel core
+	// never reads this field; internal/dev latches it at attach time.
+	DisableNICCoalesce bool
+
 	// TLBSize is the software-TLB capacity per address space, rounded up
 	// to a power of two; 0 selects mmu.DefaultTLBSize (256). Purely a
 	// simulator cache: the capacity changes wall-clock cost only, never

@@ -98,9 +98,12 @@ func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
 	if regCarried {
 		perWord = 0
 	}
-	// Zero-copy eligibility for this transfer as a whole: the page-share
-	// path never runs against MMIO windows (device stores must see every
-	// word) and register-carried messages are far below a page anyway.
+	// Zero-copy MMIO screening: the page-share path never runs against a
+	// device register window (device stores must see every word), but a
+	// space that merely *has* windows — a driver space replying straight
+	// out of its DMA region — shares fine from its ordinary pages. The
+	// cheap space-level check here only decides whether the per-page
+	// MMIOAt probe is needed at all; most transfers skip it entirely.
 	zcMMIO := src.Space.AS.HasMMIO() || dst.Space.AS.HasMMIO()
 	zcFellBack := false
 	zcStreak := false        // a share run is open: its tail page shares too
@@ -140,11 +143,13 @@ func (k *Kernel) CopyWords(src, dst *obj.Thread) sys.KErr {
 				srcVA, dstVA := src.Regs.R[1], dst.Regs.R[1]
 				dm := dst.Space.AS.MappingAt(dstVA)
 				switch {
-				case zcMMIO, dm == nil, dm.Perm&mmu.PermWrite == 0:
-					// MMIO space or an unwritable receiver window: the
-					// word loop handles it (storing to a read-only
-					// mapping must raise the same fatal fault it always
-					// did). Count the demotion once per transfer.
+				case zcMMIO && (src.Space.AS.MMIOAt(srcVA) || dst.Space.AS.MMIOAt(dstVA)),
+					dm == nil, dm.Perm&mmu.PermWrite == 0:
+					// An MMIO page on either side or an unwritable
+					// receiver window: the word loop handles it (storing
+					// to a read-only mapping must raise the same fatal
+					// fault it always did, and device registers must see
+					// every word). Count the demotion once per transfer.
 					if !zcFellBack {
 						zcFellBack = true
 						k.countZeroCopyFallback()

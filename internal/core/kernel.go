@@ -254,6 +254,25 @@ func (k *Kernel) NewSpace() *obj.Space {
 	return k.newSpaceInternal()
 }
 
+// SetSpaceHome pins a space to CPU cpu: threads created in it afterwards
+// inherit that home. Device attach code uses it to put each driver space
+// (and so every thread that may touch the device's registers, and every
+// timer the device arms on the space's home clock) on one chosen CPU —
+// the single-writer discipline that makes MMIO devices safe under
+// ParallelHost and lets multi-queue devices spread queues across CPUs.
+func (k *Kernel) SetSpaceHome(s *obj.Space, cpu int) {
+	if cpu < 0 || cpu >= len(k.cpus) {
+		panic("core: SetSpaceHome CPU out of range")
+	}
+	s.HomeCPU = cpu
+}
+
+// CPUClock returns CPU i's local clock — the clock a device serving a
+// space homed on CPU i must arm its timers on, so completions fire on
+// the goroutine (ParallelHost) or virtual-time stream (deterministic
+// interleaver) that owns the device's state.
+func (k *Kernel) CPUClock(i int) *clock.Clock { return k.cpus[i].clk }
+
 func (k *Kernel) newSpaceInternal() *obj.Space {
 	s := obj.NewSpace(mmu.NewAddrSpaceTLB(k.Alloc, k.cfg.TLBSize))
 	if k.fineSpaceLocks() {

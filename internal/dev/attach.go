@@ -1,14 +1,10 @@
 package dev
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/mem"
-	"repro/internal/mmu"
 	"repro/internal/obj"
 	"repro/internal/prog"
-	"repro/internal/sys"
 )
 
 // Driver-space guest layout.
@@ -38,45 +34,28 @@ type Driver struct {
 // Protocol: request = 1 word (sector number); reply = 128 words (the
 // sector's 512 bytes), sent straight out of the DMA window.
 func Attach(k *core.Kernel, capacity int, irqLine int, latency uint64, priority int) (*Driver, error) {
-	if irqLine < 0 || irqLine >= core.NumIRQLines {
-		return nil, fmt.Errorf("dev: IRQ line %d out of range", irqLine)
+	raise, err := IRQRaiser(k, irqLine)
+	if err != nil {
+		return nil, err
 	}
 	s := k.NewSpace()
 
 	// DMA region: one page is plenty for single-sector transfers.
-	dmaReg := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(mem.PageSize, true)}
-	k.BindFresh(s, dmaReg)
-	if _, err := k.MapInto(s, dmaReg, drvDMA, 0, mem.PageSize, mmu.PermRW); err != nil {
-		return nil, err
-	}
-	// Pre-touch the DMA window so replies sent from it never fault.
-	if err := k.WriteMem(s, drvDMA, make([]byte, mem.PageSize)); err != nil {
+	dmaReg, err := MapDMA(k, s, drvDMA, mem.PageSize)
+	if err != nil {
 		return nil, err
 	}
 
-	d := New(k.Clock, k.Alloc, capacity, dmaReg.R, latency, func() { k.RaiseIRQ(irqLine) })
-	if err := s.AS.MapIO(drvMMIO, mem.PageSize, d); err != nil {
+	d := New(k.Clock, k.Alloc, capacity, dmaReg.R, latency, raise)
+	if err := MapRegisters(s, drvMMIO, mem.PageSize, d); err != nil {
 		return nil, err
 	}
 
-	// Scratch/request page.
-	scratch := &obj.Region{Header: obj.Header{Type: sys.ObjRegion}, R: mmu.NewRegion(mem.PageSize, true)}
-	k.BindFresh(s, scratch)
-	if _, err := k.MapInto(s, scratch, drvData, 0, mem.PageSize, mmu.PermRW); err != nil {
-		return nil, err
-	}
-	if err := k.WriteMem(s, drvData, make([]byte, 64)); err != nil {
+	if _, err := MapScratch(k, s, drvData); err != nil {
 		return nil, err
 	}
 
-	// Service port.
-	po, _ := obj.New(sys.ObjPort)
-	pso, _ := obj.New(sys.ObjPortset)
-	port := po.(*obj.Port)
-	ps := pso.(*obj.Portset)
-	k.BindFresh(s, port)
-	psVA := k.BindFresh(s, ps)
-	ps.AddPort(port)
+	port, _, psVA := NewServicePort(k, s)
 
 	b := DriverProgram(psVA, uint32(irqLine))
 	th, err := k.SpawnProgram(s, drvCode, b.MustAssemble(), priority)
@@ -89,8 +68,7 @@ func Attach(k *core.Kernel, capacity int, irqLine int, latency uint64, priority 
 // ClientRef binds a Reference to the driver's port into a client space
 // and returns its handle VA.
 func (dr *Driver) ClientRef(k *core.Kernel, client *obj.Space) uint32 {
-	ref := &obj.Ref{Header: obj.Header{Type: sys.ObjRef}, Target: dr.Port}
-	return k.BindFresh(client, ref)
+	return BindClientRef(k, client, dr.Port)
 }
 
 // DriverProgram builds the driver service loop:

@@ -59,6 +59,14 @@ func (as *AddrSpace) ioAt(va uint32) *ioWindow {
 // IOWindows returns the number of installed device windows.
 func (as *AddrSpace) IOWindows() int { return len(as.io) }
 
+// MMIOAt reports whether va falls inside a device register window. The
+// zero-copy IPC path uses it to demote exactly the pages that really are
+// device registers (stores there must reach the IOHandler word by word)
+// instead of refusing every transfer touching a space that has any
+// window mapped — a driver space's DMA buffers are ordinary memory and
+// share fine.
+func (as *AddrSpace) MMIOAt(va uint32) bool { return as.ioAt(va) != nil }
+
 // ioLoad32 handles a load that may hit a device window; hit reports
 // whether it did.
 func (as *AddrSpace) ioLoad32(va uint32) (v uint32, hit bool, flt *cpu.Fault) {

@@ -129,6 +129,48 @@ func (r *Region) Evict(off uint32) *mem.Frame {
 	return f
 }
 
+// Repoint replaces the frame backing the page at off, like Populate, but
+// instead of flushing watchers' derived translations it re-derives each
+// installed PTE in place: the entry is updated to the new frame with
+// exactly the permission a refault would install (the mapping's, minus
+// write while the frame is copy-on-write). Pages never translated stay
+// lazy. Devices use this when replacing a frame they are about to DMA
+// into — breaking a COW share from outside the MMU's store path — so the
+// importing spaces keep their translations hot instead of each paying a
+// soft fault on the next touch.
+func (r *Region) Repoint(off uint32, f *mem.Frame) *mem.Frame {
+	if off >= r.Size {
+		panic(fmt.Sprintf("mmu: Repoint offset %#x beyond region size %#x", off, r.Size))
+	}
+	old := r.frames[off/mem.PageSize]
+	r.frames[off/mem.PageSize] = f
+	if old == f {
+		return old
+	}
+	po := mem.PageTrunc(off)
+	for _, as := range r.watchers {
+		for _, m := range as.mappings {
+			if m.Region != r || po < m.RegionOff || po-m.RegionOff >= m.Size {
+				continue
+			}
+			vpn := mem.VPN(m.Base + (po - m.RegionOff))
+			if _, ok := as.pt[vpn]; !ok {
+				continue
+			}
+			perm := m.Perm
+			if f.Cow {
+				perm &^= PermWrite
+			}
+			as.flushSlot(vpn)
+			as.pt[vpn] = pte{frame: f, perm: perm}
+			if e := &as.icache[vpn%icSize]; e.page != nil && e.vpn == vpn {
+				*e = icEntry{}
+			}
+		}
+	}
+	return old
+}
+
 // flushDerived drops cached translations of the region page at off from
 // every space importing it.
 func (r *Region) flushDerived(off uint32) {
@@ -592,17 +634,20 @@ func (as *AddrSpace) ResolveCOW(va uint32) (copied bool, err error) {
 // breaks the share.
 //
 // Both addresses must be page-aligned, covered by a readable source /
-// writable destination mapping with no MMIO windows, and the source page
-// must be present. ShareCOW reports false without changing anything when a
-// precondition fails — the caller falls back to the copying path, which
-// raises exactly the faults the copy would. Sharing a page with itself, or
-// re-sending a page that is already shared into the same slot, succeeds as
-// a no-op.
+// writable destination mapping, neither page a device register window,
+// and the source page must be present. The window check is per page, not
+// per space: a driver space that has registers mapped elsewhere — the
+// network server replying straight out of its NIC DMA region — shares
+// its ordinary pages fine. ShareCOW reports false without changing
+// anything when a precondition fails — the caller falls back to the
+// copying path, which raises exactly the faults the copy would. Sharing
+// a page with itself, or re-sending a page that is already shared into
+// the same slot, succeeds as a no-op.
 func ShareCOW(src *AddrSpace, srcVA uint32, dst *AddrSpace, dstVA uint32) bool {
 	if srcVA%mem.PageSize != 0 || dstVA%mem.PageSize != 0 {
 		return false
 	}
-	if len(src.io) > 0 || len(dst.io) > 0 {
+	if src.ioAt(srcVA) != nil || dst.ioAt(dstVA) != nil {
 		return false
 	}
 	sm := src.MappingAt(srcVA)

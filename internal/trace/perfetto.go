@@ -172,6 +172,9 @@ func ExportJSONMeta(w io.Writer, events []Event, meta map[string]string) error {
 		case Share:
 			out = append(out, instant(e, "share",
 				map[string]string{"va": fmt.Sprintf("%#x", e.A), "pfn": fmt.Sprintf("%d", e.B)}))
+		case NICDrain:
+			out = append(out, instant(e, fmt.Sprintf("nic drain q%d", e.A),
+				map[string]string{"queue": fmt.Sprintf("%d", e.A), "frames": fmt.Sprintf("%d", e.B)}))
 		case COWBreak:
 			mode := "upgrade"
 			if e.B != 0 {

@@ -56,6 +56,11 @@ const (
 	// steals, and completion. Exported as Perfetto flow events, consumed
 	// by the flukebench -critpath analyzer.
 	Flow
+	// NICDrain: A = NIC queue index, B = frames the device handed to the
+	// driver since the previous drain boundary (the arm write that
+	// re-enabled the queue's interrupt). B > 1 means the drain coalesced
+	// that many frame deliveries behind one interrupt.
+	NICDrain
 )
 
 // Flow points (Event.B of a Flow event): where along its causal chain a
@@ -124,6 +129,8 @@ func (k Kind) String() string {
 		return "cowbreak"
 	case Flow:
 		return "flow"
+	case NICDrain:
+		return "nicdrain"
 	}
 	return fmt.Sprintf("kind%d", uint8(k))
 }
@@ -180,6 +187,8 @@ func (e Event) String() string {
 		detail = fmt.Sprintf("t%d from cpu%d", e.B, e.A)
 	case Flow:
 		detail = fmt.Sprintf("span=%d %s", e.A, FlowPointName(e.B))
+	case NICDrain:
+		detail = fmt.Sprintf("queue %d frames=%d", e.A, e.B)
 	}
 	return fmt.Sprintf("[%12.2fus] c%d t%-3d %-7s %s", clock.Micros(e.Time), e.CPU, e.TID, e.Kind, detail)
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/dev"
 	"repro/internal/obj"
 )
 
@@ -18,6 +19,14 @@ type Workload struct {
 	// Done lists the threads that must exit for the run to count as
 	// complete (service threads may run forever).
 	Done []*obj.Thread
+	// NIC is the simulated network device behind the workload, when it
+	// has one (netserve) — the harness reads its counters for the stats
+	// line and the dev.nic.* metrics.
+	NIC *dev.NIC
+	// Check, when set, validates guest-visible results after the run
+	// (payload stamps, error counters) — correctness the exit codes
+	// alone cannot express.
+	Check func() error
 }
 
 // Run executes the workload until its Done threads exit (with a

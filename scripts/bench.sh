@@ -4,8 +4,9 @@
 # with the IPC direct-handoff fast path on vs off, the IPC round-trip
 # under every kernel configuration, the multiprocessor IPC-scaling
 # matrix (CPU count x lock model), the 1-64 CPU lock-model crossover
-# sweep (big vs persub vs fine), and the bulk-IPC bandwidth sweep with
-# zero-copy frame sharing on vs off.
+# sweep (big vs persub vs fine), the bulk-IPC bandwidth sweep with
+# zero-copy frame sharing on vs off, and the NIC netload sweep
+# (interrupt coalescing x zero-copy replies, then CPUs x lock models).
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime   value for -benchtime (default 1s; use e.g. 5x for smoke)
@@ -41,7 +42,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
 go test -run='^$' \
-    -bench='BenchmarkInterpreter$|BenchmarkInterpreterProfiled$|BenchmarkInterpreterDecodeCache$|BenchmarkInterpreterStraightLine$|BenchmarkInterpreterBranchHeavy$|BenchmarkInterpreterSelfModifying$|BenchmarkNullSyscall$|BenchmarkNullRPC$|BenchmarkBandwidth$|BenchmarkIPCRoundTrip$|BenchmarkIPCScaling$' \
+    -bench='BenchmarkInterpreter$|BenchmarkInterpreterProfiled$|BenchmarkInterpreterDecodeCache$|BenchmarkInterpreterStraightLine$|BenchmarkInterpreterBranchHeavy$|BenchmarkInterpreterSelfModifying$|BenchmarkNullSyscall$|BenchmarkNullRPC$|BenchmarkBandwidth$|BenchmarkIPCRoundTrip$|BenchmarkIPCScaling$|BenchmarkNetload$' \
     -benchtime="$BENCHTIME" .
 
 # Stats snapshot cost on a 64-CPU fine-model kernel: the StatsInto row
@@ -57,5 +58,7 @@ echo
 go run ./cmd/flukebench -bandwidth
 echo
 go run ./cmd/flukebench -crossover
+echo
+go run ./cmd/flukebench -netload
 echo
 exec go run ./cmd/flukebench -critpath -fast

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mmu"
@@ -277,6 +278,26 @@ func BenchmarkNetload(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkMigrate measures the pre-copy live-migration path on the
+// 4 MiB / 32-hot-page writer cell. Wall-clock ns/op measures the
+// simulator; the paper-comparable results are the attached metrics:
+// simulated downtime, the stop-and-copy downtime the same space would
+// have been frozen for, and their ratio (TestMigrationSpeedup and
+// TestMigratePrecopy pin the underlying invariants).
+func BenchmarkMigrate(b *testing.B) {
+	var r experiments.MigrateResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.MigrateCell(4<<20, 32, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.DowntimeCycles)/clock.CyclesPerMicrosecond, "downtime-virtual-us")
+	b.ReportMetric(float64(r.StopCopyCycles)/clock.CyclesPerMicrosecond, "stopcopy-virtual-us")
+	b.ReportMetric(r.Ratio, "downtime-ratio")
 }
 
 // BenchmarkIPCRoundTrip measures the simulator's full RPC path (connect,

@@ -53,9 +53,10 @@ func main() {
 	critpath := flag.Bool("critpath", false, "run only the causal critical-path decomposition (null-RPC and bulk transfers, hop by hop)")
 	interp := flag.Bool("interp", false, "run only the interpreter-tier comparison (slow vs decode-cache vs threaded code)")
 	netload := flag.Bool("netload", false, "run only the NIC load generator (coalescing x zero-copy modes, then the tuned CPU x lock-model sweep)")
+	migrate := flag.Bool("migrate", false, "run only the pre-copy live-migration sweep (working set x write rate x rounds)")
 	flag.Parse()
 
-	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *nullrpc || *ablate || *driver || *scaling || *crossover || *bandwidth || *critpath || *interp || *netload
+	any := *t3 || *t5 || *t6 || *t7 || *nullsys || *nullrpc || *ablate || *driver || *scaling || *crossover || *bandwidth || *critpath || *interp || *netload || *migrate
 	show := func(sel bool) bool { return sel || !any }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "flukebench:", err)
@@ -239,6 +240,16 @@ func main() {
 			}
 			matrix("interrupt", "partial", "1,2,4", "big,persub,fine")
 			fmt.Println(experiments.NetloadRender(rep))
+		})
+	}
+	if *migrate {
+		timed("pre-copy migration", func() {
+			rows, err := experiments.Migrate(*fast)
+			if err != nil {
+				fail(err)
+			}
+			matrix("process", "none", "1", "big")
+			fmt.Println(experiments.MigrateRender(rows))
 		})
 	}
 	if show(*scaling) {

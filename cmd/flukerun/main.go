@@ -16,8 +16,10 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/checkpoint"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/observe"
 	"repro/internal/sys"
@@ -49,6 +51,7 @@ func main() {
 	profileFolded := flag.String("profile-folded", "", "enable the cycle profiler and write folded stacks to FILE (flamegraph.pl / speedscope input)")
 	spansFlag := flag.Bool("spans", false, "enable causal IPC spans (Perfetto flow events in the -trace-out / -listen export)")
 	listen := flag.String("listen", "", "serve live observation on ADDR (:8080): /metrics Prometheus text, /profile pprof, /trace Perfetto JSON; implies -metrics and the profiler")
+	ckptUS := flag.Uint64("checkpoint", 0, "warm-snapshot the workload space every N virtual µs (first full, then incremental deltas) and print the checkpoint accounting")
 	flag.Parse()
 
 	cfg := core.Config{
@@ -191,6 +194,54 @@ func main() {
 		fmt.Printf("observing on http://%s (/metrics /profile /trace)\n", srv.Addr())
 	}
 
+	// Periodic warm checkpoints: the first poll past each interval takes
+	// a memory snapshot of the workload's space without stopping it — a
+	// full one the first time, incremental deltas after. The dirty
+	// tracker keeps the deltas proportional to the write rate, and the
+	// accounting below shows what that saves over full snapshots.
+	var ck struct {
+		base                  *checkpoint.Image
+		fulls, deltas         int
+		fullBytes, deltaBytes int
+		cleanFrames           int
+	}
+	if *ckptUS > 0 {
+		if len(w.Done) == 0 {
+			fail(fmt.Errorf("-checkpoint: workload %s has no completion threads to locate a space", w.Name))
+		}
+		ckSpace := w.Done[0].Space
+		interval := *ckptUS * clock.CyclesPerMicrosecond
+		next := k.Now() + interval
+		inner := poll
+		poll = func() {
+			if inner != nil {
+				inner()
+			}
+			if k.Now() < next || ckSpace.Dead {
+				return
+			}
+			next = k.Now() + interval
+			if ck.base == nil {
+				img, err := checkpoint.SnapshotMemory(k, ckSpace)
+				if err != nil {
+					fail(err)
+				}
+				ck.base = img
+				ck.fulls++
+				ck.fullBytes += img.FrameBytes()
+				return
+			}
+			d, img, err := checkpoint.SnapshotMemoryDelta(k, ckSpace, ck.base)
+			if err != nil {
+				fail(err)
+			}
+			ck.base = img
+			ck.deltas++
+			ck.deltaBytes += d.FrameBytes()
+			ck.cleanFrames += d.CleanFrames
+		}
+	}
+
 	cycles, err := w.RunPolling(1<<62, poll)
 	if err != nil {
 		fail(err)
@@ -221,6 +272,15 @@ func main() {
 		s.FastpathHits, s.FastpathMisses, s.FastpathFallbacks)
 	fmt.Printf("  ipc zerocopy: shares %d, cow breaks %d, fallbacks %d\n",
 		s.ZeroCopyShares, s.ZeroCopyCOWBreaks, s.ZeroCopyFallbacks)
+	if *ckptUS > 0 {
+		avoided := ck.cleanFrames * int(mem.PageSize)
+		ratio := 0.0
+		if ck.deltaBytes+avoided > 0 {
+			ratio = float64(ck.deltaBytes) / float64(ck.deltaBytes+avoided)
+		}
+		fmt.Printf("  ckpt: %d full (%d KiB), %d delta (%d KiB shipped, %d KiB clean-skipped, incremental ratio %.3f)\n",
+			ck.fulls, ck.fullBytes>>10, ck.deltas, ck.deltaBytes>>10, avoided>>10, ratio)
+	}
 	if w.NIC != nil {
 		nc := w.NIC.Counters()
 		fmt.Printf("  nic: irqs %d, coalesced %d, drains %d, ring-full stalls %d, unshares %d\n",

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/dev"
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/obj"
@@ -103,25 +104,68 @@ type Image struct {
 	Frames   []FrameRecord
 	Regions  []RegionRecord
 	Mappings []MappingRecord
+
+	// NIC, when non-nil, carries the saved state of a network interface
+	// whose rings live in this space's memory (CaptureWithNIC). The DMA
+	// pages themselves are ordinary region pages and travel in Frames;
+	// this is the device-side state: ring indexes, interrupt posture,
+	// in-flight timers and pending wire frames.
+	NIC *dev.NICState
+
+	// live maps the physical frames this capture walked to their Frames
+	// indexes. It is transient (identity-based, meaningless outside the
+	// source kernel) and exists so the image can serve as the parent of
+	// a later delta snapshot: a page still backed by a frame in live,
+	// and clean per the dirty tracker, need not be captured again.
+	live map[*mem.Frame]int
 }
 
-// Capture checkpoints space s: stops every thread (promptly — settling
-// any thread the full-preemption configuration parked mid-kernel), then
-// records threads, handle table, mappings, and memory. Threads are left
-// stopped; call ResumeAll or discard the space.
-func Capture(k *core.Kernel, s *obj.Space) (*Image, error) {
-	// Remember which threads were suspended *before* the checkpointer
-	// froze the space: those stay stopped on restore; the rest run.
-	preStopped := map[*obj.Thread]bool{}
-	for _, t := range s.Threads {
-		preStopped[t] = t.Stopped
-		k.Settle(t)
-		t.Stopped = true
+// FrameBytes returns the frame payload carried by the image — the
+// dominant cost of a snapshot, and the quantity delta snapshots shrink.
+func (img *Image) FrameBytes() int {
+	n := 0
+	for _, f := range img.Frames {
+		n += len(f.Data)
 	}
-	img := &Image{}
+	return n
+}
 
-	// Frames reachable from captured regions, deduplicated by identity so
-	// a COW-shared frame is recorded once however many slots alias it.
+// memCap accumulates the distinct regions reachable from a space's
+// mappings and region handles. Page contents are recorded in a finalize
+// sweep (finalizeFull or finalizeDelta) so that full and delta snapshots
+// share one enumeration, and so the delta sweep can decide captured-vs-
+// parent-referenced per *frame* globally — a frame aliased into several
+// regions by zero-copy IPC must resolve the same way at every site.
+type memCap struct {
+	s    *obj.Space
+	idx  map[*mmu.Region]int
+	regs []*mmu.Region
+}
+
+func newMemCap(s *obj.Space) *memCap {
+	return &memCap{s: s, idx: map[*mmu.Region]int{}}
+}
+
+func (c *memCap) regionOf(r *mmu.Region) int {
+	if i, ok := c.idx[r]; ok {
+		return i
+	}
+	c.idx[r] = len(c.regs)
+	c.regs = append(c.regs, r)
+	return c.idx[r]
+}
+
+func (c *memCap) pagerVA(r *mmu.Region) uint32 {
+	if p, ok := r.Pager.(*obj.Port); ok && p != nil && p.Owner == c.s {
+		return p.VA
+	}
+	return 0
+}
+
+// finalizeFull records every present page of every walked region,
+// deduplicating frames by identity, and leaves img able to parent a
+// delta (live map filled, dirty tracking re-armed on all regions).
+func (c *memCap) finalizeFull(img *Image) {
 	frameIdx := map[*mem.Frame]int{}
 	frameOf := func(f *mem.Frame) int {
 		if i, ok := frameIdx[f]; ok {
@@ -133,25 +177,60 @@ func Capture(k *core.Kernel, s *obj.Space) (*Image, error) {
 		})
 		return frameIdx[f]
 	}
-
-	// Regions reachable from the space's mappings (deduplicated).
-	regIdx := map[*mmu.Region]int{}
-	regionOf := func(r *mmu.Region) int {
-		if i, ok := regIdx[r]; ok {
-			return i
+	img.Regions = make([]RegionRecord, 0, len(c.regs))
+	for _, r := range c.regs {
+		rec := RegionRecord{
+			Size: r.Size, DemandZero: r.DemandZero,
+			PagerPortVA: c.pagerVA(r), Pages: map[uint32]int{},
 		}
-		rec := RegionRecord{Size: r.Size, DemandZero: r.DemandZero, Pages: map[uint32]int{}}
 		for off := uint32(0); off < r.Size; off += mem.PageSize {
 			if f := r.FrameAt(off); f != nil {
 				rec.Pages[off] = frameOf(f)
 			}
 		}
-		if p, ok := r.Pager.(*obj.Port); ok && p != nil && p.Owner == s {
-			rec.PagerPortVA = p.VA
-		}
-		regIdx[r] = len(img.Regions)
 		img.Regions = append(img.Regions, rec)
-		return regIdx[r]
+	}
+	img.live = frameIdx
+	c.rearm()
+}
+
+// rearm restarts dirty tracking on every walked region, making the
+// snapshot just taken a valid delta parent. Arming costs no simulated
+// cycles (see internal/mmu), so every capture does it unconditionally.
+func (c *memCap) rearm() {
+	for _, r := range c.regs {
+		r.StartDirtyTracking()
+	}
+}
+
+// Capture checkpoints space s: stops every thread (promptly — settling
+// any thread the full-preemption configuration parked mid-kernel), then
+// records threads, handle table, mappings, and memory. Threads are left
+// stopped; call ResumeAll or discard the space.
+func Capture(k *core.Kernel, s *obj.Space) (*Image, error) {
+	img := &Image{}
+	c := newMemCap(s)
+	img.Threads, img.Objects, img.Mappings = captureStruct(k, s, c)
+	c.finalizeFull(img)
+	if k.Metrics != nil {
+		k.Metrics.CkptSnapshots.Inc()
+		k.Metrics.CkptFramesCaptured.Add(uint64(len(img.Frames)))
+	}
+	return img, nil
+}
+
+// captureStruct stops every thread of s (promptly), then records the
+// structural side of a checkpoint — threads, handle table, mappings —
+// registering every reachable region with c. Page contents are left to
+// the caller's finalize sweep (full or delta).
+func captureStruct(k *core.Kernel, s *obj.Space, c *memCap) (threads []ThreadRecord, objects []ObjectRecord, mappings []MappingRecord) {
+	// Remember which threads were suspended *before* the checkpointer
+	// froze the space: those stay stopped on restore; the rest run.
+	preStopped := map[*obj.Thread]bool{}
+	for _, t := range s.Threads {
+		preStopped[t] = t.Stopped
+		k.Settle(t)
+		t.Stopped = true
 	}
 
 	mapIdx := map[*mmu.Mapping]int{}
@@ -159,10 +238,10 @@ func Capture(k *core.Kernel, s *obj.Space) (*Image, error) {
 		if m.Base == core.KObjBase {
 			continue // the reserved kernel-handle window is rebuilt by NewSpace
 		}
-		mapIdx[m] = len(img.Mappings)
-		img.Mappings = append(img.Mappings, MappingRecord{
+		mapIdx[m] = len(mappings)
+		mappings = append(mappings, MappingRecord{
 			Base: m.Base, Size: m.Size,
-			RegionIdx: regionOf(m.Region), RegionOff: m.RegionOff, Perm: m.Perm,
+			RegionIdx: c.regionOf(m.Region), RegionOff: m.RegionOff, Perm: m.Perm,
 		})
 	}
 
@@ -189,7 +268,7 @@ func Capture(k *core.Kernel, s *obj.Space) (*Image, error) {
 			if x.IPCServer.Peer != nil {
 				tr.SrvPeerID = x.IPCServer.Peer.ID
 			}
-			img.Threads = append(img.Threads, tr)
+			threads = append(threads, tr)
 		default:
 			rec := ObjectRecord{VA: va, Type: h.Type, Name: h.Name, RegionIdx: -1, MappingIdx: -1}
 			switch x := o.(type) {
@@ -199,7 +278,7 @@ func Capture(k *core.Kernel, s *obj.Space) (*Image, error) {
 					rec.MutexHolderID = x.Holder.ID
 				}
 			case *obj.Region:
-				rec.RegionIdx = regionOf(x.R)
+				rec.RegionIdx = c.regionOf(x.R)
 			case *obj.Mapping:
 				if i, ok := mapIdx[x.M]; ok {
 					rec.MappingIdx = i
@@ -216,11 +295,35 @@ func Capture(k *core.Kernel, s *obj.Space) (*Image, error) {
 					}
 				}
 			}
-			img.Objects = append(img.Objects, rec)
+			objects = append(objects, rec)
 		}
 		_ = h
 	}
+	return threads, objects, mappings
+}
+
+// CaptureWithNIC is Capture plus the device-side state of a NIC whose
+// rings live in s's memory: the returned image restores to a space whose
+// in-flight transmit/receive traffic resumes where it left off (pair
+// with RestoreNIC after Restore).
+func CaptureWithNIC(k *core.Kernel, s *obj.Space, nic *dev.NIC) (*Image, error) {
+	img, err := Capture(k, s)
+	if err != nil {
+		return nil, err
+	}
+	img.NIC = nic.SaveState()
 	return img, nil
+}
+
+// RestoreNIC loads the image's saved NIC state into nic, which the
+// caller has attached to the restored space exactly as the original was
+// attached to the source (same queue shapes, same DMA region layout —
+// the DMA pages themselves were restored with the space's memory).
+func RestoreNIC(img *Image, nic *dev.NIC) error {
+	if img.NIC == nil {
+		return fmt.Errorf("checkpoint: image carries no NIC state")
+	}
+	return nic.LoadState(img.NIC)
 }
 
 // Restore materializes an image as a new space on kernel k2 (which may be

@@ -1,0 +1,293 @@
+// Incremental (delta) snapshots: checkpoint cost proportional to what
+// changed, not what exists.
+//
+// A snapshot taken against a parent image re-captures the cheap
+// structural state in full — threads, handle table, mappings, region
+// shapes are a few hundred bytes — but frame payloads, the dominant
+// cost, only for pages the dirty tracker cannot prove unchanged. A page
+// may reference its parent's frame record instead of carrying bytes
+// when three things hold: its region has been tracking since the parent
+// was taken, the tracker never logged the page (no store, no
+// frame-identity or sharing change — see internal/mmu), and the parent
+// actually captured the backing frame. Because any change of a page's
+// backing frame is logged, a clean page has referenced the same pinned
+// frame continuously since arming, so the parent's identity map (live)
+// cannot be fooled by a freed-and-recycled frame pointer.
+//
+// The decision is made per frame, globally: a frame aliased into
+// several region slots by zero-copy IPC is parent-referenced only if
+// every aliasing page is clean, and captured exactly once otherwise —
+// so the restored sharing structure (refcounts, copy-on-write marks)
+// is identical whichever path a page took. TestDeltaEquivalence pins
+// base+delta restore bit-identical to full-image restore, the same way
+// every fast path in this repo is pinned against its slow path.
+package checkpoint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/mem"
+	"repro/internal/obj"
+)
+
+// PageRef names the backing frame for one present page of a delta
+// snapshot: an index into the delta's own Frames when Delta is set, or
+// into the parent image's Frames when the page was provably unchanged.
+type PageRef struct {
+	Delta bool
+	Idx   int
+}
+
+// DeltaRegionRecord is a RegionRecord whose pages may reference parent
+// frames. Every present page appears — a page absent here but present
+// in the parent was evicted and stays absent after restore.
+type DeltaRegionRecord struct {
+	Size        uint32
+	DemandZero  bool
+	PagerPortVA uint32
+	Pages       map[uint32]PageRef
+}
+
+// DeltaImage is a snapshot taken against a parent Image. Structure is
+// complete (Apply needs nothing from the parent but frame bytes), so a
+// delta restores anywhere the parent could, given the parent image.
+type DeltaImage struct {
+	Threads  []ThreadRecord
+	Objects  []ObjectRecord
+	Frames   []FrameRecord // dirty frames only
+	Regions  []DeltaRegionRecord
+	Mappings []MappingRecord
+	NIC      *dev.NICState
+
+	// CleanFrames counts the distinct frames referenced from the parent
+	// instead of captured — the frames the dirty tracker saved.
+	CleanFrames int
+}
+
+// FrameBytes returns the frame payload the delta actually carries: the
+// transfer cost of shipping this snapshot given the receiver already
+// holds the parent.
+func (d *DeltaImage) FrameBytes() int {
+	n := 0
+	for _, f := range d.Frames {
+		n += len(f.Data)
+	}
+	return n
+}
+
+// finalizeDelta records every present page of every walked region as a
+// PageRef against parent. It returns identity maps for the frames it
+// captured (frame → delta Frames index) and the frames it referenced
+// from the parent (frame → parent Frames index), so the caller can
+// build the applied image's live map. Tracking is re-armed.
+func (c *memCap) finalizeDelta(d *DeltaImage, parent *Image) (deltaIdx, parentRef map[*mem.Frame]int) {
+	// Sweep 1: decide per frame, across every region that references it.
+	must := map[*mem.Frame]bool{}
+	for _, r := range c.regs {
+		tracking := r.DirtyTracking()
+		for off := uint32(0); off < r.Size; off += mem.PageSize {
+			f := r.FrameAt(off)
+			if f == nil {
+				continue
+			}
+			_, inParent := parent.live[f]
+			if !tracking || r.IsDirty(off) || !inParent {
+				must[f] = true
+			}
+		}
+	}
+
+	// Sweep 2: assign references.
+	deltaIdx = map[*mem.Frame]int{}
+	parentRef = map[*mem.Frame]int{}
+	d.Regions = make([]DeltaRegionRecord, 0, len(c.regs))
+	for _, r := range c.regs {
+		rec := DeltaRegionRecord{
+			Size: r.Size, DemandZero: r.DemandZero,
+			PagerPortVA: c.pagerVA(r), Pages: map[uint32]PageRef{},
+		}
+		for off := uint32(0); off < r.Size; off += mem.PageSize {
+			f := r.FrameAt(off)
+			if f == nil {
+				continue
+			}
+			if must[f] {
+				i, ok := deltaIdx[f]
+				if !ok {
+					i = len(d.Frames)
+					deltaIdx[f] = i
+					d.Frames = append(d.Frames, FrameRecord{
+						Data: append([]byte(nil), f.Data...), Cow: f.Cow,
+					})
+				}
+				rec.Pages[off] = PageRef{Delta: true, Idx: i}
+			} else {
+				pi := parent.live[f]
+				parentRef[f] = pi
+				rec.Pages[off] = PageRef{Delta: false, Idx: pi}
+			}
+		}
+		d.Regions = append(d.Regions, rec)
+	}
+	d.CleanFrames = len(parentRef)
+	c.rearm()
+	return deltaIdx, parentRef
+}
+
+// apply materializes the delta against parent into a plain Image,
+// returning also the map from parent frame index to new frame index so
+// CaptureDelta can graft an identity live map onto the result. Delta
+// frames occupy indexes [0, len(d.Frames)); parent frames are appended
+// on first reference.
+func (d *DeltaImage) apply(parent *Image) (*Image, map[int]int, error) {
+	img := &Image{
+		Threads:  d.Threads,
+		Objects:  d.Objects,
+		Mappings: d.Mappings,
+		NIC:      d.NIC,
+		Frames:   append([]FrameRecord(nil), d.Frames...),
+	}
+	parentMap := map[int]int{}
+	img.Regions = make([]RegionRecord, 0, len(d.Regions))
+	for _, rr := range d.Regions {
+		rec := RegionRecord{
+			Size: rr.Size, DemandZero: rr.DemandZero,
+			PagerPortVA: rr.PagerPortVA, Pages: map[uint32]int{},
+		}
+		// Walk pages in address order: parent frames are appended on
+		// first reference, and a chained delta captured against this
+		// image names them by index, so the order must be a function of
+		// the delta alone — not of map iteration.
+		offs := make([]uint32, 0, len(rr.Pages))
+		for off := range rr.Pages {
+			offs = append(offs, off)
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		for _, off := range offs {
+			pr := rr.Pages[off]
+			if pr.Delta {
+				if pr.Idx < 0 || pr.Idx >= len(d.Frames) {
+					return nil, nil, fmt.Errorf("checkpoint: delta frame %d out of range", pr.Idx)
+				}
+				rec.Pages[off] = pr.Idx
+				continue
+			}
+			ni, ok := parentMap[pr.Idx]
+			if !ok {
+				if parent == nil || pr.Idx < 0 || pr.Idx >= len(parent.Frames) {
+					return nil, nil, fmt.Errorf("checkpoint: parent frame %d not available", pr.Idx)
+				}
+				ni = len(img.Frames)
+				img.Frames = append(img.Frames, parent.Frames[pr.Idx])
+				parentMap[pr.Idx] = ni
+			}
+			rec.Pages[off] = ni
+		}
+		img.Regions = append(img.Regions, rec)
+	}
+	return img, parentMap, nil
+}
+
+// Apply materializes the delta against its parent into a plain Image,
+// restorable with Restore like any full snapshot. Applying a chain is
+// just folding: Apply each delta onto the image produced by the last.
+func (d *DeltaImage) Apply(parent *Image) (*Image, error) {
+	img, _, err := d.apply(parent)
+	return img, err
+}
+
+// graftLive builds img.live from the walker's identity maps and apply's
+// parent index remapping, so img can itself parent the next delta.
+func graftLive(img *Image, deltaIdx, parentRef map[*mem.Frame]int, parentMap map[int]int) {
+	img.live = make(map[*mem.Frame]int, len(deltaIdx)+len(parentRef))
+	for f, i := range deltaIdx {
+		img.live[f] = i
+	}
+	for f, pi := range parentRef {
+		img.live[f] = parentMap[pi]
+	}
+}
+
+// CaptureDelta checkpoints space s against parent (an Image previously
+// captured from the same live space): a full Capture whose frame
+// payload holds only what changed. It returns both the delta (what a
+// migration would ship) and the materialized image (delta applied to
+// parent, ready for Restore or to parent the next delta). Threads are
+// left stopped, exactly like Capture.
+func CaptureDelta(k *core.Kernel, s *obj.Space, parent *Image) (*DeltaImage, *Image, error) {
+	d := &DeltaImage{}
+	c := newMemCap(s)
+	d.Threads, d.Objects, d.Mappings = captureStruct(k, s, c)
+	deltaIdx, parentRef := c.finalizeDelta(d, parent)
+	img, parentMap, err := d.apply(parent)
+	if err != nil {
+		return nil, nil, err
+	}
+	graftLive(img, deltaIdx, parentRef, parentMap)
+	countDelta(k, d)
+	return d, img, nil
+}
+
+// walkRegions registers every region reachable from s's mappings and
+// region handles without touching thread state — the enumeration
+// captureStruct performs, minus stopping the space.
+func walkRegions(s *obj.Space, c *memCap) {
+	for _, m := range s.AS.Mappings() {
+		if m.Base == core.KObjBase {
+			continue
+		}
+		c.regionOf(m.Region)
+	}
+	for _, o := range s.Objects {
+		if r, ok := o.(*obj.Region); ok && !r.Hdr().Dead {
+			c.regionOf(r.R)
+		}
+	}
+}
+
+// SnapshotMemory captures only the memory of s — no thread is stopped,
+// no structural state is recorded. The simulator is host-driven, so
+// between RunFor slices guest memory is quiescent and the copy is
+// consistent; the space keeps running (in simulated time) entirely
+// unperturbed. The result arms dirty tracking and can parent deltas:
+// this is the warm baseline of a pre-copy migration.
+func SnapshotMemory(k *core.Kernel, s *obj.Space) (*Image, error) {
+	img := &Image{}
+	c := newMemCap(s)
+	walkRegions(s, c)
+	c.finalizeFull(img)
+	if k.Metrics != nil {
+		k.Metrics.CkptSnapshots.Inc()
+		k.Metrics.CkptFramesCaptured.Add(uint64(len(img.Frames)))
+	}
+	return img, nil
+}
+
+// SnapshotMemoryDelta is SnapshotMemory against a parent: it captures
+// the frames dirtied since the parent was taken, again without stopping
+// the space. Returns the delta and the materialized image.
+func SnapshotMemoryDelta(k *core.Kernel, s *obj.Space, parent *Image) (*DeltaImage, *Image, error) {
+	d := &DeltaImage{}
+	c := newMemCap(s)
+	walkRegions(s, c)
+	deltaIdx, parentRef := c.finalizeDelta(d, parent)
+	img, parentMap, err := d.apply(parent)
+	if err != nil {
+		return nil, nil, err
+	}
+	graftLive(img, deltaIdx, parentRef, parentMap)
+	countDelta(k, d)
+	return d, img, nil
+}
+
+func countDelta(k *core.Kernel, d *DeltaImage) {
+	if k.Metrics == nil {
+		return
+	}
+	k.Metrics.CkptDeltaSnapshots.Inc()
+	k.Metrics.CkptFramesCaptured.Add(uint64(len(d.Frames)))
+	k.Metrics.CkptFramesClean.Add(uint64(d.CleanFrames))
+}

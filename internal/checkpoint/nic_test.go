@@ -1,0 +1,189 @@
+package checkpoint_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/mem"
+)
+
+// A netserve-shaped rig, by hand: one NIC queue whose rings and buffers
+// live in an ordinary space's DMA region. The checkpoint carries the DMA
+// pages with the space's memory and the device-side state (indices,
+// pending frames, in-flight timers) in Image.NIC.
+const (
+	nicDMABase  = 0x0030_0000
+	nicDMALen   = 16 * mem.PageSize
+	nicMMIOBase = 0x00D0_0000
+
+	nicTxRing = 0x000
+	nicRxRing = 0x100
+	nicShadow = 0xFF0
+	nicTxBuf  = 0x800
+	nicRxBuf  = 2 * mem.PageSize
+	nicSlots  = 4
+)
+
+func le32(v uint32) []byte {
+	return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+}
+
+// TestNICCheckpointInFlight checkpoints a space whose NIC has traffic in
+// every state at once — consumed TX, filled-but-undrained RX, a pending
+// frame stalled on a full ring, and a raise timer in flight — restores
+// it onto a fresh kernel, and watches the traffic complete.
+func TestNICCheckpointInFlight(t *testing.T) {
+	cfg := core.Config{Model: core.ModelProcess}
+	k1 := core.New(cfg)
+	s1 := k1.NewSpace()
+	dmaReg, err := dev.MapDMA(k1, s1, nicDMABase, nicDMALen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qcfg := func(k *core.Kernel, r *dev.NICQueueConfig) {
+		r.Clock = k.Clock
+		r.Raise = func() {}
+		r.TxRingOff, r.RxRingOff = nicTxRing, nicRxRing
+		r.TxSlots, r.RxSlots = nicSlots, nicSlots
+		r.HeadShadowOff = nicShadow
+	}
+	var qc1 dev.NICQueueConfig
+	qcfg(k1, &qc1)
+	qc1.DMA = dmaReg.R
+	nic1, err := dev.NewNIC(k1.Alloc, true, 0, []dev.NICQueueConfig{qc1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.MapRegisters(s1, nicMMIOBase, mem.PageSize, nic1.QueueIO(0)); err != nil {
+		t.Fatal(err)
+	}
+	var gotTX []byte
+	nic1.OnTransmit = func(q int, tag uint32, frame []byte) {
+		gotTX = append([]byte(nil), frame...)
+	}
+
+	wd := func(da, off, length, tag, own uint32) {
+		for i, v := range []uint32{off, length, tag, own} {
+			if err := k1.WriteMem(s1, nicDMABase+da+uint32(i)*4, le32(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Post 2 of 4 RX descriptors and ring the doorbell.
+	wd(nicRxRing+0*dev.NICDescBytes, nicRxBuf, 0, 0, 1)
+	wd(nicRxRing+1*dev.NICDescBytes, nicRxBuf+mem.PageSize, 0, 0, 1)
+	if f := s1.AS.Store32(nicMMIOBase+dev.NICRegRxTail, 2); f != nil {
+		t.Fatalf("RxTail doorbell faulted: %v", f)
+	}
+
+	// Publish one TX frame; the doorbell consumes it synchronously.
+	txPayload := []byte("checkpoint me: tx")
+	if err := k1.WriteMem(s1, nicDMABase+nicTxBuf, txPayload); err != nil {
+		t.Fatal(err)
+	}
+	wd(nicTxRing, nicTxBuf, uint32(len(txPayload)), 7, 1)
+	if f := s1.AS.Store32(nicMMIOBase+dev.NICRegTxTail, 1); f != nil {
+		t.Fatalf("TxTail doorbell faulted: %v", f)
+	}
+	if !bytes.Equal(gotTX, txPayload) {
+		t.Fatalf("TX frame not consumed before capture: %q", gotTX)
+	}
+
+	// Arm the RX interrupt (the driver's initial arm write), then three
+	// deliveries: two land, the third stalls on the full ring; the raise
+	// timer for the landed pair is now in flight.
+	if f := s1.AS.Store32(nicMMIOBase+dev.NICRegIntrArm, 0); f != nil {
+		t.Fatalf("IntrArm write faulted: %v", f)
+	}
+	pay := [][]byte{[]byte("rx-frame-zero"), []byte("rx-frame-one!"), []byte("rx-frame-two.")}
+	for i, p := range pay {
+		nic1.Deliver(0, 100+uint32(i), p)
+	}
+
+	img, err := checkpoint.CaptureWithNIC(k1, s1, nic1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.NIC == nil || len(img.NIC.Queues) != 1 {
+		t.Fatal("image carries no NIC state")
+	}
+	if qs := img.NIC.Queues[0]; len(qs.Pending) != 1 || qs.RaiseDue == 0 {
+		t.Fatalf("expected 1 pending frame and an in-flight raise, got %d pending, raiseDue=%d",
+			len(qs.Pending), qs.RaiseDue)
+	}
+
+	// Restore on a fresh kernel; rebuild the device attachment the way
+	// the original was built, then load its state.
+	k2 := core.New(cfg)
+	s2, _, err := checkpoint.Restore(k2, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s2.AS.MappingAt(nicDMABase)
+	if m == nil {
+		t.Fatal("restored space lost its DMA mapping")
+	}
+	var qc2 dev.NICQueueConfig
+	qcfg(k2, &qc2)
+	qc2.DMA = m.Region
+	nic2, err := dev.NewNIC(k2.Alloc, true, 0, []dev.NICQueueConfig{qc2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.MapRegisters(s2, nicMMIOBase, mem.PageSize, nic2.QueueIO(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkpoint.RestoreNIC(img, nic2); err != nil {
+		t.Fatal(err)
+	}
+
+	// The two landed frames crossed inside the DMA pages.
+	for i := 0; i < 2; i++ {
+		got, err := k2.ReadMem(s2, nicDMABase+nicRxBuf+uint32(i)*mem.PageSize, len(pay[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, pay[i]) {
+			t.Fatalf("restored RX buffer %d: %q, want %q", i, got, pay[i])
+		}
+	}
+
+	// The in-flight raise fires on the new kernel and publishes the head
+	// shadow the driver would drain against.
+	k2.RunFor(2 * dev.DefaultNICIRQLatency)
+	shadow, err := k2.ReadMem(s2, nicDMABase+nicShadow, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shadow, le32(2)) {
+		t.Fatalf("restored raise did not publish head shadow: %v", shadow)
+	}
+
+	// Repost a descriptor: the carried-over pending frame lands, in order.
+	for i, v := range []uint32{nicRxBuf + 2*mem.PageSize, 0, 0, 1} {
+		if err := k2.WriteMem(s2, nicDMABase+nicRxRing+2*dev.NICDescBytes+uint32(i)*4, le32(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f := s2.AS.Store32(nicMMIOBase+dev.NICRegRxTail, 3); f != nil {
+		t.Fatalf("restored RxTail doorbell faulted: %v", f)
+	}
+	k2.RunFor(10 * dev.DefaultNICIRQLatency)
+	got, err := k2.ReadMem(s2, nicDMABase+nicRxBuf+2*mem.PageSize, len(pay[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pay[2]) {
+		t.Fatalf("pending frame did not land after restore: %q, want %q", got, pay[2])
+	}
+
+	// Counters crossed the checkpoint and kept counting.
+	c := nic2.Counters()
+	if c.TxFrames != 1 || c.RxFrames != 3 || c.RingFullStalls == 0 {
+		t.Fatalf("restored counters off: %+v", c)
+	}
+}

@@ -113,6 +113,17 @@ type KernelMetrics struct {
 	IPIs   *metrics.Counter // cross-CPU reschedule kicks sent
 	Steals *metrics.Counter // threads taken from a peer's run queue
 
+	// Checkpoint/migration instruments, updated by internal/checkpoint
+	// (a user-level manager, so these never sit on an execution hot
+	// path): full and delta snapshots taken, frame payloads captured vs
+	// skipped because the dirty tracker proved them unchanged, and the
+	// simulated stop-to-resume cycles of pre-copy migrations.
+	CkptSnapshots      *metrics.Counter
+	CkptDeltaSnapshots *metrics.Counter
+	CkptFramesCaptured *metrics.Counter
+	CkptFramesClean    *metrics.Counter
+	CkptDowntimeCycles *metrics.Counter
+
 	// TraceDropped mirrors the trace ring's overwrite count
 	// (trace.Ring.Dropped) so exported metric snapshots declare how much
 	// of the trace a wrapped ring lost. The ring keeps its own counter
@@ -175,6 +186,11 @@ func NewKernelMetrics(reg *metrics.Registry) *KernelMetrics {
 	}
 	m.IPIs = reg.Counter("sched.ipis")
 	m.Steals = reg.Counter("sched.steals")
+	m.CkptSnapshots = reg.Counter("ckpt.snapshots")
+	m.CkptDeltaSnapshots = reg.Counter("ckpt.delta_snapshots")
+	m.CkptFramesCaptured = reg.Counter("ckpt.frames_captured")
+	m.CkptFramesClean = reg.Counter("ckpt.frames_skipped_clean")
+	m.CkptDowntimeCycles = reg.Counter("ckpt.migrate.downtime_cycles")
 	m.TraceDropped = reg.Gauge("trace.dropped")
 	m.DecodePages = reg.Gauge("cpu.decode.pages")
 	m.DecodeStaleResets = reg.Gauge("cpu.decode.stale_resets")

@@ -205,7 +205,8 @@ func (d *BlockDevice) dmaWrite(off uint32, data []byte) error {
 		}
 		inPage := int(off) + i - int(po)
 		n := copy(f.Data[inPage:], data[i:])
-		f.Bump() // direct write: invalidate derived decodes
+		f.Bump()            // direct write: invalidate derived decodes
+		d.dma.MarkDirty(po) // DMA bypasses the MMU's dirty-page log too
 		i += n
 	}
 	return nil

@@ -497,6 +497,11 @@ func (n *NIC) scheduleRaiseLocked(q *nicQueue) {
 // replaced (old contents preserved, receivers keep the original frame)
 // before the device overwrites it.
 func (n *NIC) cowFrame(q *nicQueue, po uint32) *mem.Frame {
+	// Every caller is about to write the returned frame, and device DMA
+	// bypasses the MMU's dirty-page log as well as its COW discipline, so
+	// this choke point also reports the write to the tracker. (Populate
+	// and Repoint below mark on their own; the in-place branches must.)
+	q.cfg.DMA.MarkDirty(po)
 	f := q.cfg.DMA.FrameAt(po)
 	switch {
 	case f == nil:

@@ -76,6 +76,16 @@ type Region struct {
 	// translations of the affected page through this list — no space can
 	// keep a translation to a replaced frame.
 	watchers []*AddrSpace
+
+	// Dirty-page tracking (incremental checkpointing). While trackDirty is
+	// set, the first store to each page — and every operation that changes
+	// a page's backing-frame identity or sharing structure — logs the
+	// page-aligned offset into dirty. The mechanism is the pte track bit
+	// (see the pte type): it never raises a fault, never charges a cycle,
+	// and never counts in Faults, so tracking is invisible to virtual time
+	// exactly like the TLB and decode caches.
+	trackDirty bool
+	dirty      map[uint32]struct{}
 }
 
 // NewRegion creates a region of size bytes (rounded up to pages).
@@ -110,6 +120,7 @@ func (r *Region) Populate(off uint32, f *mem.Frame) *mem.Frame {
 	r.frames[off/mem.PageSize] = f
 	if old != f {
 		r.flushDerived(mem.PageTrunc(off))
+		r.MarkDirty(off) // frame identity changed under the tracker
 	}
 	return old
 }
@@ -147,6 +158,7 @@ func (r *Region) Repoint(off uint32, f *mem.Frame) *mem.Frame {
 	if old == f {
 		return old
 	}
+	r.MarkDirty(off) // frame identity changed under the tracker
 	po := mem.PageTrunc(off)
 	for _, as := range r.watchers {
 		for _, m := range as.mappings {
@@ -207,6 +219,65 @@ func (r *Region) PresentPages() int {
 	return n
 }
 
+// StartDirtyTracking begins (or restarts) dirty-page tracking: the dirty
+// set is cleared and every installed translation of the region is armed
+// with the pte track bit, so the next store through it logs its page
+// before proceeding. Arming downgrades only TLB slots and sets a bit the
+// translation slow path resolves silently — no fault is raised, no cycle
+// charged, no Faults counted — so a tracked run is bit-identical in
+// virtual time to an untracked one (unlike write-protecting the pages,
+// which would be ambiguous with the lazy COW-upgrade soft faults the
+// zero-copy path charges for).
+//
+// Tracking state is per region, not per snapshot consumer: interleaving
+// two independent delta chains over one region resets each other's dirty
+// sets. The checkpoint layer documents this as one-chain-per-region.
+func (r *Region) StartDirtyTracking() {
+	r.trackDirty = true
+	if r.dirty == nil {
+		r.dirty = make(map[uint32]struct{})
+	} else {
+		clear(r.dirty)
+	}
+	for _, as := range r.watchers {
+		for _, m := range as.mappings {
+			if m.Region == r {
+				as.armTrackRange(m.Base, m.Size)
+			}
+		}
+	}
+}
+
+// StopDirtyTracking ends tracking. Stale track bits left in page tables
+// resolve silently on the next store (MarkDirty is a no-op once tracking
+// is off), so no disarm walk is needed.
+func (r *Region) StopDirtyTracking() { r.trackDirty = false }
+
+// DirtyTracking reports whether the region is tracking stores.
+func (r *Region) DirtyTracking() bool { return r.trackDirty }
+
+// MarkDirty logs the page containing offset off as modified. The
+// translation slow path calls it on the first tracked store; operations
+// that change a page's frame identity or sharing structure outside the
+// store path (Populate, Repoint, COW resolution, device DMA) call it
+// directly. No-op when tracking is off or off is out of range.
+func (r *Region) MarkDirty(off uint32) {
+	if !r.trackDirty || off >= r.Size {
+		return
+	}
+	r.dirty[mem.PageTrunc(off)] = struct{}{}
+}
+
+// IsDirty reports whether the page containing off has been logged since
+// tracking (re)started.
+func (r *Region) IsDirty(off uint32) bool {
+	_, ok := r.dirty[mem.PageTrunc(off)]
+	return ok
+}
+
+// DirtyCount returns the number of logged pages.
+func (r *Region) DirtyCount() int { return len(r.dirty) }
+
 // Mapping imports [RegionOff, RegionOff+Size) of Region at [Base,
 // Base+Size) in a destination address space (Fluke's Mapping object state).
 type Mapping struct {
@@ -230,6 +301,14 @@ func (m *Mapping) regionOffFor(va uint32) uint32 {
 type pte struct {
 	frame *mem.Frame
 	perm  Perm
+	// track arms dirty-page logging: the entry keeps its write permission,
+	// but the TLB is only ever filled without the write bit while track is
+	// set, so the first store falls through to translate, which logs the
+	// page into its region's dirty set, clears the bit, and completes the
+	// access — silently, with no fault and no cycles. probe refuses write
+	// access while track is set so DirectWindow copies cannot bypass the
+	// log (they fall back to the per-word path, which is bit-identical).
+	track bool
 }
 
 // The software TLB: a small direct-mapped cache consulted before the pt
@@ -578,7 +657,9 @@ func (as *AddrSpace) ResolveSoft(va uint32, acc cpu.Access) error {
 	}
 	vpn := mem.VPN(va)
 	as.flushSlot(vpn) // pt[vpn] changes below; keep TLB ⊆ pt
-	as.pt[vpn] = pte{frame: f, perm: perm}
+	// A PTE born while the region is tracking is born armed, so a store
+	// through it logs the page like any pre-arming translation would.
+	as.pt[vpn] = pte{frame: f, perm: perm, track: m.Region.trackDirty}
 	return nil
 }
 
@@ -616,8 +697,12 @@ func (as *AddrSpace) ResolveCOW(va uint32) (copied bool, err error) {
 	} else {
 		// Last reference: no copy needed. Clear the marker; other
 		// write-protected translations of this frame (other mappings or
-		// spaces) upgrade lazily through ordinary soft faults.
+		// spaces) upgrade lazily through ordinary soft faults. The frame
+		// keeps its identity but its sharing structure changed, so the
+		// tracker must recapture the page (a delta restored from a parent
+		// image would otherwise resurrect the stale Cow marker).
 		f.Cow = false
+		m.Region.MarkDirty(off)
 	}
 	vpn := mem.VPN(va)
 	as.flushSlot(vpn) // pt[vpn] changes below; keep TLB ⊆ pt
@@ -675,6 +760,10 @@ func ShareCOW(src *AddrSpace, srcVA uint32, dst *AddrSpace, dstVA uint32) bool {
 	// Existing translations of the source page may still grant write
 	// straight into the now-shared frame; downgrade them everywhere.
 	sm.Region.writeProtect(soff)
+	// The source page's bytes are unchanged but its frame is now Cow with
+	// an extra reference — sharing structure a parent image cannot know.
+	// (The destination page was marked by Populate above.)
+	sm.Region.MarkDirty(soff)
 	// Populate dropped the destination page's translations; re-derive the
 	// receiver's own (read-only — the frame is Cow) so the receive buffer
 	// stays as mapped as the copying path would have left it.
@@ -694,6 +783,41 @@ func (r *Region) writeProtect(off uint32) {
 			if m.Region == r && off >= m.RegionOff && off-m.RegionOff < m.Size {
 				as.writeProtectPage(m.Base + (off - m.RegionOff))
 			}
+		}
+	}
+}
+
+// armTrackRange sets the track bit on every installed PTE covering
+// [base, base+size) and masks write permission out of the matching TLB
+// slots (the PTEs keep theirs — see the pte type). Like FlushRange, it
+// iterates whichever of {range pages, installed PTEs} is smaller.
+func (as *AddrSpace) armTrackRange(base, size uint32) {
+	if size == 0 {
+		return
+	}
+	first := mem.VPN(base)
+	last := mem.VPN(base + size - 1)
+	arm := func(vpn uint32) {
+		if e, ok := as.pt[vpn]; ok && !e.track {
+			e.track = true
+			as.pt[vpn] = e
+			if t := &as.tlb[vpn&as.tlbMask]; t.perm&PermWrite != 0 && t.vpn == vpn {
+				t.perm &^= PermWrite
+			}
+		}
+	}
+	if uint64(last-first)+1 > uint64(len(as.pt)) {
+		for vpn := range as.pt {
+			if vpn >= first && vpn <= last {
+				arm(vpn)
+			}
+		}
+		return
+	}
+	for vpn := first; ; vpn++ {
+		arm(vpn)
+		if vpn == last { // guard wrap-around
+			return
 		}
 	}
 }
@@ -731,8 +855,24 @@ func (as *AddrSpace) translate(va uint32, acc cpu.Access) (*mem.Frame, uint32, *
 		as.Faults++
 		return nil, 0, &cpu.Fault{VA: va, Access: acc}
 	}
+	if e.track && acc == cpu.Write {
+		// First store since dirty tracking was armed: log the page and
+		// disarm, then complete the access. No fault, no Faults count, no
+		// cycles — tracking is invisible to virtual time.
+		e.track = false
+		as.pt[vpn] = e
+		if m := as.MappingAt(va); m != nil {
+			m.Region.MarkDirty(m.regionOffFor(va))
+		}
+	}
 	if !as.noFast {
-		as.tlb[vpn&as.tlbMask] = tlbEntry{vpn: vpn, perm: e.perm, frame: e.frame}
+		perm := e.perm
+		if e.track {
+			// Refill without write permission while armed, so a later
+			// store cannot hit the TLB and bypass the dirty log.
+			perm &^= PermWrite
+		}
+		as.tlb[vpn&as.tlbMask] = tlbEntry{vpn: vpn, perm: perm, frame: e.frame}
 	}
 	return e.frame, va & mem.PageMask, nil
 }
@@ -745,7 +885,10 @@ func (as *AddrSpace) probe(va uint32, acc cpu.Access) *mem.Frame {
 	if e := &as.tlb[vpn&as.tlbMask]; e.vpn == vpn && e.perm&needs(acc) != 0 {
 		return e.frame
 	}
-	if e, ok := as.pt[vpn]; ok && e.perm&needs(acc) != 0 {
+	if e, ok := as.pt[vpn]; ok && e.perm&needs(acc) != 0 && !(e.track && acc == cpu.Write) {
+		// An armed entry must not satisfy a write probe: DirectWindow
+		// would bypass the dirty log. The per-word fallback resolves the
+		// track bit through translate instead.
 		return e.frame
 	}
 	return nil

@@ -5,8 +5,10 @@
 # under every kernel configuration, the multiprocessor IPC-scaling
 # matrix (CPU count x lock model), the 1-64 CPU lock-model crossover
 # sweep (big vs persub vs fine), the bulk-IPC bandwidth sweep with
-# zero-copy frame sharing on vs off, and the NIC netload sweep
-# (interrupt coalescing x zero-copy replies, then CPUs x lock models).
+# zero-copy frame sharing on vs off, the NIC netload sweep
+# (interrupt coalescing x zero-copy replies, then CPUs x lock models),
+# and the pre-copy live-migration cell (simulated downtime vs the
+# stop-and-copy freeze the same space would have eaten).
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime   value for -benchtime (default 1s; use e.g. 5x for smoke)
@@ -42,7 +44,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
 go test -run='^$' \
-    -bench='BenchmarkInterpreter$|BenchmarkInterpreterProfiled$|BenchmarkInterpreterDecodeCache$|BenchmarkInterpreterStraightLine$|BenchmarkInterpreterBranchHeavy$|BenchmarkInterpreterSelfModifying$|BenchmarkNullSyscall$|BenchmarkNullRPC$|BenchmarkBandwidth$|BenchmarkIPCRoundTrip$|BenchmarkIPCScaling$|BenchmarkNetload$' \
+    -bench='BenchmarkInterpreter$|BenchmarkInterpreterProfiled$|BenchmarkInterpreterDecodeCache$|BenchmarkInterpreterStraightLine$|BenchmarkInterpreterBranchHeavy$|BenchmarkInterpreterSelfModifying$|BenchmarkNullSyscall$|BenchmarkNullRPC$|BenchmarkBandwidth$|BenchmarkIPCRoundTrip$|BenchmarkIPCScaling$|BenchmarkNetload$|BenchmarkMigrate$' \
     -benchtime="$BENCHTIME" .
 
 # Stats snapshot cost on a 64-CPU fine-model kernel: the StatsInto row
@@ -60,5 +62,7 @@ echo
 go run ./cmd/flukebench -crossover
 echo
 go run ./cmd/flukebench -netload
+echo
+go run ./cmd/flukebench -migrate -fast
 echo
 exec go run ./cmd/flukebench -critpath -fast
